@@ -1,0 +1,67 @@
+"""Ablation: the sampling scale α in LP-packing (theory 1/2 vs paper 1).
+
+Theorem 2 maximizes the *worst-case* bound α(1-α) at α = 1/2; the paper's
+experiments set α = 1.  This bench quantifies the trade-off empirically on
+an instance with tight event capacities (where the repair step actually
+drops pairs and α < 1 could in principle help): mean utility per α and the
+fraction of sampled pairs surviving repair.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_report
+from repro.core import LPPacking, lp_upper_bound
+from repro.datagen import SyntheticConfig, generate_synthetic
+
+ALPHAS = [0.25, 0.5, 0.75, 1.0]
+RUNS_PER_ALPHA = 15
+#: Tight event capacities: 400 users compete for 40 events with <= 5 seats.
+CONFIG = SyntheticConfig(
+    num_events=40, num_users=400, max_event_capacity=5, max_user_capacity=4
+)
+
+
+def _run_ablation():
+    instance = generate_synthetic(CONFIG, seed=BENCH_SEED)
+    bound = lp_upper_bound(instance)
+    rows = []
+    for alpha in ALPHAS:
+        algorithm = LPPacking(alpha=alpha)
+        utilities = []
+        survival = []
+        for seed in range(RUNS_PER_ALPHA):
+            result = algorithm.solve(instance, seed=seed)
+            utilities.append(result.utility)
+            sampled = result.details["num_sampled_pairs"]
+            surviving = result.details["num_surviving_pairs"]
+            survival.append(surviving / sampled if sampled else 1.0)
+        rows.append(
+            (alpha, float(np.mean(utilities)), float(np.mean(utilities)) / bound,
+             float(np.mean(survival)))
+        )
+    return bound, rows
+
+
+def bench_ablation_alpha(bench_once):
+    bound, rows = bench_once(_run_ablation)
+
+    # Every α must clear its own α(1-α) guarantee; α = 1 must dominate
+    # empirically (the paper's reason for choosing it).
+    for alpha, _mean, ratio, _surv in rows:
+        if alpha < 1.0:
+            assert ratio >= alpha * (1 - alpha), (
+                f"α={alpha}: ratio {ratio:.3f} below guarantee "
+                f"{alpha * (1 - alpha):.3f}"
+            )
+    by_alpha = {alpha: mean for alpha, mean, _r, _s in rows}
+    assert by_alpha[1.0] >= by_alpha[0.5], "α=1 should beat α=1/2 empirically"
+
+    lines = [
+        f"Ablation: LP-packing α (LP* = {bound:.2f}, "
+        f"{RUNS_PER_ALPHA} runs per α, tight-capacity instance)",
+        f"{'α':>6} {'mean utility':>13} {'ratio vs LP*':>13} {'pair survival':>14}",
+    ]
+    for alpha, mean, ratio, surv in rows:
+        lines.append(f"{alpha:>6.2f} {mean:>13.2f} {ratio:>12.1%} {surv:>13.1%}")
+    lines.append("paper: 'We empirically set α = 1 in LP-packing.'")
+    write_report("ablation_alpha", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""Ablation: the repair scan order in Algorithm 1 lines 4-7.
+
+The paper scans users in an unspecified fixed order when dropping
+assignments to overfull events.  This repository implements three orders
+(DESIGN.md §5): the faithful user-order scan, a random shuffle, and a
+weight-descending greedy repair.  On loose-capacity instances they coincide
+(nothing to drop); this bench uses a heavily oversubscribed instance so the
+choice matters, and quantifies how much.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SEED, write_report
+from repro.core import LPPacking
+from repro.core.lp_packing import REPAIR_ORDERS
+from repro.datagen import SyntheticConfig, generate_synthetic
+
+RUNS = 15
+#: Severe oversubscription: 800 users, 20 events, <= 4 seats each.
+CONFIG = SyntheticConfig(
+    num_events=20, num_users=800, max_event_capacity=4, max_user_capacity=3
+)
+
+
+def _run_ablation():
+    instance = generate_synthetic(CONFIG, seed=BENCH_SEED)
+    rows = []
+    for order in REPAIR_ORDERS:
+        algorithm = LPPacking(alpha=1.0, repair_order=order)
+        utilities = []
+        dropped = []
+        for seed in range(RUNS):
+            result = algorithm.solve(instance, seed=seed)
+            utilities.append(result.utility)
+            dropped.append(
+                result.details["num_sampled_pairs"]
+                - result.details["num_surviving_pairs"]
+            )
+        rows.append(
+            (order, float(np.mean(utilities)), float(np.std(utilities)),
+             float(np.mean(dropped)))
+        )
+    return rows
+
+
+def bench_ablation_repair(bench_once):
+    rows = bench_once(_run_ablation)
+    by_order = {order: mean for order, mean, _s, _d in rows}
+
+    # Weight-descending repair keeps the heaviest pairs, so it can only help
+    # (up to sampling noise) relative to the arbitrary user order.
+    assert by_order["weight"] >= by_order["user"] * 0.99
+    # All orders drop the same *number* of pairs per event (capacity is the
+    # binding constraint), so utilities stay within a few percent.
+    means = [mean for _o, mean, _s, _d in rows]
+    assert max(means) <= min(means) * 1.10
+
+    lines = [
+        f"Ablation: repair scan order ({RUNS} runs, oversubscribed instance)",
+        f"{'order':>8} {'mean utility':>13} {'std':>8} {'pairs dropped':>14}",
+    ]
+    for order, mean, std, drop in rows:
+        lines.append(f"{order:>8} {mean:>13.2f} {std:>8.2f} {drop:>14.1f}")
+    lines.append(
+        "paper: fixed (unspecified) user scan order; 'user' is the faithful "
+        "reading."
+    )
+    write_report("ablation_repair", "\n".join(lines))

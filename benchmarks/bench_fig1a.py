@@ -1,0 +1,24 @@
+"""Fig. 1(a): utility when varying the number of events |V|.
+
+Paper expectation: utility grows with |V| (more events, more feasible
+assignments) and LP-packing has the highest utility at every grid point.
+"""
+
+from benchmarks.conftest import (
+    BENCH_REPS,
+    BENCH_SEED,
+    assert_lp_packing_wins,
+    assert_monotone,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def bench_fig1a(bench_once):
+    report = bench_once(
+        run_experiment, "fig1a", repetitions=BENCH_REPS, seed=BENCH_SEED
+    )
+    sweep = report.data
+    assert_lp_packing_wins(sweep)
+    assert_monotone(sweep.series("lp-packing"), increasing=True)
+    write_report("fig1a", report.text + f"\nranking at |V|=300: {report.ranking}")

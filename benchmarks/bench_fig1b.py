@@ -1,0 +1,40 @@
+"""Fig. 1(b): utility when varying the number of users |U|.
+
+Paper expectation: utility grows with |U|; "when there are many users
+(e.g., |U| = 10000), GG has similar utility as LP-packing" while LP-packing
+is notably better at smaller |U|.
+"""
+
+from benchmarks.conftest import (
+    BENCH_REPS,
+    BENCH_SEED,
+    assert_lp_packing_wins,
+    assert_monotone,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def bench_fig1b(bench_once):
+    report = bench_once(
+        run_experiment, "fig1b", repetitions=BENCH_REPS, seed=BENCH_SEED
+    )
+    sweep = report.data
+    assert_lp_packing_wins(sweep)
+    assert_monotone(sweep.series("lp-packing"), increasing=True)
+
+    # The GG-approaches-LP-packing claim: relative gap at |U| = 10000 must be
+    # clearly smaller than at |U| = 1000.
+    lp = sweep.series("lp-packing")
+    gg = sweep.series("gg")
+    gap_small = (lp[0] - gg[0]) / lp[0]
+    gap_large = (lp[-1] - gg[-1]) / lp[-1]
+    assert gap_large < gap_small, (
+        f"GG should close the gap at large |U|: {gap_small:.3f} -> {gap_large:.3f}"
+    )
+    write_report(
+        "fig1b",
+        report.text
+        + f"\nGG gap vs LP-packing: {gap_small:.1%} at |U|=1000 -> "
+        f"{gap_large:.1%} at |U|=10000 (paper: GG similar at 10000)",
+    )

@@ -1,0 +1,24 @@
+"""Fig. 1(c): utility when varying the event-conflict probability p_cf.
+
+Paper expectation: utility falls as conflicts densify (each user can serve
+fewer of their bids) and LP-packing stays on top throughout.
+"""
+
+from benchmarks.conftest import (
+    BENCH_REPS,
+    BENCH_SEED,
+    assert_lp_packing_wins,
+    assert_monotone,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def bench_fig1c(bench_once):
+    report = bench_once(
+        run_experiment, "fig1c", repetitions=BENCH_REPS, seed=BENCH_SEED
+    )
+    sweep = report.data
+    assert_lp_packing_wins(sweep)
+    assert_monotone(sweep.series("lp-packing"), increasing=False)
+    write_report("fig1c", report.text + f"\nranking at pcf=0.5: {report.ranking}")

@@ -1,0 +1,25 @@
+"""Fig. 1(d): utility when varying the friendship probability p_deg.
+
+Paper expectation: utility grows with p_deg — denser social networks raise
+every user's degree of potential interaction, lifting the (1-β) term —
+with LP-packing best throughout.
+"""
+
+from benchmarks.conftest import (
+    BENCH_REPS,
+    BENCH_SEED,
+    assert_lp_packing_wins,
+    assert_monotone,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def bench_fig1d(bench_once):
+    report = bench_once(
+        run_experiment, "fig1d", repetitions=BENCH_REPS, seed=BENCH_SEED
+    )
+    sweep = report.data
+    assert_lp_packing_wins(sweep)
+    assert_monotone(sweep.series("lp-packing"), increasing=True)
+    write_report("fig1d", report.text + f"\nranking at pdeg=0.9: {report.ranking}")

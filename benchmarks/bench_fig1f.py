@@ -1,0 +1,24 @@
+"""Fig. 1(f): utility when varying the maximum user capacity max c_u.
+
+Paper expectation: utility grows with max c_u (users can serve more of
+their bids), capped by conflicts among the bid lists; LP-packing wins.
+"""
+
+from benchmarks.conftest import (
+    BENCH_REPS,
+    BENCH_SEED,
+    assert_lp_packing_wins,
+    assert_monotone,
+    write_report,
+)
+from repro.experiments import run_experiment
+
+
+def bench_fig1f(bench_once):
+    report = bench_once(
+        run_experiment, "fig1f", repetitions=BENCH_REPS, seed=BENCH_SEED
+    )
+    sweep = report.data
+    assert_lp_packing_wins(sweep)
+    assert_monotone(sweep.series("lp-packing"), increasing=True)
+    write_report("fig1f", report.text + f"\nranking at max cu=6: {report.ranking}")

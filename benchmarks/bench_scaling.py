@@ -1,0 +1,43 @@
+"""Scaling: wall-clock of all four algorithms as the instance grows.
+
+Not a paper artefact (the paper reports no running-time plots) but standard
+due diligence for an algorithmic reproduction: LP-packing pays for its LP
+solve; the baselines are near-linear.  The bench records per-algorithm
+runtimes across |U| and sanity-checks that every algorithm completes and
+stays feasible at every scale.
+"""
+
+from benchmarks.conftest import BENCH_SEED, write_report
+from repro.datagen import SyntheticConfig, generate_synthetic
+from repro.experiments import default_algorithms
+
+USER_COUNTS = [500, 1000, 2000, 4000]
+
+
+def _run_scaling():
+    rows = []
+    for num_users in USER_COUNTS:
+        config = SyntheticConfig(num_users=num_users)
+        instance = generate_synthetic(config, seed=BENCH_SEED)
+        timings = {}
+        for algorithm in default_algorithms():
+            result = algorithm.solve(instance, seed=0)
+            assert result.arrangement.is_feasible()
+            timings[algorithm.name] = result.runtime_seconds
+        rows.append((num_users, timings))
+    return rows
+
+
+def bench_scaling(bench_once):
+    rows = bench_once(_run_scaling)
+    algorithms = list(rows[0][1].keys())
+    lines = [
+        "Scaling: solve wall-clock (seconds) vs |U| (Table I defaults otherwise)",
+        f"{'|U|':>8}" + "".join(f"{name:>13}" for name in algorithms),
+    ]
+    for num_users, timings in rows:
+        lines.append(
+            f"{num_users:>8}"
+            + "".join(f"{timings[name]:>13.3f}" for name in algorithms)
+        )
+    write_report("scaling", "\n".join(lines))

@@ -1,0 +1,76 @@
+"""Stress bench: the algorithms on adversarial workloads.
+
+Complements the paper's benign workloads with the constructions from
+``repro.datagen.adversarial``: the greedy trap (GG provably ~57% of OPT),
+the integrality-gap instance (the LP genuinely rounds), the hotspot
+(maximal repair pressure) and the conflict clique (no LP advantage).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core import ExactILP, GGGreedy, LPPacking, RandomU, lp_upper_bound
+from repro.datagen import (
+    conflict_clique,
+    greedy_trap,
+    hotspot,
+    integrality_gap_instance,
+)
+
+RUNS = 10
+
+
+def _mean_utility(algorithm, instance, runs=RUNS):
+    return float(
+        np.mean([algorithm.solve(instance, seed=s).utility for s in range(runs)])
+    )
+
+
+def _run_stress():
+    rows = []
+    workloads = [
+        ("greedy-trap", greedy_trap(5)),
+        ("integrality-gap", integrality_gap_instance(0)),
+        ("hotspot", hotspot(num_users=100, hotspot_capacity=5, seed=0)),
+        ("conflict-clique", conflict_clique(seed=0)),
+    ]
+    for name, instance in workloads:
+        bound = lp_upper_bound(instance)
+        optimum = ExactILP().solve(instance).utility
+        lp = _mean_utility(LPPacking(alpha=1.0), instance)
+        gg = _mean_utility(GGGreedy(), instance, runs=1)
+        random_u = _mean_utility(RandomU(), instance)
+        rows.append((name, bound, optimum, lp, gg, random_u))
+    return rows
+
+
+def bench_stress(bench_once):
+    rows = bench_once(_run_stress)
+    by_name = {name: row for name, *row in rows}
+
+    # Greedy trap: GG must land at its designed ~57% of OPT; LP-packing at OPT.
+    _bound, optimum, lp, gg, _ru = by_name["greedy-trap"]
+    assert gg / optimum == pytest.approx(0.6 / 1.05, abs=1e-6)
+    assert lp == pytest.approx(optimum, rel=1e-6)
+
+    # Integrality gap: the LP bound is strictly above OPT.
+    bound, optimum, lp, _gg, _ru = by_name["integrality-gap"]
+    assert bound > optimum + 1e-6
+    assert lp <= optimum + 1e-9
+
+    # Hotspot: repair must keep LP-packing feasible yet above Random-U.
+    _bound, _optimum, lp, _gg, random_u = by_name["hotspot"]
+    assert lp > random_u
+
+    lines = [
+        f"Stress workloads ({RUNS} runs for randomized algorithms)",
+        f"{'workload':>16} {'LP*':>9} {'OPT':>9} {'lp-packing':>11} "
+        f"{'gg':>9} {'random-u':>9}",
+    ]
+    for name, bound, optimum, lp, gg, random_u in rows:
+        lines.append(
+            f"{name:>16} {bound:>9.3f} {optimum:>9.3f} {lp:>11.3f} "
+            f"{gg:>9.3f} {random_u:>9.3f}"
+        )
+    write_report("stress", "\n".join(lines))

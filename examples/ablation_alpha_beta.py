@@ -1,0 +1,74 @@
+"""Ablation walkthrough: the α and β parameters of IGEPA / LP-packing.
+
+* α scales the sampling probabilities in Algorithm 1.  Theory picks α = 1/2
+  (maximizing the α(1-α) bound); the paper's experiments use α = 1.  This
+  script shows the empirical utility across α and where the theoretical
+  bound sits.
+* β balances interest against social interaction in the utility.  The script
+  decomposes the utility of LP-packing arrangements at several β values.
+
+Run:  python examples/ablation_alpha_beta.py
+"""
+
+import numpy as np
+
+from repro import (
+    LPPacking,
+    SyntheticConfig,
+    generate_synthetic,
+    lp_upper_bound,
+)
+
+CONFIG = SyntheticConfig(num_events=30, num_users=200)
+REPS = 20
+
+
+def alpha_sweep() -> None:
+    instance = generate_synthetic(CONFIG, seed=3)
+    bound = lp_upper_bound(instance)
+    print(f"α sweep on {instance.name} (LP* = {bound:.2f}, {REPS} runs each)")
+    print(f"{'α':>6} {'mean utility':>13} {'ratio vs LP*':>13} {'α(1-α) bound':>13}")
+    for alpha in (0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0):
+        algorithm = LPPacking(alpha=alpha)
+        utilities = [
+            algorithm.solve(instance, seed=seed).utility for seed in range(REPS)
+        ]
+        mean = float(np.mean(utilities))
+        print(
+            f"{alpha:>6.2f} {mean:>13.2f} {mean / bound:>12.1%} "
+            f"{alpha * (1 - alpha):>12.1%}"
+        )
+    print(
+        "note: the ratio decreases only via repair losses; with loose event\n"
+        "capacities α = 1 dominates, which is why the paper uses it.\n"
+    )
+
+
+def beta_sweep() -> None:
+    print("β sweep: utility decomposition of LP-packing arrangements")
+    print(
+        f"{'β':>6} {'utility':>10} {'Σ interest':>12} {'Σ interaction':>14} "
+        f"{'pairs':>7}"
+    )
+    for beta in (0.0, 0.25, 0.5, 0.75, 1.0):
+        instance = generate_synthetic(CONFIG.with_overrides(beta=beta), seed=3)
+        result = LPPacking(alpha=1.0).solve(instance, seed=0)
+        arrangement = result.arrangement
+        print(
+            f"{beta:>6.2f} {result.utility:>10.2f} "
+            f"{arrangement.interest_total():>12.2f} "
+            f"{arrangement.interaction_total():>14.2f} {result.num_pairs:>7}"
+        )
+    print(
+        "note: at β = 0 the arrangement chases socially active users only;\n"
+        "at β = 1 IGEPA degenerates to the conflict-aware GEACC objective."
+    )
+
+
+def main() -> None:
+    alpha_sweep()
+    beta_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works on environments whose setuptools
+lacks the PEP 660 editable-wheel path (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

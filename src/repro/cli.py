@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro`` or the ``igepa`` script.
+
+Subcommands:
+
+* ``list`` — show every registered experiment (id, description, expectation).
+* ``experiment ID`` — regenerate a paper figure/table and print the report.
+* ``generate {synthetic,meetup}`` — write a dataset to JSON.
+* ``solve INSTANCE.json`` — run one algorithm on a saved instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.baselines import GGGreedy, RandomU, RandomV
+from repro.core.exact import ExactILP
+from repro.core.lp_packing import LPPacking
+from repro.datagen.meetup import MeetupConfig, generate_meetup
+from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.model.instance import IGEPAInstance
+
+ALGORITHMS = {
+    "lp-packing": lambda args: LPPacking(alpha=args.alpha),
+    "gg": lambda args: GGGreedy(),
+    "random-u": lambda args: RandomU(),
+    "random-v": lambda args: RandomV(),
+    "exact": lambda args: ExactILP(),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(e) for e in EXPERIMENTS)
+    for experiment_id in sorted(EXPERIMENTS):
+        experiment = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id:<{width}}  {experiment.description}")
+        print(f"{'':<{width}}  paper: {experiment.paper_expectation}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    report = run_experiment(args.id, repetitions=args.reps, seed=args.seed)
+    print(report.text)
+    print(f"\nranking: {report.ranking}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.text + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "synthetic":
+        config = SyntheticConfig(
+            num_events=args.events,
+            num_users=args.users,
+            conflict_probability=args.pcf,
+            friend_probability=args.pdeg,
+        )
+        instance = generate_synthetic(config, seed=args.seed)
+    else:
+        config = MeetupConfig(num_events=args.events, num_users=args.users)
+        instance = generate_meetup(config, seed=args.seed)
+    instance.save(args.out)
+    stats = instance.statistics()
+    print(f"wrote {args.out}: {stats}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = IGEPAInstance.load(args.instance)
+    algorithm = ALGORITHMS[args.algorithm](args)
+    result = algorithm.solve(instance, seed=args.seed)
+    print(f"algorithm : {result.algorithm}")
+    print(f"utility   : {result.utility:.4f}")
+    print(f"pairs     : {result.num_pairs}")
+    print(f"runtime   : {result.runtime_seconds * 1e3:.1f} ms")
+    for key, value in sorted(result.details.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="igepa",
+        description=(
+            "Reproduction of 'Interaction-Aware Arrangement for Event-Based "
+            "Social Networks' (ICDE 2019)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("list", help="list registered experiments")
+    sub.set_defaults(func=_cmd_list)
+
+    sub = subparsers.add_parser("experiment", help="run a paper figure/table")
+    sub.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    sub.add_argument("--reps", type=int, default=3, help="repetitions (paper: 50)")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--out", help="also write the report to this file")
+    sub.set_defaults(func=_cmd_experiment)
+
+    sub = subparsers.add_parser("generate", help="write a dataset to JSON")
+    sub.add_argument("dataset", choices=["synthetic", "meetup"])
+    sub.add_argument("--out", required=True, help="output JSON path")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--events", type=int, default=None)
+    sub.add_argument("--users", type=int, default=None)
+    sub.add_argument("--pcf", type=float, default=0.3, help="conflict probability")
+    sub.add_argument("--pdeg", type=float, default=0.5, help="friend probability")
+    sub.set_defaults(func=_cmd_generate)
+
+    sub = subparsers.add_parser("solve", help="run one algorithm on a saved instance")
+    sub.add_argument("instance", help="instance JSON written by 'generate'")
+    sub.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="lp-packing"
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--alpha", type=float, default=1.0, help="LP-packing alpha")
+    sub.set_defaults(func=_cmd_solve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        defaults = {"synthetic": (200, 2000), "meetup": (190, 2811)}
+        default_events, default_users = defaults[args.dataset]
+        if args.events is None:
+            args.events = default_events
+        if args.users is None:
+            args.users = default_users
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe (igepa list | head): normal.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Common interface for arrangement algorithms."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.result import ArrangementResult
+from repro.model.arrangement import Arrangement
+from repro.model.instance import IGEPAInstance
+
+
+class ArrangementAlgorithm(ABC):
+    """Base class: ``solve(instance)`` produces an :class:`ArrangementResult`.
+
+    Randomized algorithms draw from a :class:`numpy.random.Generator`; the
+    per-call ``seed`` overrides the constructor default so that experiment
+    harnesses can run independent repetitions off one configured object.
+    """
+
+    #: Display name used in reports and result objects.
+    name: str = "algorithm"
+
+    def __init__(self, seed: int | None = None):
+        self.seed = seed
+
+    def _rng(self, seed: int | None) -> np.random.Generator:
+        if seed is None:
+            seed = self.seed
+        return np.random.default_rng(seed)
+
+    @abstractmethod
+    def _solve(
+        self, instance: IGEPAInstance, rng: np.random.Generator
+    ) -> tuple[Arrangement, dict]:
+        """Produce a feasible arrangement and a diagnostics dict."""
+
+    def solve(
+        self, instance: IGEPAInstance, seed: int | None = None
+    ) -> ArrangementResult:
+        """Run the algorithm; measures runtime and packages the result."""
+        rng = self._rng(seed)
+        started = time.perf_counter()
+        arrangement, details = self._solve(instance, rng)
+        elapsed = time.perf_counter() - started
+        return ArrangementResult(
+            algorithm=self.name,
+            arrangement=arrangement,
+            utility=arrangement.utility(),
+            runtime_seconds=elapsed,
+            details=details,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,163 @@
+"""Local-search post-processing for arrangements.
+
+Not part of the paper's algorithm, but a natural improvement layer a
+production EBSN platform would bolt on: take any feasible arrangement and
+apply utility-increasing moves until a local optimum.  Three move types:
+
+* **add** — insert a feasible missing (event, user) pair (weights are
+  nonnegative, so additions never hurt);
+* **upgrade** — replace one of a user's assigned events with a strictly
+  heavier bid of theirs that is feasible after the swap;
+* **evict** — at a full event, replace its lightest attendee with a heavier
+  waiting bidder (the evicted user keeps their other events).
+
+Each accepted move raises the utility by at least ``min_gain``, so the
+search terminates; a pass cap bounds the worst case.  Wrapped as
+:class:`LocalSearch`, it composes with any base algorithm::
+
+    LocalSearch(RandomU()).solve(instance)   # name: "random-u+ls"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import ArrangementAlgorithm
+from repro.model.arrangement import Arrangement
+from repro.model.instance import IGEPAInstance
+
+_MIN_GAIN = 1e-9
+
+
+def _try_add_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+    accepted = 0
+    for user in instance.users:
+        if arrangement.load(user.user_id) >= user.capacity:
+            continue
+        for event_id in user.bids:
+            if (event_id, user.user_id) in arrangement:
+                continue
+            if instance.weight(user.user_id, event_id) <= _MIN_GAIN:
+                continue
+            if arrangement.can_add(event_id, user.user_id):
+                arrangement.add(event_id, user.user_id, check=False)
+                accepted += 1
+    return accepted
+
+
+def _try_upgrade_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+    accepted = 0
+    for user in instance.users:
+        assigned = sorted(arrangement.events_of(user.user_id))
+        for current in assigned:
+            current_weight = instance.weight(user.user_id, current)
+            best_candidate = None
+            best_gain = _MIN_GAIN
+            for candidate in user.bids:
+                if (candidate, user.user_id) in arrangement:
+                    continue
+                gain = instance.weight(user.user_id, candidate) - current_weight
+                if gain <= best_gain:
+                    continue
+                arrangement.remove(current, user.user_id)
+                feasible = arrangement.can_add(candidate, user.user_id)
+                arrangement.add(current, user.user_id, check=False)
+                if feasible:
+                    best_candidate = candidate
+                    best_gain = gain
+            if best_candidate is not None:
+                arrangement.remove(current, user.user_id)
+                arrangement.add(best_candidate, user.user_id, check=False)
+                accepted += 1
+    return accepted
+
+
+def _try_evict_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+    accepted = 0
+    for event in instance.events:
+        if arrangement.attendance(event.event_id) < event.capacity:
+            continue  # not full: add moves already cover it
+        attendees = arrangement.users_of(event.event_id)
+        if not attendees:
+            continue
+        lightest = min(
+            attendees, key=lambda u: (instance.weight(u, event.event_id), u)
+        )
+        lightest_weight = instance.weight(lightest, event.event_id)
+        best_bidder = None
+        best_gain = _MIN_GAIN
+        for user_id in instance.bidders(event.event_id):
+            if user_id in attendees:
+                continue
+            gain = instance.weight(user_id, event.event_id) - lightest_weight
+            if gain <= best_gain:
+                continue
+            arrangement.remove(event.event_id, lightest)
+            feasible = arrangement.can_add(event.event_id, user_id)
+            arrangement.add(event.event_id, lightest, check=False)
+            if feasible:
+                best_bidder = user_id
+                best_gain = gain
+        if best_bidder is not None:
+            arrangement.remove(event.event_id, lightest)
+            arrangement.add(event.event_id, best_bidder, check=False)
+            accepted += 1
+    return accepted
+
+
+def improve(
+    instance: IGEPAInstance,
+    arrangement: Arrangement,
+    max_passes: int = 20,
+) -> dict:
+    """Run add/upgrade/evict passes in place until a local optimum.
+
+    Returns:
+        Move counts: ``{"adds": ..., "upgrades": ..., "evictions": ...,
+        "passes": ...}``.
+    """
+    totals = {"adds": 0, "upgrades": 0, "evictions": 0, "passes": 0}
+    for _ in range(max_passes):
+        moved = 0
+        adds = _try_add_moves(instance, arrangement)
+        upgrades = _try_upgrade_moves(instance, arrangement)
+        evictions = _try_evict_moves(instance, arrangement)
+        moved = adds + upgrades + evictions
+        totals["adds"] += adds
+        totals["upgrades"] += upgrades
+        totals["evictions"] += evictions
+        totals["passes"] += 1
+        if moved == 0:
+            break
+    return totals
+
+
+class LocalSearch(ArrangementAlgorithm):
+    """Decorator algorithm: run ``base``, then local-search improve.
+
+    Args:
+        base: any arrangement algorithm whose output seeds the search.
+        max_passes: cap on improvement passes.
+    """
+
+    def __init__(self, base: ArrangementAlgorithm, max_passes: int = 20):
+        super().__init__(seed=base.seed)
+        self.base = base
+        self.max_passes = max_passes
+        self.name = f"{base.name}+ls"
+
+    def _solve(
+        self, instance: IGEPAInstance, rng: np.random.Generator
+    ) -> tuple[Arrangement, dict]:
+        seed = int(rng.integers(2**31))
+        base_result = self.base.solve(instance, seed=seed)
+        arrangement = base_result.arrangement
+        base_utility = base_result.utility
+        moves = improve(instance, arrangement, max_passes=self.max_passes)
+        details = dict(base_result.details)
+        details.update(
+            base_algorithm=self.base.name,
+            base_utility=base_utility,
+            local_search_moves=moves,
+        )
+        return arrangement, details

@@ -1,0 +1,126 @@
+"""The benchmark LP (1)-(4) of the paper.
+
+Variables ``x_{u,S}`` indicate assigning admissible event set ``S`` to user
+``u``; the LP maximizes total weight subject to one set per user (2) and
+event capacities (3)::
+
+    max   Σ_u Σ_{S ∈ A_u}  x_{u,S} · w(u, S)                       (1)
+    s.t.  Σ_{S ∈ A_u}      x_{u,S} ≤ 1            ∀ u ∈ U          (2)
+          Σ_u Σ_{S ∋ v}    x_{u,S} ≤ c_v          ∀ v ∈ V          (3)
+          0 ≤ x_{u,S} ≤ 1                                          (4)
+
+with ``w(u, v) = β·SI(l_v, l_u) + (1-β)·D(G, u)`` and ``w(u, S) = Σ_{v∈S}
+w(u, v)``.  Marking the variables integral turns the LP into the exact IGEPA
+ILP (Lemma 1): integral solutions correspond one-to-one with feasible
+arrangements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.admissible import (
+    DEFAULT_MAX_SETS_PER_USER,
+    enumerate_all_admissible_sets,
+)
+from repro.model.instance import IGEPAInstance
+from repro.solver.problem import LinearProgram, Sense
+
+
+@dataclass
+class BenchmarkLP:
+    """The built LP together with its variable decoding tables.
+
+    Attributes:
+        lp: the :class:`LinearProgram` realizing (1)-(4).
+        assignments: per LP variable index, the ``(user_id, S)`` it encodes.
+        by_user: user id -> LP variable indices of that user's sets.
+        admissible: user id -> the user's admissible event sets (``A_u``).
+    """
+
+    lp: LinearProgram
+    assignments: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+    by_user: dict[int, list[int]] = field(default_factory=dict)
+    admissible: dict[int, list[tuple[int, ...]]] = field(default_factory=dict)
+
+    def set_weight(self, instance: IGEPAInstance, user_id: int, events: tuple[int, ...]) -> float:
+        """``w(u, S)`` for a decoded variable."""
+        return sum(instance.weight(user_id, event_id) for event_id in events)
+
+    def pairs_from_solution(self, x, threshold: float = 0.5) -> list[tuple[int, int]]:
+        """Decode an *integral* solution into ``(event_id, user_id)`` pairs.
+
+        Variables with value above ``threshold`` are treated as chosen; for
+        truly integral solutions any threshold in (0, 1) gives the same
+        result.
+        """
+        pairs: list[tuple[int, int]] = []
+        for index, (user_id, events) in enumerate(self.assignments):
+            if x[index] > threshold:
+                pairs.extend((event_id, user_id) for event_id in events)
+        return pairs
+
+
+def build_benchmark_lp(
+    instance: IGEPAInstance,
+    *,
+    integer: bool = False,
+    max_sets_per_user: int = DEFAULT_MAX_SETS_PER_USER,
+    admissible: dict[int, list[tuple[int, ...]]] | None = None,
+) -> BenchmarkLP:
+    """Construct the benchmark LP (1)-(4) for ``instance``.
+
+    Args:
+        instance: the IGEPA instance.
+        integer: mark variables integral (the exact ILP of Lemma 1).
+        max_sets_per_user: admissible-set explosion guard.
+        admissible: pre-enumerated ``A_u`` (skips re-enumeration).
+
+    Raises:
+        AdmissibleSetExplosion: propagated from enumeration.
+    """
+    if admissible is None:
+        admissible = enumerate_all_admissible_sets(instance, max_sets_per_user)
+
+    lp = LinearProgram(name=f"benchmark-lp[{instance.name}]", maximize=True)
+    assignments: list[tuple[int, tuple[int, ...]]] = []
+    by_user: dict[int, list[int]] = {}
+    # (3) needs, per event, the variables whose set contains it.
+    event_terms: dict[int, dict[int, float]] = {e.event_id: {} for e in instance.events}
+
+    for user in instance.users:
+        indices: list[int] = []
+        for events in admissible.get(user.user_id, []):
+            weight = sum(instance.weight(user.user_id, event_id) for event_id in events)
+            index = lp.add_variable(
+                f"x[{user.user_id},{','.join(map(str, events))}]",
+                lower=0.0,
+                upper=1.0,
+                objective=weight,
+                is_integer=integer,
+            )
+            assignments.append((user.user_id, events))
+            indices.append(index)
+            for event_id in events:
+                event_terms[event_id][index] = 1.0
+        by_user[user.user_id] = indices
+        if indices:
+            # (2): at most one admissible set per user.
+            lp.add_constraint(
+                {index: 1.0 for index in indices},
+                Sense.LE,
+                1.0,
+                name=f"user[{user.user_id}]",
+            )
+
+    for event in instance.events:
+        terms = event_terms[event.event_id]
+        if terms:
+            # (3): event capacity over all sets containing it.
+            lp.add_constraint(
+                terms, Sense.LE, float(event.capacity), name=f"event[{event.event_id}]"
+            )
+
+    return BenchmarkLP(
+        lp=lp, assignments=assignments, by_user=by_user, admissible=admissible
+    )

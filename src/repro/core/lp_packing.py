@@ -1,0 +1,229 @@
+"""LP-packing (Algorithm 1) — the paper's approximation algorithm.
+
+The algorithm:
+
+1. solve the benchmark LP (1)-(4) for ``x*``;
+2. for each user ``u`` independently, sample one admissible event set
+   ``S_u ∈ A_u`` with probability ``α·x*_{u,S}`` (no set with the residual
+   probability);
+3. repair event-capacity violations: scan the sampled pairs and drop any
+   assignment to an event that is already full;
+4. return the surviving pairs as the arrangement.
+
+Theorem 2: with ``α = 1/2`` the expected utility is at least
+``α(1-α) = 1/4`` of the LP optimum, hence of OPT.  The paper's experiments
+set ``α = 1`` (§IV "Baselines"), which is this implementation's default;
+pass ``alpha=0.5`` to reproduce the theoretical setting.
+
+Repair-order strategies (an ablation in this repository; the paper fixes an
+unspecified user scan order):
+
+* ``"user"`` — instance user order, events in sorted order (deterministic,
+  the faithful reading of Algorithm 1 lines 4-7);
+* ``"random"`` — uniformly shuffled pair order;
+* ``"weight"`` — pairs by decreasing ``w(u, v)`` (greedy repair).
+
+Every strategy yields a feasible arrangement; they differ only in *which*
+pair survives when an event is oversubscribed.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.admissible import DEFAULT_MAX_SETS_PER_USER
+from repro.core.base import ArrangementAlgorithm
+from repro.core.lp_formulation import BenchmarkLP, build_benchmark_lp
+from repro.model.arrangement import Arrangement
+from repro.model.instance import IGEPAInstance
+from repro.solver.api import solve_lp
+
+REPAIR_ORDERS = ("user", "random", "weight")
+
+
+class LPPackingError(RuntimeError):
+    """The benchmark LP could not be solved to optimality."""
+
+
+class LPPacking(ArrangementAlgorithm):
+    """The LP-packing approximation algorithm (Algorithm 1).
+
+    Args:
+        alpha: sampling scale ``α ∈ (0, 1]``.  ``1.0`` is the paper's
+            empirical setting; ``0.5`` gives the proven 1/4 guarantee.
+        seed: default RNG seed (overridable per ``solve`` call).
+        lp_backend: backend for the benchmark LP (see
+            :data:`repro.solver.BACKENDS`).
+        repair_order: one of :data:`REPAIR_ORDERS`.
+        max_sets_per_user: admissible-set explosion guard.
+        cache_lp: reuse the solved benchmark LP across ``solve`` calls on the
+            *same instance object*.  The LP (lines 1-2 of Algorithm 1) is
+            deterministic per instance; only sampling and repair (lines 3-7)
+            depend on the seed, so repeated-run experiments — the paper
+            averages 50 repetitions — only pay the solve once.
+
+    Raises:
+        ValueError: on out-of-range ``alpha`` or unknown ``repair_order``.
+    """
+
+    name = "lp-packing"
+
+    def __init__(
+        self,
+        alpha: float = 1.0,
+        seed: int | None = None,
+        lp_backend: str = "auto",
+        repair_order: str = "user",
+        max_sets_per_user: int = DEFAULT_MAX_SETS_PER_USER,
+        cache_lp: bool = True,
+    ):
+        super().__init__(seed=seed)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if repair_order not in REPAIR_ORDERS:
+            raise ValueError(
+                f"unknown repair_order {repair_order!r}; expected one of {REPAIR_ORDERS}"
+            )
+        self.alpha = alpha
+        self.lp_backend = lp_backend
+        self.repair_order = repair_order
+        self.max_sets_per_user = max_sets_per_user
+        self.cache_lp = cache_lp
+        # Keyed by the live instance object (identity semantics).  A weak
+        # mapping — not id() — because CPython reuses the ids of collected
+        # objects, which would silently serve one instance another
+        # instance's LP solution across repeated-run experiments.
+        self._lp_cache: weakref.WeakKeyDictionary[
+            IGEPAInstance, tuple[BenchmarkLP, np.ndarray, float, int]
+        ] = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 1-3: LP + sampling
+    # ------------------------------------------------------------------
+    def sample_sets(
+        self,
+        benchmark: BenchmarkLP,
+        x_star: np.ndarray,
+        rng: np.random.Generator,
+    ) -> dict[int, tuple[int, ...]]:
+        """Sample ``S_u`` per user with probability ``α·x*_{u,S}``.
+
+        Returns only users that drew a set.  Sampling is independent across
+        users, exactly as the analysis of Theorem 2 requires.
+        """
+        sampled: dict[int, tuple[int, ...]] = {}
+        for user_id, indices in benchmark.by_user.items():
+            if not indices:
+                continue
+            probabilities = self.alpha * np.clip(x_star[indices], 0.0, 1.0)
+            total = float(probabilities.sum())
+            if total > 1.0:
+                # Constraint (2) bounds the exact sum by 1; anything above is
+                # solver noise, so rescale rather than crash.
+                probabilities /= total
+            draw = rng.random()
+            cumulative = 0.0
+            for offset, index in enumerate(indices):
+                cumulative += float(probabilities[offset])
+                if draw < cumulative:
+                    sampled[user_id] = benchmark.assignments[index][1]
+                    break
+        return sampled
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, lines 4-7: capacity repair
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        instance: IGEPAInstance,
+        sampled: dict[int, tuple[int, ...]],
+        rng: np.random.Generator,
+    ) -> list[tuple[int, int]]:
+        """Drop assignments to events whose capacity the sample exceeds.
+
+        The sampled sets already satisfy the bid, user-capacity and conflict
+        constraints (they are admissible), so only event capacities (c_v) can
+        be violated.  Pairs are scanned in the configured order and kept
+        while their event has room — every scan order yields a feasible
+        arrangement.
+        """
+        pairs: list[tuple[int, int]] = []
+        user_position = {user.user_id: i for i, user in enumerate(instance.users)}
+        for user_id, events in sampled.items():
+            pairs.extend((event_id, user_id) for event_id in sorted(events))
+
+        if self.repair_order == "user":
+            pairs.sort(key=lambda p: (user_position[p[1]], p[0]))
+        elif self.repair_order == "random":
+            rng.shuffle(pairs)
+        else:  # "weight"
+            pairs.sort(
+                key=lambda p: (-instance.weight(p[1], p[0]), user_position[p[1]], p[0])
+            )
+
+        remaining = {e.event_id: e.capacity for e in instance.events}
+        survivors: list[tuple[int, int]] = []
+        for event_id, user_id in pairs:
+            if remaining[event_id] > 0:
+                remaining[event_id] -= 1
+                survivors.append((event_id, user_id))
+        return survivors
+
+    # ------------------------------------------------------------------
+    # Full solve
+    # ------------------------------------------------------------------
+    def _solved_benchmark(
+        self, instance: IGEPAInstance
+    ) -> tuple[BenchmarkLP, np.ndarray, float, int, str]:
+        """Build and solve the benchmark LP, consulting the per-instance cache."""
+        if self.cache_lp and instance in self._lp_cache:
+            benchmark, x_star, objective, iterations = self._lp_cache[instance]
+            return benchmark, x_star, objective, iterations, "cache"
+        benchmark = build_benchmark_lp(
+            instance, max_sets_per_user=self.max_sets_per_user
+        )
+        if benchmark.lp.num_variables == 0:
+            x_star = np.empty(0)
+            objective = 0.0
+            iterations = 0
+            backend = "none"
+        else:
+            solution = solve_lp(benchmark.lp, backend=self.lp_backend)
+            if not solution.is_optimal:
+                raise LPPackingError(
+                    f"benchmark LP solve failed with status {solution.status.value}"
+                )
+            x_star = solution.x
+            objective = solution.objective_value
+            iterations = solution.iterations
+            backend = solution.backend
+        if self.cache_lp:
+            self._lp_cache[instance] = (benchmark, x_star, objective, iterations)
+        return benchmark, x_star, objective, iterations, backend
+
+    def _solve(
+        self, instance: IGEPAInstance, rng: np.random.Generator
+    ) -> tuple[Arrangement, dict]:
+        benchmark, x_star, lp_objective, iterations, backend = self._solved_benchmark(
+            instance
+        )
+        sampled = self.sample_sets(benchmark, x_star, rng)
+        sampled_pairs = sum(len(events) for events in sampled.values())
+        survivors = self.repair(instance, sampled, rng)
+        arrangement = Arrangement.from_pairs(instance, survivors, check=True)
+        details = {
+            "lp_objective": lp_objective,
+            "num_variables": benchmark.lp.num_variables,
+            "num_admissible_sets": sum(
+                len(sets) for sets in benchmark.admissible.values()
+            ),
+            "num_sampled_pairs": sampled_pairs,
+            "num_surviving_pairs": len(survivors),
+            "lp_iterations": iterations,
+            "lp_backend": backend,
+            "alpha": self.alpha,
+            "repair_order": self.repair_order,
+        }
+        return arrangement, details

@@ -1,0 +1,142 @@
+"""Arrangement quality metrics beyond the paper's single utility number.
+
+An EBSN platform evaluating an arrangement cares about more than the
+aggregate objective: how full events are, how fairly utility spreads over
+users, how socially cohesive each event's audience is.  These metrics are
+used by the reporting layer and the examples, and give the test suite
+orthogonal probes into algorithm behaviour.
+
+All functions take the instance and a (feasible) arrangement; none mutate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.arrangement import Arrangement
+from repro.model.instance import IGEPAInstance
+
+
+def event_fill_rates(
+    instance: IGEPAInstance, arrangement: Arrangement
+) -> dict[int, float]:
+    """Per event: assigned attendance / capacity (0.0 for capacity-0 events)."""
+    rates = {}
+    for event in instance.events:
+        if event.capacity == 0:
+            rates[event.event_id] = 0.0
+        else:
+            rates[event.event_id] = arrangement.attendance(event.event_id) / event.capacity
+    return rates
+
+
+def mean_fill_rate(instance: IGEPAInstance, arrangement: Arrangement) -> float:
+    """Average fill rate over events with positive capacity."""
+    rates = [
+        rate
+        for event_id, rate in event_fill_rates(instance, arrangement).items()
+        if instance.event_by_id[event_id].capacity > 0
+    ]
+    return float(np.mean(rates)) if rates else 0.0
+
+
+def user_coverage(instance: IGEPAInstance, arrangement: Arrangement) -> float:
+    """Fraction of users assigned to at least one event."""
+    if instance.num_users == 0:
+        return 0.0
+    served = sum(
+        1 for user in instance.users if arrangement.load(user.user_id) > 0
+    )
+    return served / instance.num_users
+
+
+def user_utilities(
+    instance: IGEPAInstance, arrangement: Arrangement
+) -> dict[int, float]:
+    """Per user: the utility contributed by that user's assignments."""
+    totals = {user.user_id: 0.0 for user in instance.users}
+    for event_id, user_id in arrangement.pairs:
+        totals[user_id] += instance.weight(user_id, event_id)
+    return totals
+
+
+def jain_fairness(instance: IGEPAInstance, arrangement: Arrangement) -> float:
+    """Jain's fairness index over per-user utilities.
+
+    1.0 when every user receives equal utility; approaches ``1/n`` when one
+    user takes everything.  Users with no bids are excluded (they cannot
+    receive utility by construction).
+    """
+    values = np.array(
+        [
+            total
+            for user_id, total in user_utilities(instance, arrangement).items()
+            if instance.user_by_id[user_id].bids
+        ]
+    )
+    if values.size == 0:
+        return 1.0
+    denominator = values.size * float(np.sum(values**2))
+    if denominator == 0.0:
+        return 1.0
+    return float(np.sum(values)) ** 2 / denominator
+
+
+def event_social_cohesion(
+    instance: IGEPAInstance, arrangement: Arrangement, event_id: int
+) -> float:
+    """Fraction of attendee pairs at the event with a social tie.
+
+    Requires a materialized social graph; instances using degree overrides
+    (large-scale generators) have no edge structure to measure, in which
+    case this raises ``ValueError``.
+    """
+    if instance.degrees_override is not None:
+        raise ValueError(
+            "social cohesion needs an explicit social graph; this instance "
+            "uses degree overrides (see DESIGN.md §5)"
+        )
+    attendees = sorted(arrangement.users_of(event_id))
+    if len(attendees) < 2:
+        return 0.0
+    ties = 0
+    pairs = 0
+    for i, first in enumerate(attendees):
+        for second in attendees[i + 1 :]:
+            pairs += 1
+            if instance.social.has_edge(first, second):
+                ties += 1
+    return ties / pairs
+
+
+def interaction_lift(instance: IGEPAInstance, arrangement: Arrangement) -> float:
+    """Mean D(G, u) of assigned users relative to the population mean.
+
+    > 1.0 means the arrangement preferentially admitted socially active
+    users — the behaviour the interaction term is designed to induce.
+    Returns 1.0 when either mean is degenerate (no users / zero degrees).
+    """
+    assigned = {user_id for _, user_id in arrangement.pairs}
+    if not assigned or instance.num_users == 0:
+        return 1.0
+    assigned_mean = float(np.mean([instance.degree(u) for u in assigned]))
+    population_mean = float(
+        np.mean([instance.degree(u.user_id) for u in instance.users])
+    )
+    if population_mean == 0.0:
+        return 1.0
+    return assigned_mean / population_mean
+
+
+def summarize(instance: IGEPAInstance, arrangement: Arrangement) -> dict:
+    """All scalar metrics in one dict (used by reports and examples)."""
+    return {
+        "utility": arrangement.utility(),
+        "pairs": len(arrangement),
+        "interest_total": arrangement.interest_total(),
+        "interaction_total": arrangement.interaction_total(),
+        "mean_fill_rate": mean_fill_rate(instance, arrangement),
+        "user_coverage": user_coverage(instance, arrangement),
+        "jain_fairness": jain_fairness(instance, arrangement),
+        "interaction_lift": interaction_lift(instance, arrangement),
+    }

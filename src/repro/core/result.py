@@ -1,0 +1,42 @@
+"""Result type shared by every arrangement algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.arrangement import Arrangement
+
+
+@dataclass
+class ArrangementResult:
+    """Outcome of one algorithm run on one instance.
+
+    Attributes:
+        algorithm: algorithm display name (``lp-packing``, ``gg``, ...).
+        arrangement: the produced feasible arrangement.
+        utility: ``arrangement.utility()`` (cached at construction).
+        runtime_seconds: wall-clock time of the solve call.
+        details: algorithm-specific diagnostics (LP objective, sampled pairs,
+            dropped pairs, solver backend, ...).
+    """
+
+    algorithm: str
+    arrangement: Arrangement
+    utility: float
+    runtime_seconds: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def pairs(self) -> set[tuple[int, int]]:
+        """The ``(event_id, user_id)`` pairs of the arrangement."""
+        return self.arrangement.pairs
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.arrangement)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrangementResult({self.algorithm!r}, utility={self.utility:.4f}, "
+            f"pairs={self.num_pairs}, {self.runtime_seconds * 1e3:.1f} ms)"
+        )

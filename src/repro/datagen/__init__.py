@@ -1,0 +1,32 @@
+"""Dataset generators: synthetic (Table I), Meetup-like (Table II), and
+adversarial stress workloads."""
+
+from repro.datagen.adversarial import (
+    INTEGRALITY_GAP_SEEDS,
+    conflict_clique,
+    greedy_trap,
+    hotspot,
+    integrality_gap_instance,
+    small_tight_instance,
+)
+from repro.datagen.meetup import SF_DEFAULTS, MeetupConfig, generate_meetup
+from repro.datagen.synthetic import (
+    TABLE1_DEFAULTS,
+    SyntheticConfig,
+    generate_synthetic,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_synthetic",
+    "TABLE1_DEFAULTS",
+    "MeetupConfig",
+    "generate_meetup",
+    "SF_DEFAULTS",
+    "conflict_clique",
+    "greedy_trap",
+    "hotspot",
+    "integrality_gap_instance",
+    "small_tight_instance",
+    "INTEGRALITY_GAP_SEEDS",
+]

@@ -1,0 +1,67 @@
+"""Experiment harness: repetition runner, Fig. 1 sweeps, registry, reports."""
+
+from repro.experiments.persistence import (
+    load_stats,
+    load_sweep,
+    save_stats,
+    save_sweep,
+)
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    Experiment,
+    ExperimentReport,
+    run_experiment,
+)
+from repro.experiments.reporting import (
+    TABLE2_ORDER,
+    format_ranking,
+    format_sweep_table,
+    format_utility_table,
+    sweep_to_csv,
+)
+from repro.experiments.shapes import (
+    FIG1_EXPECTATIONS,
+    ShapeExpectation,
+    check_figure,
+    check_sweep_shape,
+)
+from repro.experiments.runner import (
+    AlgorithmStats,
+    default_algorithms,
+    run_on_instance,
+    run_repetitions,
+)
+from repro.experiments.sweeps import (
+    FIG1_SWEEPS,
+    SweepResult,
+    run_figure,
+    run_sweep,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentReport",
+    "run_experiment",
+    "AlgorithmStats",
+    "default_algorithms",
+    "run_repetitions",
+    "run_on_instance",
+    "FIG1_SWEEPS",
+    "SweepResult",
+    "run_sweep",
+    "run_figure",
+    "format_sweep_table",
+    "format_utility_table",
+    "format_ranking",
+    "sweep_to_csv",
+    "TABLE2_ORDER",
+    "save_sweep",
+    "load_sweep",
+    "save_stats",
+    "load_stats",
+    "ShapeExpectation",
+    "FIG1_EXPECTATIONS",
+    "check_sweep_shape",
+    "check_figure",
+]

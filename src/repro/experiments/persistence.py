@@ -1,0 +1,117 @@
+"""JSON persistence for experiment results.
+
+Sweeps take minutes at paper-scale repetitions; persisting the raw
+statistics lets reports be re-rendered, diffed across code versions, and
+checked into EXPERIMENTS.md without re-running.  Formats are plain JSON
+with a version tag, so archived results stay readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import AlgorithmStats
+from repro.experiments.sweeps import SweepResult
+
+FORMAT_VERSION = 1
+
+
+def stats_to_dict(stats: AlgorithmStats) -> dict:
+    """Serialize one algorithm's repetition statistics."""
+    return {
+        "algorithm": stats.algorithm,
+        "utilities": list(stats.utilities),
+        "runtimes": list(stats.runtimes),
+        "pair_counts": list(stats.pair_counts),
+    }
+
+
+def stats_from_dict(payload: dict) -> AlgorithmStats:
+    """Inverse of :func:`stats_to_dict`."""
+    return AlgorithmStats(
+        algorithm=payload["algorithm"],
+        utilities=[float(u) for u in payload["utilities"]],
+        runtimes=[float(r) for r in payload["runtimes"]],
+        pair_counts=[int(p) for p in payload["pair_counts"]],
+    )
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Serialize a full sweep (all grid points, all algorithms)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "sweep",
+        "parameter": result.parameter,
+        "label": result.label,
+        "values": list(result.values),
+        "repetitions": result.repetitions,
+        "stats": [
+            {name: stats_to_dict(stat) for name, stat in point.items()}
+            for point in result.stats
+        ],
+    }
+
+
+def sweep_from_dict(payload: dict) -> SweepResult:
+    """Inverse of :func:`sweep_to_dict`.
+
+    Raises:
+        ValueError: on unknown format versions or non-sweep payloads.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version!r}")
+    if payload.get("kind") != "sweep":
+        raise ValueError(f"not a sweep payload (kind={payload.get('kind')!r})")
+    return SweepResult(
+        parameter=payload["parameter"],
+        label=payload["label"],
+        values=list(payload["values"]),
+        repetitions=payload["repetitions"],
+        stats=[
+            {name: stats_from_dict(stat) for name, stat in point.items()}
+            for point in payload["stats"]
+        ],
+    )
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> None:
+    """Write a sweep result as JSON."""
+    Path(path).write_text(json.dumps(sweep_to_dict(result), indent=1))
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Read a sweep result written by :func:`save_sweep`."""
+    return sweep_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_stats(
+    stats: dict[str, AlgorithmStats], path: str | Path, label: str = ""
+) -> None:
+    """Write fixed-instance statistics (e.g. Table II runs) as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "stats",
+        "label": label,
+        "stats": {name: stats_to_dict(stat) for name, stat in stats.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_stats(path: str | Path) -> dict[str, AlgorithmStats]:
+    """Read statistics written by :func:`save_stats`.
+
+    Raises:
+        ValueError: on unknown format versions or non-stats payloads.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != "stats":
+        raise ValueError(f"not a stats payload (kind={payload.get('kind')!r})")
+    return {
+        name: stats_from_dict(stat) for name, stat in payload["stats"].items()
+    }

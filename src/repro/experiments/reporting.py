@@ -1,0 +1,91 @@
+"""Plain-text reports in the shape of the paper's figures and tables."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.experiments.runner import AlgorithmStats
+from repro.experiments.sweeps import SweepResult
+
+#: Paper's Table II column order.
+TABLE2_ORDER = ["lp-packing", "random-u", "random-v", "gg"]
+
+
+def _format_value(value: float) -> str:
+    return f"{value:10.2f}"
+
+
+def format_sweep_table(result: SweepResult, title: str = "") -> str:
+    """Render a sweep as a fixed-width table: one row per algorithm.
+
+    Mirrors a Fig. 1 panel: the x-axis grid across the columns, one utility
+    series per algorithm.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"(reps={result.repetitions}, varying {result.label}, "
+        f"mean utility per grid point)"
+    )
+    header = f"{result.label:>12s}" + "".join(
+        f"{str(value):>11s}" for value in result.values
+    )
+    lines.append(header)
+    for algorithm in result.algorithms():
+        row = f"{algorithm:>12s}"
+        for value in result.series(algorithm):
+            row += " " + _format_value(value)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_utility_table(
+    stats: Mapping[str, AlgorithmStats],
+    title: str = "",
+    order: list[str] | None = None,
+) -> str:
+    """Render fixed-instance results in the paper's Table II layout."""
+    if order is None:
+        order = [name for name in TABLE2_ORDER if name in stats]
+        order += [name for name in stats if name not in order]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("Algorithm " + "".join(f"{name:>12s}" for name in order))
+    lines.append(
+        "Utility   "
+        + "".join(_format_value(stats[name].mean_utility) + " " for name in order)
+    )
+    lines.append(
+        "Std       "
+        + "".join(_format_value(stats[name].std_utility) + " " for name in order)
+    )
+    lines.append(
+        "Pairs     "
+        + "".join(f"{stats[name].mean_pairs:10.1f} " for name in order)
+    )
+    lines.append(
+        "Time (s)  "
+        + "".join(f"{stats[name].mean_runtime:10.3f} " for name in order)
+    )
+    return "\n".join(lines)
+
+
+def format_ranking(stats: Mapping[str, AlgorithmStats]) -> str:
+    """One line: algorithms by decreasing mean utility."""
+    ranked = sorted(stats.values(), key=lambda s: -s.mean_utility)
+    return " > ".join(f"{s.algorithm} ({s.mean_utility:.2f})" for s in ranked)
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """CSV export of a sweep (one row per algorithm/value pair)."""
+    lines = ["parameter,value,algorithm,mean_utility,std_utility,mean_runtime_s"]
+    for value, point in zip(result.values, result.stats):
+        for name, stat in point.items():
+            lines.append(
+                f"{result.parameter},{value},{name},"
+                f"{stat.mean_utility:.6f},{stat.std_utility:.6f},"
+                f"{stat.mean_runtime:.6f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Programmatic verification of the paper's qualitative claims.
+
+EXPERIMENTS.md argues that a faithful reproduction must match the paper's
+*shapes*: who wins, which way trends point, where GG catches up.  This
+module encodes each claim as data so it can be checked mechanically against
+any :class:`~repro.experiments.sweeps.SweepResult` — by the benchmark
+suite, by CI over archived results, or by a user re-running with different
+grids.
+
+    violations = check_figure("fig1b", sweep)
+    assert not violations, violations
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sweeps import SweepResult
+
+
+@dataclass(frozen=True)
+class ShapeExpectation:
+    """A paper claim about one sweep.
+
+    Attributes:
+        winner: algorithm expected to have the best mean utility at every
+            grid point (None to skip the check).
+        trend: expected direction of the winner's series end-to-end:
+            ``"increasing"``, ``"decreasing"`` or None.
+        winner_tolerance: multiplicative slack when comparing the winner to
+            others (runs with few repetitions are noisy).
+        step_slack: per-step slack for the monotonicity check; only the
+            end-to-end direction is strict.
+        closing_gap: name of an algorithm whose relative gap to the winner
+            must shrink from the first to the last grid point (the paper's
+            "GG has similar utility as LP-packing at |U| = 10000").
+    """
+
+    winner: str | None = "lp-packing"
+    trend: str | None = None
+    winner_tolerance: float = 0.98
+    step_slack: float = 0.05
+    closing_gap: str | None = None
+
+
+#: The paper's Fig. 1 claims, panel by panel.
+FIG1_EXPECTATIONS: dict[str, ShapeExpectation] = {
+    "fig1a": ShapeExpectation(trend="increasing"),
+    "fig1b": ShapeExpectation(trend="increasing", closing_gap="gg"),
+    "fig1c": ShapeExpectation(trend="decreasing"),
+    "fig1d": ShapeExpectation(trend="increasing"),
+    "fig1e": ShapeExpectation(trend="increasing"),
+    "fig1f": ShapeExpectation(trend="increasing"),
+}
+
+
+def check_sweep_shape(
+    sweep: SweepResult, expectation: ShapeExpectation
+) -> list[str]:
+    """All violations of ``expectation`` in ``sweep`` (empty = conforms)."""
+    violations: list[str] = []
+
+    if expectation.winner is not None:
+        if expectation.winner not in sweep.algorithms():
+            return [f"winner {expectation.winner!r} not present in sweep"]
+        winner_series = sweep.series(expectation.winner)
+        for index, value in enumerate(sweep.values):
+            best = winner_series[index]
+            for name in sweep.algorithms():
+                if name == expectation.winner:
+                    continue
+                other = sweep.stats[index][name].mean_utility
+                if best < other * expectation.winner_tolerance:
+                    violations.append(
+                        f"at {sweep.parameter}={value}: {expectation.winner} "
+                        f"({best:.2f}) loses to {name} ({other:.2f})"
+                    )
+
+    if expectation.trend is not None and expectation.winner is not None:
+        series = sweep.series(expectation.winner)
+        if len(series) >= 2:
+            increasing = expectation.trend == "increasing"
+            first, last = series[0], series[-1]
+            if increasing and not last > first:
+                violations.append(
+                    f"series not increasing end-to-end: {first:.2f} -> {last:.2f}"
+                )
+            if not increasing and not last < first:
+                violations.append(
+                    f"series not decreasing end-to-end: {first:.2f} -> {last:.2f}"
+                )
+            for a, b in zip(series, series[1:]):
+                if increasing and b < a * (1 - expectation.step_slack):
+                    violations.append(f"non-monotone step {a:.2f} -> {b:.2f}")
+                if not increasing and b > a * (1 + expectation.step_slack):
+                    violations.append(f"non-monotone step {a:.2f} -> {b:.2f}")
+
+    if expectation.closing_gap is not None and expectation.winner is not None:
+        chaser = expectation.closing_gap
+        if chaser not in sweep.algorithms():
+            violations.append(f"chaser {chaser!r} not present in sweep")
+        else:
+            winner_series = sweep.series(expectation.winner)
+            chaser_series = sweep.series(chaser)
+            if winner_series[0] > 0 and winner_series[-1] > 0:
+                gap_first = (winner_series[0] - chaser_series[0]) / winner_series[0]
+                gap_last = (winner_series[-1] - chaser_series[-1]) / winner_series[-1]
+                if not gap_last < gap_first:
+                    violations.append(
+                        f"{chaser} gap did not close: {gap_first:.3f} -> {gap_last:.3f}"
+                    )
+    return violations
+
+
+def check_figure(figure_id: str, sweep: SweepResult) -> list[str]:
+    """Check a sweep against the registered Fig. 1 expectation.
+
+    Raises:
+        KeyError: for unknown figure ids.
+    """
+    if figure_id not in FIG1_EXPECTATIONS:
+        raise KeyError(
+            f"unknown figure id {figure_id!r}; known: {sorted(FIG1_EXPECTATIONS)}"
+        )
+    return check_sweep_shape(sweep, FIG1_EXPECTATIONS[figure_id])

@@ -1,0 +1,228 @@
+"""Event-participant arrangements (Definition 4) and their utility (Definition 7).
+
+An :class:`Arrangement` is a mutable set of (event, user) pairs bound to an
+:class:`~repro.model.instance.IGEPAInstance`.  Mutations check the three
+feasibility constraints *incrementally* (O(c_u) per insert), so algorithm
+implementations can build arrangements pair by pair and rely on the model to
+reject violations:
+
+* **Bid** — users only join events they bid for;
+* **Capacity** — both ``c_v`` (attendees per event) and ``c_u`` (events per
+  user);
+* **Conflict** — no user attends two conflicting events.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.model.errors import ArrangementError
+from repro.model.instance import IGEPAInstance
+
+
+class Arrangement:
+    """A feasible (by construction) collection of event-user pairs.
+
+    Use ``add(..., check=False)`` only when the caller guarantees
+    feasibility; ``is_feasible()`` / ``violations()`` re-verify from scratch.
+    """
+
+    def __init__(self, instance: IGEPAInstance):
+        self.instance = instance
+        self._pairs: set[tuple[int, int]] = set()
+        self._events_of: dict[int, set[int]] = {}
+        self._users_of: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Content
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> set[tuple[int, int]]:
+        """All ``(event_id, user_id)`` pairs (copy)."""
+        return set(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self):
+        return iter(self._pairs)
+
+    def events_of(self, user_id: int) -> set[int]:
+        """Events currently assigned to the user."""
+        return set(self._events_of.get(user_id, ()))
+
+    def users_of(self, event_id: int) -> set[int]:
+        """Users currently assigned to the event."""
+        return set(self._users_of.get(event_id, ()))
+
+    def attendance(self, event_id: int) -> int:
+        """Number of users assigned to the event."""
+        return len(self._users_of.get(event_id, ()))
+
+    def load(self, user_id: int) -> int:
+        """Number of events assigned to the user."""
+        return len(self._events_of.get(user_id, ()))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def can_add(self, event_id: int, user_id: int) -> bool:
+        """Whether adding the pair keeps the arrangement feasible."""
+        try:
+            self._check_addition(event_id, user_id)
+        except ArrangementError:
+            return False
+        return True
+
+    def _check_addition(self, event_id: int, user_id: int) -> None:
+        instance = self.instance
+        if event_id not in instance.event_by_id:
+            raise ArrangementError(f"unknown event id {event_id}")
+        user = instance.user_by_id.get(user_id)
+        if user is None:
+            raise ArrangementError(f"unknown user id {user_id}")
+        if (event_id, user_id) in self._pairs:
+            raise ArrangementError(f"pair ({event_id}, {user_id}) already present")
+        if event_id not in user.bid_set:
+            raise ArrangementError(
+                f"bid constraint: user {user_id} did not bid for event {event_id}"
+            )
+        if self.attendance(event_id) >= instance.event_by_id[event_id].capacity:
+            raise ArrangementError(
+                f"capacity constraint: event {event_id} is full "
+                f"(c_v = {instance.event_by_id[event_id].capacity})"
+            )
+        if self.load(user_id) >= user.capacity:
+            raise ArrangementError(
+                f"capacity constraint: user {user_id} is at capacity "
+                f"(c_u = {user.capacity})"
+            )
+        for assigned in self._events_of.get(user_id, ()):
+            if instance.conflicts(event_id, assigned):
+                raise ArrangementError(
+                    f"conflict constraint: events {event_id} and {assigned} "
+                    f"conflict for user {user_id}"
+                )
+
+    def add(self, event_id: int, user_id: int, check: bool = True) -> None:
+        """Add a pair.
+
+        Raises:
+            ArrangementError: when ``check`` and the pair violates a
+                constraint of Definition 4 (or is already present).
+        """
+        if check:
+            self._check_addition(event_id, user_id)
+        self._pairs.add((event_id, user_id))
+        self._events_of.setdefault(user_id, set()).add(event_id)
+        self._users_of.setdefault(event_id, set()).add(user_id)
+
+    def remove(self, event_id: int, user_id: int) -> None:
+        """Remove a pair.
+
+        Raises:
+            ArrangementError: if the pair is not present.
+        """
+        if (event_id, user_id) not in self._pairs:
+            raise ArrangementError(f"pair ({event_id}, {user_id}) not in arrangement")
+        self._pairs.discard((event_id, user_id))
+        self._events_of[user_id].discard(event_id)
+        self._users_of[event_id].discard(user_id)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        instance: IGEPAInstance,
+        pairs: Iterable[tuple[int, int]],
+        check: bool = True,
+    ) -> "Arrangement":
+        """Build an arrangement from ``(event_id, user_id)`` pairs."""
+        arrangement = cls(instance)
+        for event_id, user_id in pairs:
+            arrangement.add(event_id, user_id, check=check)
+        return arrangement
+
+    # ------------------------------------------------------------------
+    # Feasibility audit (full re-check, independent of incremental guards)
+    # ------------------------------------------------------------------
+    def violations(self) -> list[str]:
+        """All constraint violations in the current pair set."""
+        instance = self.instance
+        problems: list[str] = []
+        for event_id, user_id in sorted(self._pairs):
+            user = instance.user_by_id.get(user_id)
+            if user is None:
+                problems.append(f"unknown user {user_id}")
+                continue
+            if event_id not in instance.event_by_id:
+                problems.append(f"unknown event {event_id}")
+                continue
+            if event_id not in user.bid_set:
+                problems.append(
+                    f"bid: user {user_id} assigned to non-bid event {event_id}"
+                )
+        for event_id, users in sorted(self._users_of.items()):
+            event = instance.event_by_id.get(event_id)
+            if event is not None and len(users) > event.capacity:
+                problems.append(
+                    f"capacity: event {event_id} has {len(users)} attendees, "
+                    f"c_v = {event.capacity}"
+                )
+        for user_id, events in sorted(self._events_of.items()):
+            user = instance.user_by_id.get(user_id)
+            if user is not None and len(events) > user.capacity:
+                problems.append(
+                    f"capacity: user {user_id} attends {len(events)} events, "
+                    f"c_u = {user.capacity}"
+                )
+            ordered = sorted(events)
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    if instance.conflicts(first, second):
+                        problems.append(
+                            f"conflict: user {user_id} attends conflicting events "
+                            f"{first} and {second}"
+                        )
+        return problems
+
+    def is_feasible(self) -> bool:
+        """Full feasibility audit (Definition 4)."""
+        return not self.violations()
+
+    # ------------------------------------------------------------------
+    # Utility (Definition 7)
+    # ------------------------------------------------------------------
+    def utility(self) -> float:
+        """``β·Σ SI + (1-β)·Σ D`` over all assigned pairs."""
+        return sum(
+            self.instance.weight(user_id, event_id)
+            for event_id, user_id in self._pairs
+        )
+
+    def interest_total(self) -> float:
+        """The Σ SI part of the utility (before the β weighting)."""
+        return sum(
+            self.instance.interest_of(event_id, user_id)
+            for event_id, user_id in self._pairs
+        )
+
+    def interaction_total(self) -> float:
+        """The Σ D part of the utility (before the 1-β weighting)."""
+        return sum(
+            self.instance.degree(user_id) for _, user_id in self._pairs
+        )
+
+    def copy(self) -> "Arrangement":
+        clone = Arrangement(self.instance)
+        for event_id, user_id in self._pairs:
+            clone.add(event_id, user_id, check=False)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Arrangement(pairs={len(self._pairs)}, "
+            f"utility={self.utility():.4f})"
+        )

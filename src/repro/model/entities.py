@@ -1,0 +1,132 @@
+"""Events and users (Definitions 1 and 2 of the paper).
+
+An event carries a capacity ``c_v``, an attribute vector ``l_v`` and —
+implicitly, via the users' bid lists — a bidder set ``N_v``.  A user carries
+a capacity ``c_u``, an attribute vector ``l_u`` and a bid set ``N_u``.
+
+The attribute vector is split into the pieces the paper says it contains:
+
+* ``attributes`` — the numeric part used by interest functions
+  (e.g. category weights);
+* ``start_time`` / ``duration`` — the temporal part used by time-overlap
+  conflict functions (optional; synthetic instances may instead use an
+  explicit conflict matrix);
+* ``categories`` — the tag part used by Jaccard-style interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_attribute_vector(values) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"attribute vector must be 1-D, got shape {array.shape}")
+    return array
+
+
+@dataclass(frozen=True)
+class Event:
+    """An EBSN event (Definition 1).
+
+    Attributes:
+        event_id: unique identifier within an instance.
+        capacity: maximum number of attendees ``c_v`` (>= 0).
+        attributes: numeric attribute vector ``l_v`` for interest computation.
+        start_time: optional start timestamp (time-overlap conflicts).
+        duration: optional duration (> 0 when ``start_time`` is set).
+        categories: optional category tags for set-based interest.
+    """
+
+    event_id: int
+    capacity: int
+    attributes: np.ndarray = field(default_factory=lambda: np.empty(0))
+    start_time: float | None = None
+    duration: float | None = None
+    categories: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"event {self.event_id}: capacity must be >= 0")
+        object.__setattr__(self, "attributes", _as_attribute_vector(self.attributes))
+        object.__setattr__(self, "categories", frozenset(self.categories))
+        if (self.start_time is None) != (self.duration is None):
+            raise ValueError(
+                f"event {self.event_id}: start_time and duration must be set together"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"event {self.event_id}: duration must be > 0")
+
+    @property
+    def end_time(self) -> float | None:
+        """Exclusive end timestamp, when temporal attributes are set."""
+        if self.start_time is None or self.duration is None:
+            return None
+        return self.start_time + self.duration
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_id == other.event_id
+            and self.capacity == other.capacity
+            and np.array_equal(self.attributes, other.attributes)
+            and self.start_time == other.start_time
+            and self.duration == other.duration
+            and self.categories == other.categories
+        )
+
+    def __hash__(self) -> int:
+        return hash(("event", self.event_id))
+
+
+@dataclass(frozen=True)
+class User:
+    """An EBSN user (Definition 2).
+
+    Attributes:
+        user_id: unique identifier within an instance.
+        capacity: maximum number of events ``c_u`` the user can attend (>= 0).
+        attributes: numeric attribute vector ``l_u`` for interest computation.
+        bids: the bid set ``N_u`` as event ids — the only events this user may
+            be assigned (Bid Constraint of Definition 4).
+        categories: optional category tags for set-based interest.
+    """
+
+    user_id: int
+    capacity: int
+    attributes: np.ndarray = field(default_factory=lambda: np.empty(0))
+    bids: tuple[int, ...] = ()
+    categories: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"user {self.user_id}: capacity must be >= 0")
+        object.__setattr__(self, "attributes", _as_attribute_vector(self.attributes))
+        object.__setattr__(self, "categories", frozenset(self.categories))
+        bids = tuple(int(b) for b in self.bids)
+        if len(set(bids)) != len(bids):
+            raise ValueError(f"user {self.user_id}: duplicate bids {bids}")
+        object.__setattr__(self, "bids", bids)
+
+    @property
+    def bid_set(self) -> frozenset[int]:
+        """``N_u`` as a set for membership tests."""
+        return frozenset(self.bids)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, User):
+            return NotImplemented
+        return (
+            self.user_id == other.user_id
+            and self.capacity == other.capacity
+            and np.array_equal(self.attributes, other.attributes)
+            and self.bids == other.bids
+            and self.categories == other.categories
+        )
+
+    def __hash__(self) -> int:
+        return hash(("user", self.user_id))

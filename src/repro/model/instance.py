@@ -1,0 +1,367 @@
+"""The IGEPA problem instance (Definition 8).
+
+:class:`IGEPAInstance` bundles everything the problem statement takes as
+input — events ``V``, users ``U``, the conflict function σ, the interest
+function SI, the social network ``G`` and the balance parameter β — and
+provides the derived quantities every algorithm needs:
+
+* ``D(G, u)`` — degree of potential interaction per user (Definition 6),
+* ``w(u, v) = β·SI(l_v, l_u) + (1-β)·D(G, u)`` — the pair weight from the
+  benchmark LP,
+* the conflict relation restricted to each user's bids,
+* bidder sets ``N_v``.
+
+Instances are validated on construction and immutable by convention: all
+derived quantities are cached.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.conflicts import ConflictFunction, conflict_from_dict
+from repro.model.entities import Event, User
+from repro.model.errors import InstanceValidationError
+from repro.model.interest import InterestFunction, interest_from_dict
+from repro.social.graph import Graph
+from repro.social.metrics import degree_of_potential_interaction
+
+
+class IGEPAInstance:
+    """All inputs of the IGEPA problem, validated and cached.
+
+    Args:
+        events: the event set ``V``.
+        users: the user set ``U`` (bids reference event ids).
+        conflict: the conflict function σ.
+        interest: the interest function SI.
+        social: the social network ``G`` over user ids; users absent from the
+            graph are treated as isolated (degree 0).
+        beta: balance between interest and interaction terms, in ``[0, 1]``.
+        name: optional label used in reports.
+        degrees: optional precomputed ``D(G, u)`` values keyed by user id,
+            overriding graph lookups.  Large synthetic workloads sample
+            degrees from the exact Binomial marginal instead of materializing
+            a multi-million-edge graph (see DESIGN.md §5); the utility only
+            depends on degrees, so the substitution is lossless.
+
+    Raises:
+        InstanceValidationError: on duplicate ids, dangling bids, an invalid
+            ``beta``, social-network nodes that are not users, or degree
+            overrides outside ``[0, 1]``.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        users: Sequence[User],
+        conflict: ConflictFunction,
+        interest: InterestFunction,
+        social: Graph,
+        beta: float = 0.5,
+        name: str = "",
+        degrees: dict[int, float] | None = None,
+    ):
+        self.events = list(events)
+        self.users = list(users)
+        self.conflict = conflict
+        self.interest = interest
+        self.social = social
+        self.beta = float(beta)
+        self.name = name
+        self.degrees_override = dict(degrees) if degrees is not None else None
+
+        self._validate()
+
+        self.event_by_id: dict[int, Event] = {e.event_id: e for e in self.events}
+        self.user_by_id: dict[int, User] = {u.user_id: u for u in self.users}
+        self._event_index: dict[int, int] = {
+            e.event_id: i for i, e in enumerate(self.events)
+        }
+        self._degree_cache: dict[int, float] = {}
+        self._weight_cache: dict[tuple[int, int], float] = {}
+        self._interest_cache: dict[tuple[int, int], float] = {}
+        self._conflict_cache: dict[frozenset[int], bool] = {}
+        self._bidders: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        event_ids = [e.event_id for e in self.events]
+        if len(set(event_ids)) != len(event_ids):
+            raise InstanceValidationError("duplicate event ids")
+        user_ids = [u.user_id for u in self.users]
+        if len(set(user_ids)) != len(user_ids):
+            raise InstanceValidationError("duplicate user ids")
+        if not 0.0 <= self.beta <= 1.0:
+            raise InstanceValidationError(f"beta must be in [0, 1], got {self.beta}")
+        known_events = set(event_ids)
+        for user in self.users:
+            dangling = set(user.bids) - known_events
+            if dangling:
+                raise InstanceValidationError(
+                    f"user {user.user_id} bids for unknown events {sorted(dangling)}"
+                )
+        known_users = set(user_ids)
+        alien = set(self.social.nodes()) - known_users
+        if alien:
+            raise InstanceValidationError(
+                f"social network contains non-user nodes {sorted(alien)[:5]}"
+            )
+        if self.degrees_override is not None:
+            alien_degrees = set(self.degrees_override) - known_users
+            if alien_degrees:
+                raise InstanceValidationError(
+                    f"degree overrides for non-users {sorted(alien_degrees)[:5]}"
+                )
+            bad = {
+                user_id: value
+                for user_id, value in self.degrees_override.items()
+                if not 0.0 <= value <= 1.0
+            }
+            if bad:
+                raise InstanceValidationError(
+                    f"degree overrides outside [0, 1]: {dict(list(bad.items())[:3])}"
+                )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    # ------------------------------------------------------------------
+    # Derived quantities (cached)
+    # ------------------------------------------------------------------
+    def degree(self, user_id: int) -> float:
+        """``D(G, u)`` (Definition 6) for the given user.
+
+        Users not present in the social graph are isolated: degree 0.  The
+        normalisation is by ``|U| - 1`` where ``U`` is the *user set of the
+        instance* (the paper's social network is over all users).
+        """
+        cached = self._degree_cache.get(user_id)
+        if cached is not None:
+            return cached
+        if user_id not in self.user_by_id:
+            raise KeyError(f"unknown user id {user_id}")
+        if self.degrees_override is not None:
+            value = self.degrees_override.get(user_id, 0.0)
+            self._degree_cache[user_id] = value
+            return value
+        if self.num_users <= 1:
+            value = 0.0
+        elif not self.social.has_node(user_id):
+            value = 0.0
+        else:
+            value = self.social.degree(user_id) / (self.num_users - 1)
+        self._degree_cache[user_id] = value
+        return value
+
+    def interest_of(self, event_id: int, user_id: int) -> float:
+        """``SI(l_v, l_u)``, cached per pair.
+
+        Raises:
+            InstanceValidationError: if the interest function returns a value
+                outside ``[0, 1]``.
+        """
+        key = (event_id, user_id)
+        cached = self._interest_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.interest.interest(
+            self.event_by_id[event_id], self.user_by_id[user_id]
+        )
+        if not 0.0 <= value <= 1.0:
+            raise InstanceValidationError(
+                f"interest function returned {value} for event {event_id}, "
+                f"user {user_id}; Definition 5 requires [0, 1]"
+            )
+        self._interest_cache[key] = value
+        return value
+
+    def weight(self, user_id: int, event_id: int) -> float:
+        """``w(u, v) = β·SI(l_v, l_u) + (1 - β)·D(G, u)`` from the benchmark LP."""
+        key = (user_id, event_id)
+        cached = self._weight_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.beta * self.interest_of(event_id, user_id) + (
+            1.0 - self.beta
+        ) * self.degree(user_id)
+        self._weight_cache[key] = value
+        return value
+
+    def conflicts(self, event_id: int, other_id: int) -> bool:
+        """σ between two events by id, cached per unordered pair."""
+        if event_id == other_id:
+            return False
+        key = frozenset((event_id, other_id))
+        cached = self._conflict_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.conflict.conflicts(
+            self.event_by_id[event_id], self.event_by_id[other_id]
+        )
+        self._conflict_cache[key] = value
+        return value
+
+    def bidders(self, event_id: int) -> list[int]:
+        """``N_v``: ids of users who bid for the event."""
+        if self._bidders is None:
+            self._bidders = {e.event_id: [] for e in self.events}
+            for user in self.users:
+                for bid in user.bids:
+                    self._bidders[bid].append(user.user_id)
+        if event_id not in self._bidders:
+            raise KeyError(f"unknown event id {event_id}")
+        return list(self._bidders[event_id])
+
+    def bid_conflict_edges(self, user: User) -> list[tuple[int, int]]:
+        """Conflicting pairs among the user's bids (the graph whose
+        independent sets are the admissible event sets)."""
+        bids = user.bids
+        edges = []
+        for i, first in enumerate(bids):
+            for second in bids[i + 1 :]:
+                if self.conflicts(first, second):
+                    edges.append((first, second))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        """Summary statistics used by reports and sanity tests."""
+        total_bids = sum(len(u.bids) for u in self.users)
+        n = self.num_events
+        conflict_pairs = 0
+        if n >= 2:
+            conflict_pairs = sum(
+                1
+                for i in range(n)
+                for j in range(i + 1, n)
+                if self.conflicts(self.events[i].event_id, self.events[j].event_id)
+            )
+        return {
+            "name": self.name,
+            "num_events": self.num_events,
+            "num_users": self.num_users,
+            "total_bids": total_bids,
+            "mean_bids_per_user": total_bids / self.num_users if self.users else 0.0,
+            "conflict_density": (
+                conflict_pairs / (n * (n - 1) / 2) if n >= 2 else 0.0
+            ),
+            "social_edges": self.social.number_of_edges,
+            "beta": self.beta,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (requires serializable σ and SI)."""
+        return {
+            "name": self.name,
+            "beta": self.beta,
+            "events": [
+                {
+                    "event_id": e.event_id,
+                    "capacity": e.capacity,
+                    "attributes": e.attributes.tolist(),
+                    "start_time": e.start_time,
+                    "duration": e.duration,
+                    "categories": sorted(e.categories),
+                }
+                for e in self.events
+            ],
+            "users": [
+                {
+                    "user_id": u.user_id,
+                    "capacity": u.capacity,
+                    "attributes": u.attributes.tolist(),
+                    "bids": list(u.bids),
+                    "categories": sorted(u.categories),
+                }
+                for u in self.users
+            ],
+            "conflict": self.conflict.to_dict(),
+            "interest": self.interest.to_dict(),
+            "social_edges": [[u, v] for u, v in sorted(
+                tuple(sorted(edge)) for edge in self.social.edges()
+            )],
+            "degrees": (
+                None
+                if self.degrees_override is None
+                else {str(k): v for k, v in sorted(self.degrees_override.items())}
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IGEPAInstance":
+        """Inverse of :meth:`to_dict`."""
+        events = [
+            Event(
+                event_id=e["event_id"],
+                capacity=e["capacity"],
+                attributes=np.asarray(e["attributes"], dtype=float),
+                start_time=e["start_time"],
+                duration=e["duration"],
+                categories=frozenset(e["categories"]),
+            )
+            for e in payload["events"]
+        ]
+        users = [
+            User(
+                user_id=u["user_id"],
+                capacity=u["capacity"],
+                attributes=np.asarray(u["attributes"], dtype=float),
+                bids=tuple(u["bids"]),
+                categories=frozenset(u["categories"]),
+            )
+            for u in payload["users"]
+        ]
+        social = Graph(nodes=[u.user_id for u in users])
+        for u, v in payload["social_edges"]:
+            social.add_edge(u, v)
+        raw_degrees = payload.get("degrees")
+        degrees = (
+            None
+            if raw_degrees is None
+            else {int(k): float(v) for k, v in raw_degrees.items()}
+        )
+        return cls(
+            events=events,
+            users=users,
+            conflict=conflict_from_dict(payload["conflict"]),
+            interest=interest_from_dict(payload["interest"]),
+            social=social,
+            beta=payload["beta"],
+            name=payload.get("name", ""),
+            degrees=degrees,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the instance as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "IGEPAInstance":
+        """Read an instance written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def __repr__(self) -> str:
+        return (
+            f"IGEPAInstance({self.name!r}, events={self.num_events}, "
+            f"users={self.num_users}, beta={self.beta})"
+        )

@@ -1,0 +1,46 @@
+"""Social-network substrate.
+
+The IGEPA utility rewards socially active participants via the *degree of
+potential interaction* ``D(G, u)`` (Definition 6 of the paper), computed over a
+social network ``G = (U, E)``.  This subpackage provides the graph data
+structure, seeded random-graph generators used by the synthetic workloads, and
+the network metrics the paper relies on.
+"""
+
+from repro.social.graph import Graph
+from repro.social.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    graph_from_edges,
+    watts_strogatz_graph,
+)
+from repro.social.metrics import (
+    average_degree,
+    clustering_coefficient,
+    connected_components,
+    degree_centrality,
+    degree_histogram,
+    degree_of_potential_interaction,
+    density,
+    interaction_vector,
+)
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "complete_graph",
+    "empty_graph",
+    "graph_from_edges",
+    "degree_of_potential_interaction",
+    "interaction_vector",
+    "degree_centrality",
+    "clustering_coefficient",
+    "connected_components",
+    "density",
+    "average_degree",
+    "degree_histogram",
+]

@@ -1,0 +1,181 @@
+"""A minimal undirected simple-graph data structure.
+
+The social network in IGEPA only needs neighbourhood queries and degrees, so
+the implementation keeps an adjacency mapping of node -> set of neighbours.
+Nodes may be any hashable value; the library uses integer user ids.
+
+Self-loops and parallel edges are rejected: Definition 6 of the paper counts
+*distinct* social ties ``(u, u')`` with ``u' != u``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+Node = Hashable
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets.
+
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(2)
+    2
+    """
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[tuple[Node, Node]] = ()):
+        self._adj: dict[Node, set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not present (idempotent)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes`` (idempotent)."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed.
+
+        Raises:
+            ValueError: if ``u == v`` (self-loops are not social ties).
+        """
+        if u == v:
+            raise ValueError(f"self-loop rejected: ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``(u, v)``.
+
+        Raises:
+            KeyError: if the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge.
+
+        Raises:
+            KeyError: if the node is not present.
+        """
+        neighbors = self._adj.pop(node)  # raises KeyError when absent
+        for other in neighbors:
+            self._adj[other].discard(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """Return a *copy* of the neighbour set of ``node``.
+
+        Raises:
+            KeyError: if the node is not present.
+        """
+        return set(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Number of distinct neighbours of ``node``."""
+        return len(self._adj[node])
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        """Each undirected edge exactly once."""
+        seen: set[frozenset[Node]] = set()
+        result: list[tuple[Node, Node]] = []
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((u, v))
+        return result
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def number_of_edges(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adj.values()) // 2
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(nodes={self.number_of_nodes}, edges={self.number_of_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """An independent deep copy of the graph."""
+        clone = Graph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``nodes`` (unknown nodes are ignored)."""
+        keep = {node for node in nodes if node in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for other in self._adj[node] & keep:
+                sub.add_edge(node, other)
+        return sub
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (requires networkx)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a :class:`networkx.Graph` (ignores attributes)."""
+        return cls(nodes=g.nodes(), edges=g.edges())

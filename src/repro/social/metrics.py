@@ -1,0 +1,119 @@
+"""Network metrics used by the IGEPA utility and the analysis tooling.
+
+The central quantity is Definition 6 of the paper::
+
+    D(G, u) = |{u' : (u, u') in E}| / (|U| - 1)        for |U| > 1
+
+i.e. the degree of ``u`` normalised by the maximum possible degree — which is
+exactly degree centrality [Freeman 1978, ref. 9 in the paper].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.social.graph import Graph, Node
+
+
+def degree_of_potential_interaction(graph: Graph, node: Node) -> float:
+    """Definition 6: normalised degree of ``node`` in the social network.
+
+    Returns 0.0 when the graph has fewer than two nodes (the paper's formula
+    is stated for ``|U| > 1``; a 1-user network offers no interaction).
+
+    Raises:
+        KeyError: if ``node`` is not in ``graph``.
+    """
+    n = graph.number_of_nodes
+    degree = graph.degree(node)  # raises KeyError for unknown nodes
+    if n <= 1:
+        return 0.0
+    return degree / (n - 1)
+
+
+def interaction_vector(graph: Graph, nodes: list[Node] | None = None) -> np.ndarray:
+    """``D(G, u)`` for every node, as a float array aligned with ``nodes``.
+
+    The IGEPA weight ``w(u, v)`` needs ``D(G, u)`` for every user; computing
+    the whole vector once avoids ``|M|`` repeated degree lookups.
+
+    Args:
+        graph: the social network.
+        nodes: ordering of the output (defaults to ``graph.nodes()``).
+    """
+    ordering = graph.nodes() if nodes is None else nodes
+    return np.array(
+        [degree_of_potential_interaction(graph, node) for node in ordering],
+        dtype=float,
+    )
+
+
+def degree_centrality(graph: Graph) -> dict[Node, float]:
+    """Degree centrality of every node (same normalisation as Definition 6)."""
+    return {
+        node: degree_of_potential_interaction(graph, node) for node in graph.nodes()
+    }
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean degree; 0.0 for the empty graph."""
+    n = graph.number_of_nodes
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.number_of_edges / n
+
+
+def density(graph: Graph) -> float:
+    """Fraction of possible edges present; 0.0 for graphs with < 2 nodes."""
+    n = graph.number_of_nodes
+    if n < 2:
+        return 0.0
+    return graph.number_of_edges / (n * (n - 1) / 2)
+
+
+def clustering_coefficient(graph: Graph, node: Node) -> float:
+    """Local clustering coefficient: fraction of neighbour pairs that are tied."""
+    neighbors = graph.neighbors(node)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_list = list(neighbors)
+    for i, u in enumerate(neighbor_list):
+        for v in neighbor_list[i + 1 :]:
+            if graph.has_edge(u, v):
+                links += 1
+    return links / (k * (k - 1) / 2)
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Connected components via BFS, largest first."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map degree -> number of nodes with that degree."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        d = graph.degree(node)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram

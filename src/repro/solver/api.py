@@ -1,0 +1,98 @@
+"""Unified solve entry points with backend selection and presolve.
+
+``solve_lp(lp, backend="auto")`` is what the rest of the library calls.
+Backends:
+
+* ``"simplex"`` — from-scratch two-phase tableau simplex.
+* ``"revised-simplex"`` — from-scratch revised simplex (wide-LP friendly).
+* ``"scipy"`` — HiGHS via ``scipy.optimize.linprog``.
+* ``"auto"`` — scipy when importable, otherwise revised simplex.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.solver.presolve import PresolveStatus, presolve as run_presolve
+from repro.solver.problem import LinearProgram
+from repro.solver.result import LPSolution, SolveStatus
+from repro.solver.revised_simplex import RevisedSimplexOptions, solve_lp_revised_simplex
+from repro.solver.scipy_backend import scipy_available, solve_lp_scipy
+from repro.solver.simplex import SimplexOptions, solve_lp_simplex
+
+BACKENDS = ("auto", "simplex", "revised-simplex", "scipy")
+
+
+def resolve_backend(backend: str) -> str:
+    """Turn ``"auto"`` into a concrete backend name.
+
+    Raises:
+        ValueError: for unknown backend names.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "auto":
+        return "scipy" if scipy_available() else "revised-simplex"
+    return backend
+
+
+def _solver_for(backend: str) -> Callable[[LinearProgram], LPSolution]:
+    name = resolve_backend(backend)
+    if name == "simplex":
+        return lambda lp: solve_lp_simplex(lp, SimplexOptions())
+    if name == "revised-simplex":
+        return lambda lp: solve_lp_revised_simplex(lp, RevisedSimplexOptions())
+    return solve_lp_scipy
+
+
+def solve_lp(
+    lp: LinearProgram,
+    backend: str = "auto",
+    *,
+    presolve: bool = True,
+) -> LPSolution:
+    """Solve a linear program (the relaxation, if integer markers are present).
+
+    Args:
+        lp: the program to solve (never mutated).
+        backend: one of :data:`BACKENDS`.
+        presolve: run the reduction passes first (recommended; fixed
+            variables and singleton rows are common in branch-and-bound
+            subproblems).
+
+    Returns:
+        An :class:`LPSolution` whose ``x`` is aligned with ``lp``'s variables
+        and whose objective is in ``lp``'s own sense.
+    """
+    solver = _solver_for(backend)
+    if not presolve:
+        return solver(lp)
+
+    reduction = run_presolve(lp)
+    if reduction.status is PresolveStatus.INFEASIBLE:
+        return LPSolution(SolveStatus.INFEASIBLE, backend="presolve")
+    reduced = reduction.lp
+    assert reduced is not None
+    if reduced.num_variables == 0:
+        # Everything was fixed; feasibility of the remaining empty program was
+        # already verified by presolve.
+        return LPSolution(
+            SolveStatus.OPTIMAL,
+            objective_value=reduction.objective_offset,
+            x=reduction.recover_x(np.empty(0), lp.num_variables),
+            backend="presolve",
+        )
+    solution = solver(reduced)
+    if not solution.is_optimal:
+        return LPSolution(
+            solution.status, iterations=solution.iterations, backend=solution.backend
+        )
+    return LPSolution(
+        SolveStatus.OPTIMAL,
+        objective_value=solution.objective_value + reduction.objective_offset,
+        x=reduction.recover_x(solution.x, lp.num_variables),
+        iterations=solution.iterations,
+        backend=solution.backend,
+    )

@@ -1,0 +1,265 @@
+"""CPLEX-LP-format writer and reader for :class:`LinearProgram`.
+
+The LP text format is the lingua franca for exchanging small programs with
+external solvers (Gurobi, CPLEX, HiGHS, glpsol) and for eyeballing a
+formulation while debugging.  Supported subset: objective sense, linear
+constraints (``<= / >= / =``), bounds (including ``free``), and a
+``General`` section for integer variables — exactly what
+:class:`LinearProgram` models.
+
+Round trip: ``parse_lp_format(write_lp_format(lp))`` reconstructs an
+equivalent program (same optimum, same variable names/order).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.solver.problem import LinearProgram, Sense
+
+_SENSE_TO_TEXT = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}
+_TEXT_TO_SENSE = {"<=": Sense.LE, ">=": Sense.GE, "=": Sense.EQ, "=<": Sense.LE, "=>": Sense.GE}
+
+#: LP-format identifiers must avoid operator characters; this library's
+#: auto-generated names (``x[10,1,3]``) are sanitized on write.
+_NAME_SANITIZER = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_SANITIZER.sub("_", name)
+
+
+def _format_terms(coefficients: dict[int, float], names: list[str]) -> str:
+    parts: list[str] = []
+    for index in sorted(coefficients):
+        coeff = coefficients[index]
+        sign = "-" if coeff < 0 else "+"
+        magnitude = abs(coeff)
+        if parts:
+            parts.append(f"{sign} {magnitude:.12g} {names[index]}")
+        else:
+            lead = "- " if sign == "-" else ""
+            parts.append(f"{lead}{magnitude:.12g} {names[index]}")
+    return " ".join(parts) if parts else "0"
+
+
+def write_lp_format(lp: LinearProgram) -> str:
+    """Serialize ``lp`` to CPLEX LP text."""
+    names = [_sanitize(v.name) for v in lp.variables]
+    if len(set(names)) != len(names):
+        # Sanitation collisions: fall back to positional names.
+        names = [f"x{i}" for i in range(len(names))]
+
+    lines: list[str] = []
+    lines.append("Maximize" if lp.maximize else "Minimize")
+    objective = {
+        v.index: v.objective for v in lp.variables if v.objective != 0.0
+    }
+    lines.append(f" obj: {_format_terms(objective, names)}")
+    lines.append("Subject To")
+    for i, constraint in enumerate(lp.constraints):
+        row_name = _sanitize(constraint.name) or f"c{i}"
+        lines.append(
+            f" {row_name}: {_format_terms(constraint.coefficients, names)} "
+            f"{_SENSE_TO_TEXT[constraint.sense]} {constraint.rhs:.12g}"
+        )
+    lines.append("Bounds")
+    for variable, name in zip(lp.variables, names):
+        lower, upper = variable.lower, variable.upper
+        if lower == 0.0 and upper == math.inf:
+            continue  # LP-format default
+        if lower == -math.inf and upper == math.inf:
+            lines.append(f" {name} free")
+        elif upper == math.inf:
+            lines.append(f" {lower:.12g} <= {name}")
+        elif lower == -math.inf:
+            lines.append(f" -inf <= {name} <= {upper:.12g}")
+        else:
+            lines.append(f" {lower:.12g} <= {name} <= {upper:.12g}")
+    integers = [name for variable, name in zip(lp.variables, names) if variable.is_integer]
+    if integers:
+        lines.append("General")
+        lines.append(" " + " ".join(integers))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+class LPFormatError(ValueError):
+    """The LP text could not be parsed."""
+
+
+_TERM = re.compile(r"([+-]?\s*\d*\.?\d*(?:[eE][+-]?\d+)?)\s*([A-Za-z_][A-Za-z0-9_.]*)")
+_RELATION = re.compile(r"(<=|>=|=<|=>|=)")
+
+
+def _parse_terms(text: str) -> dict[str, float]:
+    """Parse ``3 x + 2.5 y - z`` into name -> coefficient."""
+    terms: dict[str, float] = {}
+    for raw_coeff, name in _TERM.findall(text):
+        raw = raw_coeff.replace(" ", "")
+        if raw in ("", "+"):
+            coeff = 1.0
+        elif raw == "-":
+            coeff = -1.0
+        else:
+            coeff = float(raw)
+        terms[name] = terms.get(name, 0.0) + coeff
+    return terms
+
+
+def parse_lp_format(text: str) -> LinearProgram:
+    """Parse LP text written by :func:`write_lp_format`.
+
+    Raises:
+        LPFormatError: on unknown sections or malformed rows.
+    """
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line and not line.startswith(("\\", "//"))]
+    if not lines:
+        raise LPFormatError("empty LP text")
+
+    section = None
+    maximize = True
+    objective_text: list[str] = []
+    constraint_rows: list[tuple[str, str]] = []
+    bound_rows: list[str] = []
+    integer_names: set[str] = set()
+
+    section_map = {
+        "maximize": "objective",
+        "maximise": "objective",
+        "max": "objective",
+        "minimize": "objective",
+        "minimise": "objective",
+        "min": "objective",
+        "subject to": "constraints",
+        "such that": "constraints",
+        "st": "constraints",
+        "s.t.": "constraints",
+        "bounds": "bounds",
+        "general": "general",
+        "generals": "general",
+        "integer": "general",
+        "binary": "binary",
+        "end": "end",
+    }
+
+    for line in lines:
+        lowered = line.lower()
+        if lowered in section_map:
+            section = section_map[lowered]
+            if lowered in ("minimize", "minimise", "min"):
+                maximize = False
+            if section == "end":
+                break
+            continue
+        if section == "objective":
+            objective_text.append(line)
+        elif section == "constraints":
+            if ":" in line:
+                name, _, body = line.partition(":")
+                constraint_rows.append((name.strip(), body.strip()))
+            else:
+                constraint_rows.append((f"c{len(constraint_rows)}", line))
+        elif section == "bounds":
+            bound_rows.append(line)
+        elif section in ("general", "binary"):
+            integer_names.update(line.split())
+        else:
+            raise LPFormatError(f"content outside any section: {line!r}")
+
+    objective_body = " ".join(objective_text)
+    if ":" in objective_body:
+        objective_body = objective_body.partition(":")[2]
+    objective_terms = _parse_terms(objective_body)
+
+    # Collect every variable name in order of first appearance.
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def note(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+
+    for name in objective_terms:
+        note(name)
+    parsed_rows: list[tuple[str, dict[str, float], Sense, float]] = []
+    for row_name, body in constraint_rows:
+        match = _RELATION.search(body)
+        if not match:
+            raise LPFormatError(f"constraint without relation: {body!r}")
+        lhs, rhs = body[: match.start()], body[match.end() :]
+        sense = _TEXT_TO_SENSE[match.group(1)]
+        terms = _parse_terms(lhs)
+        for name in terms:
+            note(name)
+        try:
+            rhs_value = float(rhs)
+        except ValueError as error:
+            raise LPFormatError(f"non-numeric rhs in {body!r}") from error
+        parsed_rows.append((row_name, terms, sense, rhs_value))
+
+    bounds: dict[str, tuple[float, float]] = {}
+    for line in bound_rows:
+        if line.lower().endswith(" free"):
+            name = line[: -len(" free")].strip()
+            note(name)
+            bounds[name] = (-math.inf, math.inf)
+            continue
+        pieces = _RELATION.split(line)
+        if len(pieces) == 5:  # lower <= name <= upper
+            lower, name, upper = pieces[0].strip(), pieces[2].strip(), pieces[4].strip()
+            note(name)
+            bounds[name] = (
+                -math.inf if lower in ("-inf", "-infinity") else float(lower),
+                math.inf if upper in ("inf", "+inf", "infinity") else float(upper),
+            )
+        elif len(pieces) == 3:  # lower <= name   (or name >= lower etc.)
+            left, relation, right = pieces[0].strip(), pieces[1], pieces[2].strip()
+            sense = _TEXT_TO_SENSE[relation]
+            if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.]*", left):
+                name, value = left, float(right)
+                note(name)
+                low, high = bounds.get(name, (0.0, math.inf))
+                if sense is Sense.LE:
+                    bounds[name] = (low, value)
+                elif sense is Sense.GE:
+                    bounds[name] = (value, high)
+                else:
+                    bounds[name] = (value, value)
+            else:
+                value, name = float(left), right
+                note(name)
+                low, high = bounds.get(name, (0.0, math.inf))
+                if sense is Sense.LE:  # value <= name
+                    bounds[name] = (value, high)
+                elif sense is Sense.GE:
+                    bounds[name] = (low, value)
+                else:
+                    bounds[name] = (value, value)
+        else:
+            raise LPFormatError(f"unparseable bound line: {line!r}")
+    for name in integer_names:
+        note(name)
+
+    lp = LinearProgram(maximize=maximize)
+    index_of: dict[str, int] = {}
+    for name in order:
+        lower, upper = bounds.get(name, (0.0, math.inf))
+        index_of[name] = lp.add_variable(
+            name,
+            lower=lower,
+            upper=upper,
+            objective=objective_terms.get(name, 0.0),
+            is_integer=name in integer_names,
+        )
+    for row_name, terms, sense, rhs_value in parsed_rows:
+        lp.add_constraint(
+            {index_of[name]: coeff for name, coeff in terms.items()},
+            sense,
+            rhs_value,
+            name=row_name,
+        )
+    return lp

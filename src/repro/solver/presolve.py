@@ -1,0 +1,185 @@
+"""LP presolve: cheap reductions applied before any backend runs.
+
+Implemented reductions (applied to a fixed point):
+
+1. **Bound sanity** — a variable with ``lower > upper`` makes the program
+   infeasible immediately.
+2. **Fixed variables** (``lower == upper``) are substituted into every
+   constraint and the objective.
+3. **Empty constraints** (no nonzero coefficients) are checked against their
+   right-hand side and dropped, or declare infeasibility.
+4. **Singleton rows** (one nonzero coefficient) are converted into variable
+   bounds, possibly fixing the variable and triggering another pass.
+
+The result keeps a recovery recipe so a solution of the reduced program can
+be lifted back to the original variable space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.solver.problem import Constraint, LinearProgram, Sense, Variable
+
+_TOL = 1e-9
+
+
+class PresolveStatus(Enum):
+    REDUCED = "reduced"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of :func:`presolve`.
+
+    Attributes:
+        status: ``REDUCED`` (use ``lp``) or ``INFEASIBLE``.
+        lp: the reduced program (None when infeasible).
+        fixed_values: original variable index -> value pinned by presolve.
+        kept_variables: original indices of the reduced program's variables,
+            in order.
+        objective_offset: objective contribution of the fixed variables.
+        infeasibility_reason: human-readable explanation when infeasible.
+    """
+
+    status: PresolveStatus
+    lp: LinearProgram | None = None
+    fixed_values: dict[int, float] = field(default_factory=dict)
+    kept_variables: list[int] = field(default_factory=list)
+    objective_offset: float = 0.0
+    infeasibility_reason: str = ""
+
+    def recover_x(self, reduced_x: np.ndarray, num_original: int) -> np.ndarray:
+        """Lift a reduced-space solution back to the original variables."""
+        x = np.zeros(num_original, dtype=float)
+        for original_index, value in self.fixed_values.items():
+            x[original_index] = value
+        for reduced_index, original_index in enumerate(self.kept_variables):
+            x[original_index] = reduced_x[reduced_index]
+        return x
+
+
+def _tighten(
+    lower: float, upper: float, sense: Sense, bound: float
+) -> tuple[float, float]:
+    """Apply a singleton-row bound ``x sense bound`` to ``[lower, upper]``."""
+    if sense is Sense.LE:
+        upper = min(upper, bound)
+    elif sense is Sense.GE:
+        lower = max(lower, bound)
+    else:
+        lower = max(lower, bound)
+        upper = min(upper, bound)
+    return lower, upper
+
+
+def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
+    """Run the reduction passes on a copy of ``lp``.
+
+    The input program is never mutated.  ``max_passes`` bounds the
+    fix-substitute-tighten loop (each pass either fixes at least one more
+    variable or is the last).
+    """
+    bounds = [(v.lower, v.upper) for v in lp.variables]
+    fixed: dict[int, float] = {}
+    active_rows: list[Constraint] = [
+        Constraint(c.name, dict(c.coefficients), c.sense, c.rhs)
+        for c in lp.constraints
+    ]
+
+    for _ in range(max_passes):
+        changed = False
+
+        # Pass A: bound sanity and newly fixed variables.
+        for index, (lower, upper) in enumerate(bounds):
+            if index in fixed:
+                continue
+            if lower > upper + _TOL:
+                return PresolveResult(
+                    PresolveStatus.INFEASIBLE,
+                    infeasibility_reason=(
+                        f"variable {lp.variables[index].name!r} has empty domain "
+                        f"[{lower}, {upper}]"
+                    ),
+                )
+            if math.isfinite(lower) and abs(upper - lower) <= _TOL:
+                fixed[index] = lower
+                changed = True
+
+        # Pass B: substitute fixed variables into rows.
+        for row in active_rows:
+            for index in [i for i in row.coefficients if i in fixed]:
+                row.rhs -= row.coefficients.pop(index) * fixed[index]
+
+        # Pass C: empty rows and singleton rows.
+        remaining: list[Constraint] = []
+        for row in active_rows:
+            if not row.coefficients:
+                satisfied = (
+                    (row.sense is Sense.LE and 0.0 <= row.rhs + _TOL)
+                    or (row.sense is Sense.GE and 0.0 >= row.rhs - _TOL)
+                    or (row.sense is Sense.EQ and abs(row.rhs) <= _TOL)
+                )
+                if not satisfied:
+                    return PresolveResult(
+                        PresolveStatus.INFEASIBLE,
+                        infeasibility_reason=(
+                            f"constraint {row.name!r} reduced to 0 {row.sense.value} "
+                            f"{row.rhs}"
+                        ),
+                    )
+                changed = True
+                continue
+            if len(row.coefficients) == 1:
+                ((index, coeff),) = row.coefficients.items()
+                bound = row.rhs / coeff
+                sense = row.sense
+                if coeff < 0 and sense is Sense.LE:
+                    sense = Sense.GE
+                elif coeff < 0 and sense is Sense.GE:
+                    sense = Sense.LE
+                lower, upper = bounds[index]
+                bounds[index] = _tighten(lower, upper, sense, bound)
+                changed = True
+                continue
+            remaining.append(row)
+        active_rows = remaining
+
+        if not changed:
+            break
+
+    # Assemble the reduced program.
+    kept = [i for i in range(lp.num_variables) if i not in fixed]
+    offset = sum(lp.variables[i].objective * value for i, value in fixed.items())
+    reduced = LinearProgram(name=f"{lp.name}:presolved", maximize=lp.maximize)
+    old_to_new: dict[int, int] = {}
+    for new_index, old_index in enumerate(kept):
+        original = lp.variables[old_index]
+        lower, upper = bounds[old_index]
+        reduced.add_variable(
+            original.name,
+            lower=lower,
+            upper=upper,
+            objective=original.objective,
+            is_integer=original.is_integer,
+        )
+        old_to_new[old_index] = new_index
+    for row in active_rows:
+        reduced.add_constraint(
+            {old_to_new[i]: coeff for i, coeff in row.coefficients.items()},
+            row.sense,
+            row.rhs,
+            name=row.name,
+        )
+    return PresolveResult(
+        PresolveStatus.REDUCED,
+        lp=reduced,
+        fixed_values=dict(fixed),
+        kept_variables=kept,
+        objective_offset=offset,
+    )

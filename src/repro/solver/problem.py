@@ -1,0 +1,227 @@
+"""Linear-program model used by every solver backend.
+
+The paper solves its benchmark LP (1)-(4) with Gurobi; this repository
+re-implements the solving stack.  :class:`LinearProgram` is the
+backend-neutral model: named variables with bounds and objective
+coefficients, plus sparse constraint rows with a sense and right-hand side.
+
+The model is deliberately small — just enough structure for the benchmark LP,
+the exact ILP, presolve and the simplex/scipy backends — and keeps constraint
+coefficients sparse (``dict`` of variable index to coefficient), because the
+benchmark LP touches each variable in at most ``1 + |S|`` rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class Sense(Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Variable:
+    """A decision variable.
+
+    Attributes:
+        name: unique display name.
+        index: position in the LP's variable list.
+        lower: lower bound (may be ``-inf``).
+        upper: upper bound (may be ``inf``).
+        objective: coefficient in the objective function.
+        is_integer: marks the variable integral for the branch-and-bound solver.
+    """
+
+    name: str
+    index: int
+    lower: float = 0.0
+    upper: float = math.inf
+    objective: float = 0.0
+    is_integer: bool = False
+
+
+@dataclass
+class Constraint:
+    """A sparse linear constraint ``sum(coeff * x) sense rhs``."""
+
+    name: str
+    coefficients: dict[int, float]
+    sense: Sense
+    rhs: float
+
+    def evaluate(self, x: np.ndarray) -> float:
+        """Left-hand-side value at the point ``x``."""
+        return float(sum(coeff * x[idx] for idx, coeff in self.coefficients.items()))
+
+    def is_satisfied(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Whether ``x`` satisfies this constraint within ``tol``."""
+        lhs = self.evaluate(x)
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+
+@dataclass
+class LinearProgram:
+    """A linear (or mixed-integer) program.
+
+    Example::
+
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variable("x", upper=4.0, objective=3.0)
+        y = lp.add_variable("y", upper=2.0, objective=5.0)
+        lp.add_constraint({x: 1.0, y: 2.0}, Sense.LE, 8.0)
+    """
+
+    name: str = ""
+    maximize: bool = True
+    variables: list[Variable] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+    _names: set[str] = field(default_factory=set, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str | None = None,
+        *,
+        lower: float = 0.0,
+        upper: float = math.inf,
+        objective: float = 0.0,
+        is_integer: bool = False,
+    ) -> int:
+        """Add a variable and return its index.
+
+        Raises:
+            ValueError: on duplicate name or ``lower > upper``.
+        """
+        if lower > upper:
+            raise ValueError(f"variable {name!r}: lower {lower} > upper {upper}")
+        index = len(self.variables)
+        if name is None:
+            name = f"x{index}"
+        if name in self._names:
+            raise ValueError(f"duplicate variable name {name!r}")
+        self._names.add(name)
+        self.variables.append(
+            Variable(
+                name=name,
+                index=index,
+                lower=lower,
+                upper=upper,
+                objective=objective,
+                is_integer=is_integer,
+            )
+        )
+        return index
+
+    def add_constraint(
+        self,
+        coefficients: dict[int, float],
+        sense: Sense,
+        rhs: float,
+        name: str | None = None,
+    ) -> int:
+        """Add a constraint and return its index.
+
+        Zero coefficients are dropped; indices must refer to existing
+        variables.
+
+        Raises:
+            IndexError: if a coefficient references an unknown variable.
+        """
+        for idx in coefficients:
+            if not 0 <= idx < len(self.variables):
+                raise IndexError(f"constraint references unknown variable index {idx}")
+        clean = {idx: float(c) for idx, c in coefficients.items() if c != 0.0}
+        if name is None:
+            name = f"c{len(self.constraints)}"
+        self.constraints.append(Constraint(name, clean, sense, float(rhs)))
+        return len(self.constraints) - 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def has_integer_variables(self) -> bool:
+        return any(v.is_integer for v in self.variables)
+
+    def objective_vector(self) -> np.ndarray:
+        """Objective coefficients as a dense array."""
+        return np.array([v.objective for v in self.variables], dtype=float)
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Objective value at ``x`` (in the program's own sense)."""
+        return float(self.objective_vector() @ np.asarray(x, dtype=float))
+
+    def bounds(self) -> list[tuple[float, float]]:
+        """Per-variable ``(lower, upper)`` pairs."""
+        return [(v.lower, v.upper) for v in self.variables]
+
+    def dense_constraint_matrix(self) -> tuple[np.ndarray, list[Sense], np.ndarray]:
+        """Return ``(A, senses, b)`` with one dense row per constraint."""
+        m, n = self.num_constraints, self.num_variables
+        a = np.zeros((m, n), dtype=float)
+        b = np.zeros(m, dtype=float)
+        senses: list[Sense] = []
+        for i, constraint in enumerate(self.constraints):
+            for idx, coeff in constraint.coefficients.items():
+                a[i, idx] = coeff
+            b[i] = constraint.rhs
+            senses.append(constraint.sense)
+        return a, senses, b
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Whether ``x`` satisfies all bounds and constraints within ``tol``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.num_variables,):
+            raise ValueError(
+                f"point has shape {x.shape}, expected ({self.num_variables},)"
+            )
+        for variable in self.variables:
+            value = x[variable.index]
+            if value < variable.lower - tol or value > variable.upper + tol:
+                return False
+        return all(c.is_satisfied(x, tol) for c in self.constraints)
+
+    def copy(self) -> "LinearProgram":
+        """An independent copy (used by branch-and-bound to tighten bounds)."""
+        clone = LinearProgram(name=self.name, maximize=self.maximize)
+        clone.variables = [
+            Variable(v.name, v.index, v.lower, v.upper, v.objective, v.is_integer)
+            for v in self.variables
+        ]
+        clone.constraints = [
+            Constraint(c.name, dict(c.coefficients), c.sense, c.rhs)
+            for c in self.constraints
+        ]
+        clone._names = set(self._names)
+        return clone
+
+    def __repr__(self) -> str:
+        kind = "ILP" if self.has_integer_variables else "LP"
+        goal = "max" if self.maximize else "min"
+        return (
+            f"LinearProgram({self.name!r}, {goal}, {kind}, "
+            f"vars={self.num_variables}, cons={self.num_constraints})"
+        )

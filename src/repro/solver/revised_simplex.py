@@ -1,0 +1,222 @@
+"""Revised simplex with explicit basis-inverse maintenance.
+
+The benchmark LP (1)-(4) is *wide*: one column per (user, admissible set)
+pair but only ``|U| + |V|`` rows.  The tableau simplex updates the full
+``m x (n + m)`` tableau per pivot; the revised simplex keeps only the
+``m x m`` basis inverse and prices columns on demand, which is the right
+trade-off for wide LPs.  The basis inverse is updated by an eta
+(elementary) transformation each pivot and rebuilt from scratch every
+``refactor_every`` pivots to stop drift.
+
+Phases, pivot rules, anti-cycling and statuses mirror
+:mod:`repro.solver.simplex`; both backends are cross-checked against each
+other and against scipy in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.problem import LinearProgram
+from repro.solver.result import LPSolution, SolveStatus
+from repro.solver.simplex import SimplexOptions, _TableauResult
+from repro.solver.standard_form import StandardForm, to_standard_form
+
+
+@dataclass
+class RevisedSimplexOptions(SimplexOptions):
+    """Simplex options plus the basis refactorization period."""
+
+    refactor_every: int = 100
+
+
+class _RevisedCore:
+    """One phase of the revised simplex over ``min c@x, A@x == b, x >= 0``."""
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        options: RevisedSimplexOptions,
+    ):
+        self.a = a
+        self.b = b
+        self.options = options
+        self.m = a.shape[0]
+        self.n = a.shape[1]
+        self.basis: list[int] = []
+        self.basis_inverse = np.eye(self.m)
+        self.x_basic = b.copy()
+        self.pivots_since_refactor = 0
+
+    def set_basis(self, basis: list[int]) -> None:
+        self.basis = list(basis)
+        self.refactor()
+
+    def refactor(self) -> None:
+        """Rebuild the basis inverse and basic solution from scratch."""
+        basis_matrix = self.a[:, self.basis]
+        self.basis_inverse = np.linalg.inv(basis_matrix)
+        self.x_basic = self.basis_inverse @ self.b
+        # Numerical noise can push a basic value to -1e-13; clamp so the
+        # ratio test never divides feasibility away.
+        self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+        self.pivots_since_refactor = 0
+
+    def run(
+        self,
+        costs: np.ndarray,
+        allowed: int,
+        start_iteration: int,
+        max_iterations: int,
+    ) -> tuple[SolveStatus, int]:
+        """Pivot to optimality for ``costs`` over columns ``[0, allowed)``."""
+        tol = self.options.tol
+        iterations = start_iteration
+        while True:
+            duals = costs[self.basis] @ self.basis_inverse
+            reduced = costs[:allowed] - duals @ self.a[:, :allowed]
+            basic_set = set(self.basis)
+            use_bland = iterations >= self.options.bland_after
+            entering = self._choose_entering(reduced, basic_set, use_bland, tol)
+            if entering is None:
+                return SolveStatus.OPTIMAL, iterations
+            direction = self.basis_inverse @ self.a[:, entering]
+            leaving_row = self._ratio_test(direction, tol)
+            if leaving_row is None:
+                return SolveStatus.UNBOUNDED, iterations
+            self._pivot(entering, leaving_row, direction)
+            iterations += 1
+            if iterations >= max_iterations:
+                return SolveStatus.ITERATION_LIMIT, iterations
+
+    @staticmethod
+    def _choose_entering(
+        reduced: np.ndarray, basic: set[int], use_bland: bool, tol: float
+    ) -> int | None:
+        if use_bland:
+            for j in np.nonzero(reduced < -tol)[0]:
+                if int(j) not in basic:
+                    return int(j)
+            return None
+        masked = reduced.copy()
+        for j in basic:
+            if j < masked.shape[0]:
+                masked[j] = 0.0
+        best = int(np.argmin(masked))
+        return best if masked[best] < -tol else None
+
+    def _ratio_test(self, direction: np.ndarray, tol: float) -> int | None:
+        best_row: int | None = None
+        best_ratio = np.inf
+        for row in range(self.m):
+            if direction[row] > tol:
+                ratio = self.x_basic[row] / direction[row]
+                better = ratio < best_ratio - tol
+                tie = ratio < best_ratio + tol and (
+                    best_row is None or self.basis[row] < self.basis[best_row]
+                )
+                if better or tie:
+                    best_ratio = ratio
+                    best_row = row
+        return best_row
+
+    def _pivot(self, entering: int, row: int, direction: np.ndarray) -> None:
+        """Eta update of the basis inverse and the basic solution."""
+        step = self.x_basic[row] / direction[row]
+        self.x_basic -= step * direction
+        self.x_basic[row] = step
+        self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+        eta = -direction / direction[row]
+        eta[row] = 1.0 / direction[row]
+        pivot_row = self.basis_inverse[row].copy()
+        self.basis_inverse += np.outer(eta, pivot_row)
+        self.basis_inverse[row] = eta[row] * pivot_row
+        self.basis[row] = entering
+        self.pivots_since_refactor += 1
+        if self.pivots_since_refactor >= self.options.refactor_every:
+            self.refactor()
+
+    def solution(self) -> np.ndarray:
+        x = np.zeros(self.n, dtype=float)
+        for row, basic in enumerate(self.basis):
+            x[basic] = self.x_basic[row]
+        return x
+
+
+def solve_standard_form_revised(
+    sf: StandardForm, options: RevisedSimplexOptions | None = None
+) -> _TableauResult:
+    """Two-phase revised simplex over a :class:`StandardForm`."""
+    options = options or RevisedSimplexOptions()
+    a, b, c = sf.a, sf.b, sf.c
+    m, n = a.shape
+    max_iterations = options.resolved_max_iterations(m, n)
+
+    if m == 0:
+        if np.any(c < -options.tol):
+            return _TableauResult(SolveStatus.UNBOUNDED, np.zeros(n), np.nan, 0)
+        return _TableauResult(SolveStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+    # Phase 1 over [A | I] with artificial costs.
+    a_ext = np.hstack([a, np.eye(m)])
+    costs1 = np.concatenate([np.zeros(n), np.ones(m)])
+    core = _RevisedCore(a_ext, b, options)
+    core.set_basis(list(range(n, n + m)))
+    status, iterations = core.run(costs1, n + m, 0, max_iterations)
+    if status is SolveStatus.ITERATION_LIMIT:
+        return _TableauResult(status, np.zeros(n), np.nan, iterations)
+    phase1_value = float(costs1[core.basis] @ core.x_basic)
+    if phase1_value > 1e-7:
+        return _TableauResult(SolveStatus.INFEASIBLE, np.zeros(n), np.nan, iterations)
+
+    # Drive residual artificials out of the basis where possible.
+    for row in range(m):
+        if core.basis[row] < n:
+            continue
+        tableau_row = core.basis_inverse[row] @ a
+        candidates = np.nonzero(np.abs(tableau_row) > options.tol)[0]
+        if candidates.size:
+            entering = int(candidates[0])
+            direction = core.basis_inverse @ a_ext[:, entering]
+            core._pivot(entering, row, direction)
+            iterations += 1
+
+    if any(basic >= n for basic in core.basis):
+        # A redundant row pins an artificial in the basis at level zero.  The
+        # eta updates keep it there harmlessly, but its cost must stay zero in
+        # phase 2 — which it is, because phase-2 costs are only set for
+        # structural columns.
+        pass
+
+    costs2 = np.concatenate([c, np.zeros(m)])
+    status, iterations = core.run(costs2, n, iterations, max_iterations)
+    if status is not SolveStatus.OPTIMAL:
+        return _TableauResult(status, np.zeros(n), np.nan, iterations)
+    x_ext = core.solution()
+    y = x_ext[:n]
+    objective = float(c @ y)
+    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations)
+
+
+def solve_lp_revised_simplex(
+    lp: LinearProgram, options: RevisedSimplexOptions | None = None
+) -> LPSolution:
+    """Solve a :class:`LinearProgram` with the revised simplex backend."""
+    sf = to_standard_form(lp)
+    result = solve_standard_form_revised(sf, options)
+    if result.status is not SolveStatus.OPTIMAL:
+        return LPSolution(
+            status=result.status, iterations=result.iterations, backend="revised-simplex"
+        )
+    x = sf.recover_x(result.y)
+    objective = sf.recover_objective(result.objective)
+    return LPSolution(
+        status=SolveStatus.OPTIMAL,
+        objective_value=objective,
+        x=x,
+        iterations=result.iterations,
+        backend="revised-simplex",
+    )

@@ -1,0 +1,98 @@
+"""LP backend delegating to ``scipy.optimize.linprog`` (HiGHS).
+
+The from-scratch simplex backends are exact but dense; the paper's largest
+sweep (|U| = 10000 in Fig. 1b) produces benchmark LPs with tens of thousands
+of columns, where a sparse interior-point/dual-simplex code is the practical
+choice.  This mirrors the paper's use of Gurobi for the same role.
+
+scipy is an optional dependency: :func:`scipy_available` reports whether the
+backend can be used, and callers fall back to the from-scratch simplex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.problem import LinearProgram, Sense
+from repro.solver.result import LPSolution, SolveStatus
+
+
+def scipy_available() -> bool:
+    """Whether ``scipy.optimize.linprog`` can be imported."""
+    try:
+        from scipy.optimize import linprog  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def solve_lp_scipy(lp: LinearProgram) -> LPSolution:
+    """Solve ``lp`` with HiGHS via ``scipy.optimize.linprog``.
+
+    Raises:
+        ImportError: when scipy is not installed (check
+            :func:`scipy_available` first, or use the ``auto`` backend).
+    """
+    from scipy.optimize import linprog
+    from scipy.sparse import lil_matrix
+
+    n = lp.num_variables
+    sign = -1.0 if lp.maximize else 1.0
+    c = sign * lp.objective_vector()
+
+    ub_rows: list[int] = []
+    eq_rows: list[int] = []
+    for i, constraint in enumerate(lp.constraints):
+        if constraint.sense is Sense.EQ:
+            eq_rows.append(i)
+        else:
+            ub_rows.append(i)
+
+    def build(rows: list[int], flip_ge: bool):
+        if not rows:
+            return None, None
+        matrix = lil_matrix((len(rows), n))
+        rhs = np.zeros(len(rows))
+        for out_i, row_index in enumerate(rows):
+            constraint = lp.constraints[row_index]
+            flip = flip_ge and constraint.sense is Sense.GE
+            factor = -1.0 if flip else 1.0
+            for var_index, coeff in constraint.coefficients.items():
+                matrix[out_i, var_index] = factor * coeff
+            rhs[out_i] = factor * constraint.rhs
+        return matrix.tocsr(), rhs
+
+    a_ub, b_ub = build(ub_rows, flip_ge=True)
+    a_eq, b_eq = build(eq_rows, flip_ge=False)
+    bounds = [
+        (v.lower if np.isfinite(v.lower) else None, v.upper if np.isfinite(v.upper) else None)
+        for v in lp.variables
+    ]
+
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+
+    iterations = int(getattr(result, "nit", 0) or 0)
+    if result.status == 2:
+        return LPSolution(SolveStatus.INFEASIBLE, iterations=iterations, backend="scipy-highs")
+    if result.status == 3:
+        return LPSolution(SolveStatus.UNBOUNDED, iterations=iterations, backend="scipy-highs")
+    if not result.success:
+        return LPSolution(
+            SolveStatus.ITERATION_LIMIT, iterations=iterations, backend="scipy-highs"
+        )
+    objective = sign * float(result.fun)
+    return LPSolution(
+        SolveStatus.OPTIMAL,
+        objective_value=objective,
+        x=np.asarray(result.x, dtype=float),
+        iterations=iterations,
+        backend="scipy-highs",
+    )

@@ -1,0 +1,190 @@
+"""Conversion of a general LP to computational standard form.
+
+Standard form here means::
+
+    minimize    c @ y
+    subject to  A @ y == b,   y >= 0,   b >= 0
+
+which is what the two-phase simplex consumes.  The conversion handles:
+
+* maximization (objective negated),
+* finite lower bounds (variable shifted),
+* upper bounds that a shifted/mirrored variable cannot absorb (extra row),
+* free variables (split into positive and negative parts),
+* fixed variables (substituted into the right-hand sides),
+* ``<=`` / ``>=`` rows (slack / surplus columns) and negative ``b`` (row flip).
+
+A :class:`StandardForm` remembers enough to map a standard-form point back to
+the original variable space and objective sense.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.solver.problem import LinearProgram, Sense
+
+
+class _VarKind(Enum):
+    SHIFTED = "shifted"  # x = lower + y
+    MIRRORED = "mirrored"  # x = upper - y  (lower = -inf, upper finite)
+    FREE = "free"  # x = y_pos - y_neg
+    FIXED = "fixed"  # x = constant
+
+
+@dataclass
+class _VarMap:
+    kind: _VarKind
+    columns: tuple[int, ...]  # standard-form column indices used
+    offset: float  # lower bound, upper bound, or fixed value
+
+
+@dataclass
+class StandardForm:
+    """A standard-form LP plus the recipe to undo the transformation."""
+
+    c: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+    objective_offset: float
+    maximize: bool
+    num_original_variables: int
+    _var_maps: list[_VarMap]
+
+    @property
+    def num_rows(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def num_columns(self) -> int:
+        return self.a.shape[1]
+
+    def recover_x(self, y: np.ndarray) -> np.ndarray:
+        """Map a standard-form point ``y`` back to original variables."""
+        x = np.zeros(self.num_original_variables, dtype=float)
+        for index, mapping in enumerate(self._var_maps):
+            if mapping.kind is _VarKind.FIXED:
+                x[index] = mapping.offset
+            elif mapping.kind is _VarKind.SHIFTED:
+                x[index] = mapping.offset + y[mapping.columns[0]]
+            elif mapping.kind is _VarKind.MIRRORED:
+                x[index] = mapping.offset - y[mapping.columns[0]]
+            else:  # FREE
+                pos, neg = mapping.columns
+                x[index] = y[pos] - y[neg]
+        return x
+
+    def recover_objective(self, standard_objective: float) -> float:
+        """Map the standard-form (minimization) objective to the original sense."""
+        value = standard_objective + self.objective_offset
+        return -value if self.maximize else value
+
+
+def to_standard_form(lp: LinearProgram) -> StandardForm:
+    """Convert ``lp`` to :class:`StandardForm`.
+
+    Raises:
+        ValueError: if any variable has ``lower > upper`` (trivially
+            infeasible programs should be caught by presolve first).
+    """
+    substituted = np.zeros(lp.num_constraints, dtype=float)
+    var_maps: list[_VarMap] = []
+    columns_c: list[float] = []
+    offset = 0.0
+    # Sign convention: standard form minimizes; flip a maximization objective.
+    sign = -1.0 if lp.maximize else 1.0
+    extra_rows: list[tuple[dict[int, float], float]] = []  # (coeffs over std cols, rhs)
+
+    for variable in lp.variables:
+        lower, upper = variable.lower, variable.upper
+        cost = sign * variable.objective
+        if lower > upper:
+            raise ValueError(
+                f"variable {variable.name!r} has empty domain [{lower}, {upper}]"
+            )
+        if lower == upper:
+            var_maps.append(_VarMap(_VarKind.FIXED, (), lower))
+            offset += cost * lower
+            continue
+        if math.isfinite(lower):
+            column = len(columns_c)
+            columns_c.append(cost)
+            var_maps.append(_VarMap(_VarKind.SHIFTED, (column,), lower))
+            offset += cost * lower
+            if math.isfinite(upper):
+                extra_rows.append(({column: 1.0}, upper - lower))
+        elif math.isfinite(upper):
+            column = len(columns_c)
+            columns_c.append(-cost)
+            var_maps.append(_VarMap(_VarKind.MIRRORED, (column,), upper))
+            offset += cost * upper
+        else:
+            pos = len(columns_c)
+            columns_c.append(cost)
+            neg = len(columns_c)
+            columns_c.append(-cost)
+            var_maps.append(_VarMap(_VarKind.FREE, (pos, neg), 0.0))
+
+    # Rewrite each constraint over the standard-form columns, folding in the
+    # effect of shifted / mirrored / fixed variables on the right-hand side.
+    rows: list[tuple[dict[int, float], Sense, float]] = []
+    for row_index, constraint in enumerate(lp.constraints):
+        coeffs: dict[int, float] = {}
+        rhs_shift = 0.0
+        for var_index, coeff in constraint.coefficients.items():
+            mapping = var_maps[var_index]
+            if mapping.kind is _VarKind.FIXED:
+                rhs_shift += coeff * mapping.offset
+            elif mapping.kind is _VarKind.SHIFTED:
+                coeffs[mapping.columns[0]] = coeffs.get(mapping.columns[0], 0.0) + coeff
+                rhs_shift += coeff * mapping.offset
+            elif mapping.kind is _VarKind.MIRRORED:
+                coeffs[mapping.columns[0]] = coeffs.get(mapping.columns[0], 0.0) - coeff
+                rhs_shift += coeff * mapping.offset
+            else:
+                pos, neg = mapping.columns
+                coeffs[pos] = coeffs.get(pos, 0.0) + coeff
+                coeffs[neg] = coeffs.get(neg, 0.0) - coeff
+        substituted[row_index] = rhs_shift
+        rows.append((coeffs, constraint.sense, constraint.rhs - rhs_shift))
+    for coeffs, rhs in extra_rows:
+        rows.append((dict(coeffs), Sense.LE, rhs))
+
+    num_structural = len(columns_c)
+    # One slack column per inequality row.
+    num_slacks = sum(1 for _, sense, _ in rows if sense is not Sense.EQ)
+    n = num_structural + num_slacks
+    m = len(rows)
+    a = np.zeros((m, n), dtype=float)
+    b = np.zeros(m, dtype=float)
+    c = np.zeros(n, dtype=float)
+    c[:num_structural] = columns_c
+
+    slack_cursor = num_structural
+    for i, (coeffs, sense, rhs) in enumerate(rows):
+        for col, coeff in coeffs.items():
+            a[i, col] = coeff
+        b[i] = rhs
+        if sense is Sense.LE:
+            a[i, slack_cursor] = 1.0
+            slack_cursor += 1
+        elif sense is Sense.GE:
+            a[i, slack_cursor] = -1.0
+            slack_cursor += 1
+        if b[i] < 0.0:
+            a[i, :] = -a[i, :]
+            b[i] = -b[i]
+
+    return StandardForm(
+        c=c,
+        a=a,
+        b=b,
+        objective_offset=offset,
+        maximize=lp.maximize,
+        num_original_variables=lp.num_variables,
+        _var_maps=var_maps,
+    )

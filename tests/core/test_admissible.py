@@ -1,0 +1,174 @@
+"""Unit tests for admissible event set enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    AdmissibleSetExplosion,
+    enumerate_admissible_sets,
+    enumerate_all_admissible_sets,
+    is_admissible,
+)
+from repro.model import (
+    Event,
+    IGEPAInstance,
+    MatrixConflict,
+    NoConflict,
+    TabulatedInterest,
+    User,
+)
+from repro.social import Graph
+from tests.util import random_instance, tiny_instance
+
+
+def _instance(num_events, conflicts, user_capacity, bids):
+    events = [Event(event_id=i, capacity=3) for i in range(num_events)]
+    users = [User(user_id=0, capacity=user_capacity, bids=tuple(bids))]
+    return IGEPAInstance(
+        events,
+        users,
+        MatrixConflict(conflicts),
+        TabulatedInterest({}, default=0.5),
+        Graph(nodes=[0]),
+    )
+
+
+class TestEnumeration:
+    def test_no_conflicts_enumerates_all_bounded_subsets(self):
+        instance = _instance(3, [], 2, [0, 1, 2])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        expected = {(0,), (1,), (2,), (0, 1), (0, 2), (1, 2)}
+        assert set(sets) == expected
+
+    def test_capacity_one_gives_singletons(self):
+        instance = _instance(3, [], 1, [0, 1, 2])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        assert set(sets) == {(0,), (1,), (2,)}
+
+    def test_conflicting_pair_excluded(self):
+        instance = _instance(3, [(0, 1)], 3, [0, 1, 2])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        assert (0, 1) not in sets
+        assert (0, 1, 2) not in sets
+        assert {(0,), (1,), (2,), (0, 2), (1, 2)} == set(sets)
+
+    def test_all_conflicting_gives_singletons_only(self):
+        conflicts = [(0, 1), (0, 2), (1, 2)]
+        instance = _instance(3, conflicts, 3, [0, 1, 2])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        assert set(sets) == {(0,), (1,), (2,)}
+
+    def test_zero_capacity_user_has_no_sets(self):
+        instance = _instance(3, [], 0, [0, 1])
+        assert enumerate_admissible_sets(instance, instance.users[0]) == []
+
+    def test_no_bids_gives_no_sets(self):
+        instance = _instance(3, [], 2, [])
+        assert enumerate_admissible_sets(instance, instance.users[0]) == []
+
+    def test_empty_set_is_not_included(self):
+        instance = _instance(2, [], 2, [0])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        assert () not in sets
+
+    def test_sets_are_sorted_tuples(self):
+        instance = _instance(4, [], 3, [3, 1, 2])
+        sets = enumerate_admissible_sets(instance, instance.users[0])
+        for s in sets:
+            assert tuple(sorted(s)) == s
+
+    def test_deterministic_order(self):
+        instance = _instance(4, [(1, 2)], 3, [0, 1, 2, 3])
+        first = enumerate_admissible_sets(instance, instance.users[0])
+        second = enumerate_admissible_sets(instance, instance.users[0])
+        assert first == second
+
+    def test_downward_closure(self):
+        """Every nonempty subset of an admissible set must be admissible."""
+        instance = random_instance(seed=5, num_events=7, conflict_probability=0.4)
+        for user in instance.users:
+            sets = set(enumerate_admissible_sets(instance, user))
+            for s in sets:
+                for size in range(1, len(s)):
+                    for subset in itertools.combinations(s, size):
+                        assert subset in sets
+
+    def test_matches_brute_force(self):
+        instance = random_instance(seed=11, num_events=6, conflict_probability=0.5)
+        for user in instance.users:
+            enumerated = set(enumerate_admissible_sets(instance, user))
+            brute = set()
+            for size in range(1, user.capacity + 1):
+                for combo in itertools.combinations(sorted(user.bids), size):
+                    if is_admissible(instance, user, combo):
+                        brute.add(combo)
+            assert enumerated == brute
+
+
+class TestExplosionGuard:
+    def test_explosion_raises(self):
+        # 16 mutually non-conflicting bids with capacity 16: 2^16 - 1 subsets.
+        events = list(range(16))
+        instance = _instance(16, [], 16, events)
+        with pytest.raises(AdmissibleSetExplosion, match="user 0"):
+            enumerate_admissible_sets(instance, instance.users[0], max_sets=1000)
+
+    def test_cap_allows_exact_count(self):
+        instance = _instance(3, [], 3, [0, 1, 2])
+        # 7 nonempty subsets; cap of exactly 7 must not raise.
+        sets = enumerate_admissible_sets(instance, instance.users[0], max_sets=7)
+        assert len(sets) == 7
+
+
+class TestEnumerateAll:
+    def test_keyed_by_user(self):
+        instance = tiny_instance()
+        collections = enumerate_all_admissible_sets(instance)
+        assert set(collections) == {10, 11, 12, 13}
+        # user 10 bids (1, 2) which conflict; capacity 1 -> singletons.
+        assert set(collections[10]) == {(1,), (2,)}
+        # user 11 bids (1, 3), no conflict, capacity 2.
+        assert set(collections[11]) == {(1,), (3,), (1, 3)}
+        # user 13: single bid.
+        assert collections[13] == [(3,)]
+
+
+class TestIsAdmissible:
+    def test_rejects_empty(self):
+        instance = tiny_instance()
+        assert not is_admissible(instance, instance.user_by_id[11], [])
+
+    def test_rejects_over_capacity(self):
+        instance = tiny_instance()
+        user = instance.user_by_id[10]  # capacity 1
+        assert not is_admissible(instance, user, [1, 2])
+
+    def test_rejects_non_bid(self):
+        instance = tiny_instance()
+        assert not is_admissible(instance, instance.user_by_id[13], [1])
+
+    def test_rejects_conflicting(self):
+        instance = tiny_instance()
+        user = instance.user_by_id[12]
+        assert is_admissible(instance, user, [2, 3])
+        # make 2, 3 conflict in a fresh instance to verify rejection
+        from repro.model import MatrixConflict as MC
+
+        conflicted = IGEPAInstance(
+            instance.events,
+            instance.users,
+            MC([(2, 3)]),
+            instance.interest,
+            instance.social,
+        )
+        assert not is_admissible(conflicted, user, [2, 3])
+
+    def test_rejects_duplicates(self):
+        instance = tiny_instance()
+        assert not is_admissible(instance, instance.user_by_id[11], [1, 1])
+
+    def test_accepts_valid(self):
+        instance = tiny_instance()
+        assert is_admissible(instance, instance.user_by_id[11], [1, 3])
+        assert is_admissible(instance, instance.user_by_id[11], [3])

@@ -1,0 +1,150 @@
+"""Unit tests for the Random-U, Random-V and GG baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import GGGreedy, RandomU, RandomV
+from repro.model import Event, IGEPAInstance, MatrixConflict, TabulatedInterest, User
+from repro.social import Graph
+from tests.util import random_instance, tiny_instance
+
+ALGORITHMS = [
+    pytest.param(RandomU, id="random-u"),
+    pytest.param(RandomV, id="random-v"),
+    pytest.param(GGGreedy, id="gg"),
+]
+
+
+@pytest.fixture(params=ALGORITHMS)
+def algorithm_class(request):
+    return request.param
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_feasible(self, algorithm_class, seed):
+        instance = random_instance(seed=seed, conflict_probability=0.5)
+        result = algorithm_class().solve(instance, seed=seed)
+        assert result.arrangement.is_feasible()
+
+    def test_empty_instance(self, algorithm_class):
+        instance = IGEPAInstance(
+            [], [], MatrixConflict([]), TabulatedInterest({}), Graph()
+        )
+        result = algorithm_class().solve(instance)
+        assert result.num_pairs == 0
+        assert result.utility == 0.0
+
+    def test_zero_capacity_event_gets_nobody(self, algorithm_class):
+        events = [Event(event_id=1, capacity=0), Event(event_id=2, capacity=2)]
+        users = [User(user_id=1, capacity=2, bids=(1, 2))]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 0.9, (2, 1): 0.1}),
+            Graph(nodes=[1]),
+        )
+        result = algorithm_class().solve(instance, seed=0)
+        assert all(event_id != 1 for event_id, _ in result.pairs)
+
+
+class TestDeterminismAndRandomness:
+    def test_seeded_runs_reproduce(self, algorithm_class):
+        instance = random_instance(seed=4)
+        first = algorithm_class().solve(instance, seed=11)
+        second = algorithm_class().solve(instance, seed=11)
+        assert first.pairs == second.pairs
+
+    def test_random_baselines_vary_with_seed(self):
+        instance = random_instance(seed=4, num_users=20, num_events=8)
+        for cls in (RandomU, RandomV):
+            outcomes = {
+                frozenset(cls().solve(instance, seed=s).pairs) for s in range(10)
+            }
+            assert len(outcomes) > 1, cls.name
+
+    def test_gg_is_seed_independent(self):
+        instance = random_instance(seed=4)
+        results = {
+            frozenset(GGGreedy().solve(instance, seed=s).pairs) for s in range(5)
+        }
+        assert len(results) == 1
+
+
+class TestGreedyBehaviour:
+    def test_gg_takes_heaviest_pair_first(self):
+        events = [Event(event_id=1, capacity=1)]
+        users = [
+            User(user_id=1, capacity=1, bids=(1,)),
+            User(user_id=2, capacity=1, bids=(1,)),
+        ]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 0.3, (1, 2): 0.9}),
+            Graph(nodes=[1, 2]),
+        )
+        result = GGGreedy().solve(instance)
+        assert result.pairs == {(1, 2)}
+
+    def test_gg_weight_includes_interaction_term(self):
+        """With β = 0, GG must prefer the socially active user."""
+        events = [Event(event_id=1, capacity=1)]
+        users = [
+            User(user_id=1, capacity=1, bids=(1,)),
+            User(user_id=2, capacity=1, bids=(1,)),
+            User(user_id=3, capacity=1, bids=()),
+        ]
+        social = Graph(nodes=[1, 2, 3], edges=[(2, 3)])
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 1.0, (1, 2): 0.0}),
+            social,
+            beta=0.0,
+        )
+        result = GGGreedy().solve(instance)
+        assert result.pairs == {(1, 2)}  # user 2 has degree, interest ignored
+
+    def test_gg_respects_conflicts(self):
+        events = [Event(event_id=1, capacity=1), Event(event_id=2, capacity=1)]
+        users = [User(user_id=1, capacity=2, bids=(1, 2))]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([(1, 2)]),
+            TabulatedInterest({(1, 1): 0.9, (2, 1): 0.8}),
+            Graph(nodes=[1]),
+        )
+        result = GGGreedy().solve(instance)
+        assert result.pairs == {(1, 1)}  # takes the heavier, blocks the other
+
+    def test_gg_on_tiny_instance_is_strong(self):
+        """GG should reach at least the utility of any single-pass baseline."""
+        instance = tiny_instance()
+        gg = GGGreedy().solve(instance).utility
+        ru = np.mean([RandomU().solve(instance, seed=s).utility for s in range(20)])
+        rv = np.mean([RandomV().solve(instance, seed=s).utility for s in range(20)])
+        assert gg >= ru - 1e-9
+        assert gg >= rv - 1e-9
+
+
+class TestMaximality:
+    """All three baselines produce maximal arrangements: no feasible pair
+    can still be added afterwards."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_maximal(self, algorithm_class, seed):
+        instance = random_instance(seed=seed)
+        result = algorithm_class().solve(instance, seed=seed)
+        arrangement = result.arrangement
+        for user in instance.users:
+            for event_id in user.bids:
+                if (event_id, user.user_id) not in arrangement.pairs:
+                    assert not arrangement.can_add(event_id, user.user_id), (
+                        f"{algorithm_class.name} left addable pair "
+                        f"({event_id}, {user.user_id})"
+                    )

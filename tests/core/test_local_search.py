@@ -1,0 +1,123 @@
+"""Unit tests for the local-search improvement layer."""
+
+import pytest
+
+from repro.core import (
+    ExactILP,
+    GGGreedy,
+    LocalSearch,
+    LPPacking,
+    RandomU,
+    improve,
+    lp_upper_bound,
+)
+from repro.model import Arrangement, Event, IGEPAInstance, MatrixConflict, TabulatedInterest, User
+from repro.social import Graph
+from tests.util import random_instance, tiny_instance
+
+
+def _two_event_instance():
+    """User 1 sits on a light event while a heavy one has room."""
+    events = [Event(event_id=1, capacity=1), Event(event_id=2, capacity=1)]
+    users = [User(user_id=1, capacity=1, bids=(1, 2))]
+    return IGEPAInstance(
+        events,
+        users,
+        MatrixConflict([]),
+        TabulatedInterest({(1, 1): 0.2, (2, 1): 0.9}),
+        Graph(nodes=[1]),
+    )
+
+
+class TestMoves:
+    def test_add_move_fills_gaps(self):
+        instance = tiny_instance()
+        arrangement = Arrangement(instance)  # empty
+        moves = improve(instance, arrangement)
+        assert moves["adds"] > 0
+        assert arrangement.is_feasible()
+        assert len(arrangement) > 0
+
+    def test_upgrade_move_swaps_to_heavier_event(self):
+        instance = _two_event_instance()
+        arrangement = Arrangement.from_pairs(instance, [(1, 1)])
+        before = arrangement.utility()
+        moves = improve(instance, arrangement)
+        assert moves["upgrades"] >= 1
+        assert arrangement.pairs == {(2, 1)}
+        assert arrangement.utility() > before
+
+    def test_evict_move_replaces_lightest_attendee(self):
+        events = [Event(event_id=1, capacity=1)]
+        users = [
+            User(user_id=1, capacity=1, bids=(1,)),
+            User(user_id=2, capacity=1, bids=(1,)),
+        ]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 0.1, (1, 2): 0.9}),
+            Graph(nodes=[1, 2]),
+        )
+        arrangement = Arrangement.from_pairs(instance, [(1, 1)])
+        moves = improve(instance, arrangement)
+        assert moves["evictions"] == 1
+        assert arrangement.pairs == {(1, 2)}
+
+    def test_local_optimum_reached_and_stable(self):
+        instance = random_instance(seed=3)
+        arrangement = RandomU().solve(instance, seed=0).arrangement
+        improve(instance, arrangement)
+        again = improve(instance, arrangement)
+        assert again["adds"] == again["upgrades"] == again["evictions"] == 0
+        assert again["passes"] == 1
+
+    def test_never_decreases_utility(self):
+        for seed in range(5):
+            instance = random_instance(seed=seed)
+            arrangement = RandomU().solve(instance, seed=seed).arrangement
+            before = arrangement.utility()
+            improve(instance, arrangement)
+            assert arrangement.utility() >= before - 1e-9
+            assert arrangement.is_feasible()
+
+
+class TestLocalSearchWrapper:
+    def test_name_decoration(self):
+        assert LocalSearch(RandomU()).name == "random-u+ls"
+        assert LocalSearch(LPPacking()).name == "lp-packing+ls"
+
+    def test_improves_random_baseline(self):
+        instance = random_instance(seed=7, num_users=25, num_events=8)
+        base = RandomU().solve(instance, seed=0).utility
+        improved = LocalSearch(RandomU()).solve(instance, seed=0)
+        assert improved.utility >= base - 1e-9
+        assert improved.arrangement.is_feasible()
+        assert improved.details["base_algorithm"] == "random-u"
+        assert improved.details["base_utility"] <= improved.utility + 1e-9
+
+    def test_respects_lp_bound(self):
+        instance = random_instance(seed=8)
+        bound = lp_upper_bound(instance)
+        result = LocalSearch(GGGreedy()).solve(instance, seed=0)
+        assert result.utility <= bound + 1e-7
+
+    def test_cannot_beat_exact(self):
+        instance = random_instance(seed=9, num_events=5, num_users=8)
+        optimum = ExactILP().solve(instance).utility
+        result = LocalSearch(LPPacking()).solve(instance, seed=0)
+        assert result.utility <= optimum + 1e-7
+
+    def test_narrows_gap_to_optimum(self):
+        """Across seeds, local search must lift RandomU's mean utility."""
+        import numpy as np
+
+        instance = random_instance(seed=10, num_users=30, num_events=10)
+        raw = np.mean(
+            [RandomU().solve(instance, seed=s).utility for s in range(10)]
+        )
+        polished = np.mean(
+            [LocalSearch(RandomU()).solve(instance, seed=s).utility for s in range(10)]
+        )
+        assert polished > raw

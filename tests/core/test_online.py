@@ -1,0 +1,125 @@
+"""Unit tests for the online IGEPA extension."""
+
+import pytest
+
+from repro.core import (
+    ExactILP,
+    OnlineGreedy,
+    OnlineRandom,
+    competitive_ratio,
+    lp_upper_bound,
+)
+from repro.model import Event, IGEPAInstance, MatrixConflict, TabulatedInterest, User
+from repro.social import Graph
+from tests.util import random_instance, tiny_instance
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("algorithm_class", [OnlineGreedy, OnlineRandom])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_feasible(self, algorithm_class, seed):
+        instance = random_instance(seed=seed)
+        result = algorithm_class().solve(instance, seed=seed)
+        assert result.arrangement.is_feasible()
+
+    @pytest.mark.parametrize("algorithm_class", [OnlineGreedy, OnlineRandom])
+    def test_serves_every_arrival(self, algorithm_class):
+        instance = tiny_instance()
+        result = algorithm_class().solve(instance, seed=0)
+        assert result.details["arrivals"] == instance.num_users
+
+
+class TestArrivalOrder:
+    def test_fixed_order_is_deterministic_for_greedy(self):
+        instance = tiny_instance()
+        order = [13, 12, 11, 10]
+        first = OnlineGreedy(arrival_order=order).solve(instance, seed=0)
+        second = OnlineGreedy(arrival_order=order).solve(instance, seed=99)
+        assert first.pairs == second.pairs
+
+    def test_unknown_user_in_order_rejected(self):
+        instance = tiny_instance()
+        with pytest.raises(ValueError, match="unknown users"):
+            OnlineGreedy(arrival_order=[10, 999]).solve(instance, seed=0)
+
+    def test_order_matters_for_greedy(self):
+        """With one seat and two bidders, the first arrival takes it."""
+        events = [Event(event_id=1, capacity=1)]
+        users = [
+            User(user_id=1, capacity=1, bids=(1,)),
+            User(user_id=2, capacity=1, bids=(1,)),
+        ]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 0.5, (1, 2): 0.9}),
+            Graph(nodes=[1, 2]),
+        )
+        first_wins = OnlineGreedy(arrival_order=[1, 2]).solve(instance)
+        second_wins = OnlineGreedy(arrival_order=[2, 1]).solve(instance)
+        assert first_wins.pairs == {(1, 1)}
+        assert second_wins.pairs == {(1, 2)}
+
+    def test_random_order_varies(self):
+        instance = random_instance(seed=2, num_users=15, num_events=6)
+        outcomes = {
+            frozenset(OnlineGreedy().solve(instance, seed=s).pairs)
+            for s in range(10)
+        }
+        assert len(outcomes) > 1
+
+
+class TestGreedyChoice:
+    def test_takes_heaviest_feasible_set(self):
+        instance = tiny_instance()
+        # User 11 bids (1, 3) with weights w(11,1), w(11,3); capacity 2 and
+        # no conflict -> the greedy takes both on arrival.
+        result = OnlineGreedy(arrival_order=[11, 10, 12, 13]).solve(instance)
+        assert {(1, 11), (3, 11)} <= result.pairs
+
+    def test_respects_remaining_capacity(self):
+        events = [Event(event_id=1, capacity=1), Event(event_id=2, capacity=5)]
+        users = [
+            User(user_id=1, capacity=1, bids=(1,)),
+            User(user_id=2, capacity=1, bids=(1, 2)),
+        ]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([]),
+            TabulatedInterest({(1, 1): 0.9, (1, 2): 0.9, (2, 2): 0.3}),
+            Graph(nodes=[1, 2]),
+        )
+        result = OnlineGreedy(arrival_order=[1, 2]).solve(instance)
+        # User 1 takes the single seat of event 1; user 2 falls back to 2.
+        assert result.pairs == {(1, 1), (2, 2)}
+
+
+class TestOnlineVsOffline:
+    def test_online_cannot_beat_offline_bound(self):
+        instance = random_instance(seed=5)
+        bound = lp_upper_bound(instance)
+        for algorithm in (OnlineGreedy(), OnlineRandom()):
+            result = algorithm.solve(instance, seed=0)
+            assert result.utility <= bound + 1e-7
+
+    def test_greedy_beats_random_on_average(self):
+        import numpy as np
+
+        instance = random_instance(seed=6, num_users=30, num_events=10)
+        greedy = np.mean(
+            [OnlineGreedy().solve(instance, seed=s).utility for s in range(10)]
+        )
+        random_baseline = np.mean(
+            [OnlineRandom().solve(instance, seed=s).utility for s in range(10)]
+        )
+        assert greedy >= random_baseline
+
+    def test_competitive_ratio_report(self):
+        instance = random_instance(seed=7, num_events=5, num_users=10)
+        report = competitive_ratio(instance, OnlineGreedy(), repetitions=10, seed=0)
+        assert 0.0 <= report["worst_ratio"] <= report["mean_ratio"] <= 1.0 + 1e-9
+        assert report["offline_bound"] >= report["mean_utility"] - 1e-9
+        optimum = ExactILP().solve(instance).utility
+        assert report["offline_bound"] >= optimum - 1e-7

@@ -1,0 +1,107 @@
+"""Unit tests for the adversarial / stress workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactILP, GGGreedy, LPPacking, RandomU, lp_upper_bound
+from repro.core.admissible import enumerate_admissible_sets
+from repro.datagen import (
+    INTEGRALITY_GAP_SEEDS,
+    conflict_clique,
+    greedy_trap,
+    hotspot,
+    integrality_gap_instance,
+    small_tight_instance,
+)
+
+
+class TestGreedyTrap:
+    def test_gg_loses_the_designed_amount(self):
+        instance = greedy_trap(num_copies=4)
+        gg = GGGreedy().solve(instance).utility
+        optimum = ExactILP().solve(instance).utility
+        assert gg == pytest.approx(4 * 0.6)
+        assert optimum == pytest.approx(4 * 1.05)
+        assert gg / optimum == pytest.approx(0.6 / 1.05)
+
+    def test_lp_packing_finds_the_optimum(self):
+        instance = greedy_trap(num_copies=4)
+        result = LPPacking(alpha=1.0).solve(instance, seed=0)
+        assert result.utility == pytest.approx(4 * 1.05)
+
+    def test_scales_with_copies(self):
+        for copies in (1, 3, 7):
+            instance = greedy_trap(num_copies=copies)
+            assert instance.num_events == 2 * copies
+            assert instance.num_users == 2 * copies
+
+
+class TestIntegralityGap:
+    @pytest.mark.parametrize("rank", range(len(INTEGRALITY_GAP_SEEDS)))
+    def test_lp_strictly_above_ilp(self, rank):
+        instance = integrality_gap_instance(rank)
+        bound = lp_upper_bound(instance)
+        optimum = ExactILP().solve(instance).utility
+        assert bound > optimum + 1e-6, (
+            f"seed {INTEGRALITY_GAP_SEEDS[rank]} lost its gap: "
+            f"LP*={bound}, OPT={optimum}"
+        )
+
+    def test_lp_packing_still_feasible_and_bounded(self):
+        instance = integrality_gap_instance(0)
+        optimum = ExactILP().solve(instance).utility
+        utilities = [
+            LPPacking(alpha=1.0).solve(instance, seed=s).utility for s in range(30)
+        ]
+        assert all(u <= optimum + 1e-9 for u in utilities)
+        assert float(np.mean(utilities)) >= 0.25 * lp_upper_bound(instance)
+
+    def test_small_tight_instance_determinism(self):
+        a = small_tight_instance(90)
+        b = small_tight_instance(90)
+        assert [u.bids for u in a.users] == [u.bids for u in b.users]
+
+
+class TestHotspot:
+    def test_hotspot_oversubscription(self):
+        instance = hotspot(num_users=50, hotspot_capacity=3, seed=0)
+        assert len(instance.bidders(0)) == 50
+        assert instance.event_by_id[0].capacity == 3
+
+    def test_repair_enforces_hotspot_capacity(self):
+        instance = hotspot(num_users=50, hotspot_capacity=3, seed=0)
+        result = LPPacking(alpha=1.0).solve(instance, seed=0)
+        assert result.arrangement.attendance(0) <= 3
+        assert result.arrangement.is_feasible()
+
+    def test_lp_routes_surplus_to_fillers_better_than_random(self):
+        instance = hotspot(num_users=100, hotspot_capacity=5, seed=1)
+        lp_mean = np.mean(
+            [LPPacking().solve(instance, seed=s).utility for s in range(10)]
+        )
+        random_mean = np.mean(
+            [RandomU().solve(instance, seed=s).utility for s in range(10)]
+        )
+        assert lp_mean > random_mean
+
+
+class TestConflictClique:
+    def test_admissible_sets_are_singletons(self):
+        instance = conflict_clique(seed=0)
+        for user in instance.users:
+            sets = enumerate_admissible_sets(instance, user)
+            assert all(len(events) == 1 for events in sets)
+
+    def test_each_user_attends_at_most_one_event(self):
+        instance = conflict_clique(seed=0)
+        result = LPPacking().solve(instance, seed=0)
+        for user in instance.users:
+            assert result.arrangement.load(user.user_id) <= 1
+
+    def test_gg_is_competitive_in_matching_regime(self):
+        """With singleton sets the LP is a b-matching; GG must land within
+        a few percent of LP-packing (the 'no LP advantage' control)."""
+        instance = conflict_clique(seed=0)
+        lp = LPPacking().solve(instance, seed=0).utility
+        gg = GGGreedy().solve(instance).utility
+        assert gg >= 0.9 * lp

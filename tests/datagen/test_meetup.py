@@ -1,0 +1,170 @@
+"""Unit tests for the Meetup-like simulator (the paper's real-data recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import MeetupConfig, SF_DEFAULTS, generate_meetup
+from repro.model import TimeIntervalConflict
+
+SMALL = MeetupConfig(num_events=25, num_users=80, num_groups=6)
+
+
+class TestSFDefaults:
+    def test_paper_scale(self):
+        assert SF_DEFAULTS.num_events == 190
+        assert SF_DEFAULTS.num_users == 2811
+
+    def test_full_scale_generation(self):
+        instance = generate_meetup(seed=0)
+        assert instance.num_events == 190
+        assert instance.num_users == 2811
+
+
+class TestPaperRecipe:
+    """Each clause of §IV 'Real Dataset' must hold on the generated data."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generate_meetup(SMALL, seed=1)
+
+    def test_conflict_is_time_overlap(self, instance):
+        assert isinstance(instance.conflict, TimeIntervalConflict)
+        events = instance.events
+        for i, first in enumerate(events):
+            for second in events[i + 1 :]:
+                overlap = (
+                    first.start_time < second.end_time
+                    and second.start_time < first.end_time
+                )
+                assert instance.conflicts(first.event_id, second.event_id) == overlap
+
+    def test_unspecified_capacities_equal_num_users(self, instance):
+        capacities = {e.capacity for e in instance.events}
+        unspecified = [c for c in capacities if c == instance.num_users]
+        specified = [c for c in capacities if c != instance.num_users]
+        assert unspecified, "some events should fall back to |U|"
+        assert specified, "some events should specify a capacity"
+        assert all(
+            SMALL.min_specified_capacity <= c <= SMALL.max_specified_capacity
+            for c in specified
+        )
+
+    def test_user_capacity_is_twice_attended(self, instance):
+        """c_u = 2k and the k attended events are among the bids, pairwise
+        non-overlapping (a user cannot have attended two overlapping events)."""
+        for user in instance.users:
+            assert user.capacity % 2 == 0
+            assert user.capacity >= 2  # everyone attended at least one event
+            assert len(user.bids) <= user.capacity
+
+    def test_bids_are_attended_plus_most_interesting(self, instance):
+        """|bids| = c_u when enough distinct events exist: k attended plus
+        c_u/2 = k extra (overlap between top-interest and attended can only
+        shrink the list, never grow it)."""
+        for user in instance.users:
+            assert len(user.bids) >= user.capacity // 2
+            assert len(user.bids) <= user.capacity
+
+    def test_each_user_has_feasible_attended_subset(self, instance):
+        """The attended part of every bid list must itself be conflict-free."""
+        from repro.core import enumerate_admissible_sets
+
+        for user in instance.users:
+            sets = enumerate_admissible_sets(instance, user)
+            assert sets, f"user {user.user_id} has no admissible set at all"
+            best = max(len(s) for s in sets)
+            assert best >= min(user.capacity // 2, 1)
+
+    def test_interest_is_cosine_on_attributes(self, instance):
+        from repro.model import CosineInterest
+
+        assert isinstance(instance.interest, CosineInterest)
+        user = instance.users[0]
+        event = instance.event_by_id[user.bids[0]]
+        a, b = event.attributes, user.attributes
+        expected = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert instance.interest_of(event.event_id, user.user_id) == pytest.approx(
+            np.clip(expected, 0.0, 1.0)
+        )
+
+    def test_degrees_from_common_groups(self):
+        """Materialized graph and degree-union modes must agree exactly."""
+        materialized = generate_meetup(
+            SMALL.with_overrides(materialize_social_graph=True), seed=3
+        )
+        computed = generate_meetup(SMALL, seed=3)
+        assert materialized.degrees_override is None
+        assert computed.degrees_override is not None
+        for user in materialized.users:
+            assert computed.degree(user.user_id) == pytest.approx(
+                materialized.degree(user.user_id)
+            )
+
+    def test_attendance_capped(self, instance):
+        for user in instance.users:
+            assert user.capacity <= 2 * SMALL.max_events_attended
+
+
+class TestStructure:
+    def test_determinism(self):
+        a = generate_meetup(SMALL, seed=5)
+        b = generate_meetup(SMALL, seed=5)
+        assert [u.bids for u in a.users] == [u.bids for u in b.users]
+        assert [e.start_time for e in a.events] == [e.start_time for e in b.events]
+        assert a.degrees_override == b.degrees_override
+
+    def test_seeds_differ(self):
+        a = generate_meetup(SMALL, seed=5)
+        b = generate_meetup(SMALL, seed=6)
+        assert [u.bids for u in a.users] != [u.bids for u in b.users]
+
+    def test_event_times_within_horizon(self):
+        instance = generate_meetup(SMALL, seed=7)
+        for event in instance.events:
+            assert 0.0 <= event.start_time <= SMALL.horizon_days * 24.0
+            assert 0.5 <= event.duration <= 8.0
+
+    def test_attribute_vectors_are_distributions(self):
+        instance = generate_meetup(SMALL, seed=8)
+        for event in instance.events:
+            assert event.attributes.shape == (SMALL.num_categories,)
+            assert event.attributes.sum() == pytest.approx(1.0)
+            assert np.all(event.attributes >= 0.0)
+        for user in instance.users:
+            assert user.attributes.sum() == pytest.approx(1.0)
+
+    def test_admissible_set_counts_stay_reasonable(self):
+        """The attendance cap must keep the benchmark LP tractable."""
+        from repro.core import enumerate_all_admissible_sets
+
+        instance = generate_meetup(SMALL, seed=9)
+        collections = enumerate_all_admissible_sets(instance)
+        worst = max(len(sets) for sets in collections.values())
+        assert worst <= 2 ** (2 * SMALL.max_events_attended)
+
+
+class TestConfigValidation:
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MeetupConfig(num_events=-1)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ValueError, match="group"):
+            MeetupConfig(num_groups=0)
+
+    def test_capacity_range_rejected(self):
+        with pytest.raises(ValueError, match="min_specified_capacity"):
+            MeetupConfig(min_specified_capacity=50, max_specified_capacity=10)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            MeetupConfig(capacity_specified_fraction=2.0)
+
+    def test_low_attendance_mean_rejected(self):
+        with pytest.raises(ValueError, match="mean_events_attended"):
+            MeetupConfig(mean_events_attended=0.5)
+
+    def test_overrides(self):
+        config = SF_DEFAULTS.with_overrides(num_users=100)
+        assert config.num_users == 100
+        assert SF_DEFAULTS.num_users == 2811

@@ -1,0 +1,143 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig7x"])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "synthetic"])
+
+
+class TestListCommand:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig1a", "fig1f", "table2"):
+            assert experiment_id in output
+        assert "paper:" in output
+
+    def test_broken_pipe_exits_cleanly(self, monkeypatch):
+        """`igepa list | head` must not traceback when the pager closes."""
+        import builtins
+
+        real_print = builtins.print
+        calls = {"count": 0}
+
+        def exploding_print(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise BrokenPipeError
+            real_print(*args, **kwargs)
+
+        monkeypatch.setattr(builtins, "print", exploding_print)
+        assert main(["list"]) == 0
+
+
+class TestGenerateAndSolve:
+    def test_generate_synthetic_writes_loadable_json(self, tmp_path, capsys):
+        out = tmp_path / "instance.json"
+        code = main(
+            [
+                "generate", "synthetic",
+                "--out", str(out),
+                "--seed", "3",
+                "--events", "10",
+                "--users", "25",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["events"]) == 10
+        assert len(payload["users"]) == 25
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_meetup(self, tmp_path):
+        out = tmp_path / "meetup.json"
+        code = main(
+            [
+                "generate", "meetup",
+                "--out", str(out),
+                "--seed", "1",
+                "--events", "12",
+                "--users", "30",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["conflict"]["kind"] == "time-interval"
+
+    @pytest.mark.parametrize(
+        "algorithm", ["lp-packing", "gg", "random-u", "random-v", "exact"]
+    )
+    def test_solve_each_algorithm(self, tmp_path, capsys, algorithm):
+        out = tmp_path / "instance.json"
+        main(
+            [
+                "generate", "synthetic",
+                "--out", str(out),
+                "--seed", "3",
+                "--events", "6",
+                "--users", "10",
+            ]
+        )
+        capsys.readouterr()
+        code = main(["solve", str(out), "--algorithm", algorithm, "--seed", "0"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "utility" in output
+        assert algorithm.replace("exact", "exact-ilp") in output
+
+    def test_solve_with_alpha(self, tmp_path, capsys):
+        out = tmp_path / "instance.json"
+        main(
+            [
+                "generate", "synthetic",
+                "--out", str(out),
+                "--seed", "3",
+                "--events", "6",
+                "--users", "10",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["solve", str(out), "--algorithm", "lp-packing", "--alpha", "0.5"]
+        )
+        assert code == 0
+        assert "alpha: 0.5" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_experiment_writes_report_file(self, tmp_path, capsys, monkeypatch):
+        """Patch the registry to a fast stub; the CLI glue is what's tested."""
+        from repro.experiments.registry import ExperimentReport
+        import repro.cli as cli_module
+
+        def fake_run(experiment_id, repetitions=3, seed=0, **kwargs):
+            return ExperimentReport(
+                experiment_id=experiment_id,
+                text=f"stub report for {experiment_id} reps={repetitions}",
+                data=None,
+                ranking="lp-packing (1.00)",
+            )
+
+        monkeypatch.setattr(cli_module, "run_experiment", fake_run)
+        out = tmp_path / "report.txt"
+        code = main(["experiment", "fig1a", "--reps", "2", "--out", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stub report for fig1a reps=2" in output
+        assert "ranking" in output
+        assert out.read_text().startswith("stub report")

@@ -1,0 +1,97 @@
+"""Unit tests for experiment result persistence."""
+
+import json
+
+import pytest
+
+from repro.core import GGGreedy, RandomU
+from repro.datagen import SyntheticConfig
+from repro.experiments import run_sweep
+from repro.experiments.persistence import (
+    load_stats,
+    load_sweep,
+    save_stats,
+    save_sweep,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.experiments.reporting import format_sweep_table
+from repro.experiments.runner import AlgorithmStats, run_on_instance
+from tests.util import random_instance
+
+
+def _small_sweep():
+    return run_sweep(
+        "num_events",
+        [4, 8],
+        base_config=SyntheticConfig(num_events=8, num_users=20),
+        algorithm_factory=lambda: [GGGreedy(), RandomU()],
+        repetitions=2,
+    )
+
+
+class TestStatsRoundTrip:
+    def test_field_preservation(self):
+        stats = AlgorithmStats(
+            "gg", utilities=[1.5, 2.5], runtimes=[0.01, 0.02], pair_counts=[3, 4]
+        )
+        restored = stats_from_dict(stats_to_dict(stats))
+        assert restored.algorithm == "gg"
+        assert restored.utilities == [1.5, 2.5]
+        assert restored.mean_utility == stats.mean_utility
+        assert restored.pair_counts == [3, 4]
+
+    def test_fixed_instance_stats_file(self, tmp_path):
+        instance = random_instance(seed=0)
+        stats = run_on_instance(
+            instance, algorithms=[GGGreedy(), RandomU()], repetitions=2
+        )
+        path = tmp_path / "table.json"
+        save_stats(stats, path, label="test run")
+        restored = load_stats(path)
+        assert set(restored) == set(stats)
+        for name in stats:
+            assert restored[name].utilities == stats[name].utilities
+
+
+class TestSweepRoundTrip:
+    def test_sweep_file_round_trip(self, tmp_path):
+        sweep = _small_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        restored = load_sweep(path)
+        assert restored.parameter == sweep.parameter
+        assert restored.values == sweep.values
+        assert restored.repetitions == sweep.repetitions
+        for name in ("gg", "random-u"):
+            assert restored.series(name) == sweep.series(name)
+
+    def test_restored_sweep_renders_identically(self, tmp_path):
+        sweep = _small_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        restored = load_sweep(path)
+        assert format_sweep_table(restored) == format_sweep_table(sweep)
+
+    def test_file_is_plain_json(self, tmp_path):
+        sweep = _small_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["kind"] == "sweep"
+
+
+class TestVersionGuards:
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "kind": "sweep"}))
+        with pytest.raises(ValueError, match="version"):
+            load_sweep(path)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        sweep = _small_sweep()
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        with pytest.raises(ValueError, match="not a stats payload"):
+            load_stats(path)

@@ -1,0 +1,100 @@
+"""Unit tests for report formatting."""
+
+from repro.experiments import (
+    AlgorithmStats,
+    SweepResult,
+    format_ranking,
+    format_sweep_table,
+    format_utility_table,
+    sweep_to_csv,
+)
+
+
+def _stats(name, utilities):
+    return AlgorithmStats(
+        name,
+        utilities=list(utilities),
+        runtimes=[0.01] * len(utilities),
+        pair_counts=[3] * len(utilities),
+    )
+
+
+def _sweep():
+    return SweepResult(
+        parameter="num_events",
+        label="|V|",
+        values=[10, 20],
+        stats=[
+            {"gg": _stats("gg", [1.0, 2.0]), "random-u": _stats("random-u", [0.5])},
+            {"gg": _stats("gg", [3.0]), "random-u": _stats("random-u", [1.5])},
+        ],
+        repetitions=2,
+    )
+
+
+class TestSweepTable:
+    def test_contains_header_values_and_series(self):
+        text = format_sweep_table(_sweep(), title="Fig. X")
+        assert "Fig. X" in text
+        assert "|V|" in text
+        assert "10" in text and "20" in text
+        assert "gg" in text and "random-u" in text
+        assert "1.50" in text  # mean of [1.0, 2.0]
+        assert "3.00" in text
+
+    def test_row_per_algorithm(self):
+        text = format_sweep_table(_sweep())
+        lines = [line for line in text.splitlines() if line.strip()]
+        # description + header + 2 algorithm rows
+        assert len(lines) == 4
+
+
+class TestUtilityTable:
+    def test_table2_order(self):
+        stats = {
+            "gg": _stats("gg", [5.0]),
+            "lp-packing": _stats("lp-packing", [7.0]),
+            "random-v": _stats("random-v", [3.0]),
+            "random-u": _stats("random-u", [4.0]),
+        }
+        text = format_utility_table(stats, title="Table II")
+        header = text.splitlines()[1]
+        assert header.index("lp-packing") < header.index("random-u")
+        assert header.index("random-u") < header.index("random-v")
+        assert header.index("random-v") < header.index("gg")
+
+    def test_extra_algorithms_appended(self):
+        stats = {
+            "lp-packing": _stats("lp-packing", [7.0]),
+            "exact-ilp": _stats("exact-ilp", [8.0]),
+        }
+        text = format_utility_table(stats)
+        assert "exact-ilp" in text
+
+    def test_rows_present(self):
+        stats = {"gg": _stats("gg", [5.0, 6.0])}
+        text = format_utility_table(stats)
+        assert "Utility" in text
+        assert "Std" in text
+        assert "Pairs" in text
+        assert "Time (s)" in text
+
+
+class TestRanking:
+    def test_sorted_by_mean_utility(self):
+        stats = {
+            "a": _stats("a", [1.0]),
+            "b": _stats("b", [3.0]),
+            "c": _stats("c", [2.0]),
+        }
+        ranking = format_ranking(stats)
+        assert ranking.index("b") < ranking.index("c") < ranking.index("a")
+
+
+class TestCSV:
+    def test_csv_rows(self):
+        csv = sweep_to_csv(_sweep())
+        lines = csv.splitlines()
+        assert lines[0].startswith("parameter,value,algorithm")
+        assert len(lines) == 1 + 2 * 2  # header + 2 values x 2 algorithms
+        assert "num_events,10,gg," in csv

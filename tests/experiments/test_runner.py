@@ -1,0 +1,95 @@
+"""Unit tests for the repetition runner."""
+
+import pytest
+
+from repro.core import GGGreedy, LPPacking, RandomU
+from repro.experiments import (
+    AlgorithmStats,
+    default_algorithms,
+    run_on_instance,
+    run_repetitions,
+)
+from tests.util import random_instance
+
+
+class TestDefaultAlgorithms:
+    def test_paper_set(self):
+        names = [a.name for a in default_algorithms()]
+        assert names == ["lp-packing", "random-u", "random-v", "gg"]
+
+    def test_lp_packing_uses_alpha_one(self):
+        lp = default_algorithms()[0]
+        assert lp.alpha == 1.0
+
+
+class TestRunRepetitions:
+    def test_each_algorithm_gets_all_repetitions(self):
+        stats = run_repetitions(
+            lambda seed: random_instance(seed=seed),
+            algorithms=[GGGreedy(), RandomU()],
+            repetitions=4,
+        )
+        assert set(stats) == {"gg", "random-u"}
+        for record in stats.values():
+            assert len(record.utilities) == 4
+            assert len(record.runtimes) == 4
+            assert len(record.pair_counts) == 4
+
+    def test_fresh_instances_per_repetition(self):
+        seen = []
+        def factory(seed):
+            seen.append(seed)
+            return random_instance(seed=seed)
+
+        run_repetitions(factory, algorithms=[GGGreedy()], repetitions=3, base_seed=10)
+        assert seen == [10, 11, 12]
+
+    def test_reproducible(self):
+        def factory(seed):
+            return random_instance(seed=seed)
+
+        first = run_repetitions(factory, algorithms=[LPPacking()], repetitions=3)
+        second = run_repetitions(factory, algorithms=[LPPacking()], repetitions=3)
+        assert first["lp-packing"].utilities == second["lp-packing"].utilities
+
+    def test_default_algorithm_list_used_when_omitted(self):
+        stats = run_repetitions(
+            lambda seed: random_instance(seed=seed), repetitions=1
+        )
+        assert set(stats) == {"lp-packing", "random-u", "random-v", "gg"}
+
+
+class TestRunOnInstance:
+    def test_fixed_instance_varies_only_algorithm_seed(self):
+        instance = random_instance(seed=0, num_users=20, num_events=8)
+        stats = run_on_instance(
+            instance, algorithms=[RandomU()], repetitions=5, base_seed=0
+        )
+        record = stats["random-u"]
+        assert len(record.utilities) == 5
+        # Random baseline on a fixed instance should show some variance.
+        assert record.std_utility > 0.0
+
+    def test_deterministic_algorithm_has_zero_variance(self):
+        instance = random_instance(seed=0)
+        stats = run_on_instance(instance, algorithms=[GGGreedy()], repetitions=3)
+        assert stats["gg"].std_utility == 0.0
+
+
+class TestAlgorithmStats:
+    def test_aggregates(self):
+        stats = AlgorithmStats(
+            "x", utilities=[1.0, 2.0, 3.0], runtimes=[0.1, 0.2, 0.3],
+            pair_counts=[5, 6, 7],
+        )
+        assert stats.mean_utility == pytest.approx(2.0)
+        assert stats.std_utility == pytest.approx(0.8164965809)
+        assert stats.mean_runtime == pytest.approx(0.2)
+        assert stats.mean_pairs == pytest.approx(6.0)
+
+    def test_empty_stats_are_zero(self):
+        stats = AlgorithmStats("x")
+        assert stats.mean_utility == 0.0
+        assert stats.std_utility == 0.0
+        assert stats.mean_runtime == 0.0
+        assert stats.mean_pairs == 0.0

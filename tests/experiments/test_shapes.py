@@ -1,0 +1,133 @@
+"""Unit tests for the paper-claim shape checker."""
+
+import pytest
+
+from repro.experiments import AlgorithmStats, SweepResult
+from repro.experiments.shapes import (
+    FIG1_EXPECTATIONS,
+    ShapeExpectation,
+    check_figure,
+    check_sweep_shape,
+)
+
+
+def _sweep(series_by_algorithm: dict[str, list[float]], values=None):
+    algorithms = list(series_by_algorithm)
+    length = len(next(iter(series_by_algorithm.values())))
+    values = values if values is not None else list(range(length))
+    stats = []
+    for index in range(length):
+        point = {}
+        for name in algorithms:
+            point[name] = AlgorithmStats(
+                name, utilities=[series_by_algorithm[name][index]]
+            )
+        stats.append(point)
+    return SweepResult(
+        parameter="p", label="p", values=values, stats=stats, repetitions=1
+    )
+
+
+class TestWinnerCheck:
+    def test_conforming_sweep_has_no_violations(self):
+        sweep = _sweep({"lp-packing": [10, 20], "gg": [8, 15]})
+        expectation = ShapeExpectation(trend="increasing")
+        assert check_sweep_shape(sweep, expectation) == []
+
+    def test_losing_point_reported(self):
+        sweep = _sweep({"lp-packing": [10, 12], "gg": [8, 20]})
+        violations = check_sweep_shape(sweep, ShapeExpectation())
+        assert any("loses to gg" in v for v in violations)
+
+    def test_tolerance_absorbs_noise(self):
+        sweep = _sweep({"lp-packing": [10.0], "gg": [10.1]})
+        expectation = ShapeExpectation(winner_tolerance=0.98)
+        assert check_sweep_shape(sweep, expectation) == []
+
+    def test_missing_winner_short_circuits(self):
+        sweep = _sweep({"gg": [1.0]})
+        violations = check_sweep_shape(sweep, ShapeExpectation())
+        assert violations == ["winner 'lp-packing' not present in sweep"]
+
+    def test_winner_none_skips_check(self):
+        sweep = _sweep({"gg": [5, 1]})
+        expectation = ShapeExpectation(winner=None, trend=None)
+        assert check_sweep_shape(sweep, expectation) == []
+
+
+class TestTrendCheck:
+    def test_increasing_violation(self):
+        sweep = _sweep({"lp-packing": [10, 8], "gg": [1, 1]})
+        violations = check_sweep_shape(
+            sweep, ShapeExpectation(trend="increasing")
+        )
+        assert any("not increasing" in v for v in violations)
+
+    def test_decreasing_violation(self):
+        sweep = _sweep({"lp-packing": [8, 10], "gg": [1, 1]})
+        violations = check_sweep_shape(
+            sweep, ShapeExpectation(trend="decreasing")
+        )
+        assert any("not decreasing" in v for v in violations)
+
+    def test_step_slack_allows_small_dips(self):
+        sweep = _sweep({"lp-packing": [10.0, 9.8, 12.0], "gg": [1, 1, 1]})
+        violations = check_sweep_shape(
+            sweep, ShapeExpectation(trend="increasing", step_slack=0.05)
+        )
+        assert violations == []
+
+    def test_large_dip_reported(self):
+        sweep = _sweep({"lp-packing": [10.0, 6.0, 12.0], "gg": [1, 1, 1]})
+        violations = check_sweep_shape(
+            sweep, ShapeExpectation(trend="increasing", step_slack=0.05)
+        )
+        assert any("non-monotone step" in v for v in violations)
+
+
+class TestClosingGapCheck:
+    def test_closing_gap_passes(self):
+        sweep = _sweep({"lp-packing": [10, 20], "gg": [8, 19.5]})
+        expectation = ShapeExpectation(trend="increasing", closing_gap="gg")
+        assert check_sweep_shape(sweep, expectation) == []
+
+    def test_widening_gap_reported(self):
+        sweep = _sweep({"lp-packing": [10, 20], "gg": [9.5, 15]})
+        expectation = ShapeExpectation(trend="increasing", closing_gap="gg")
+        violations = check_sweep_shape(sweep, expectation)
+        assert any("gap did not close" in v for v in violations)
+
+    def test_missing_chaser_reported(self):
+        sweep = _sweep({"lp-packing": [10, 20]})
+        expectation = ShapeExpectation(closing_gap="gg")
+        violations = check_sweep_shape(sweep, expectation)
+        assert any("chaser" in v for v in violations)
+
+
+class TestFigureRegistry:
+    def test_all_panels_have_expectations(self):
+        assert sorted(FIG1_EXPECTATIONS) == [
+            "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f",
+        ]
+
+    def test_fig1b_expects_closing_gap(self):
+        assert FIG1_EXPECTATIONS["fig1b"].closing_gap == "gg"
+
+    def test_fig1c_expects_decrease(self):
+        assert FIG1_EXPECTATIONS["fig1c"].trend == "decreasing"
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            check_figure("fig9", _sweep({"lp-packing": [1.0]}))
+
+    def test_real_reduced_sweep_conforms(self):
+        """An actual (reduced-scale) fig1d run must satisfy its expectation."""
+        from repro.datagen import SyntheticConfig
+        from repro.experiments import run_figure
+
+        sweep = run_figure(
+            "fig1d",
+            repetitions=2,
+            base_config=SyntheticConfig(num_events=15, num_users=60),
+        )
+        assert check_figure("fig1d", sweep) == []

@@ -1,0 +1,140 @@
+"""Unit tests for the Fig. 1 sweep engine (reduced scales for speed)."""
+
+import pytest
+
+from repro.core import GGGreedy, RandomU
+from repro.datagen import SyntheticConfig
+from repro.experiments import FIG1_SWEEPS, run_figure, run_sweep
+
+SMALL_BASE = SyntheticConfig(num_events=15, num_users=40)
+
+
+def _fast_algorithms():
+    return [GGGreedy(), RandomU()]
+
+
+class TestSweepDefinitions:
+    def test_all_six_panels_defined(self):
+        assert sorted(FIG1_SWEEPS) == [
+            "fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f",
+        ]
+
+    def test_panel_parameters_match_table1_factors(self):
+        assert FIG1_SWEEPS["fig1a"][0] == "num_events"
+        assert FIG1_SWEEPS["fig1b"][0] == "num_users"
+        assert FIG1_SWEEPS["fig1c"][0] == "conflict_probability"
+        assert FIG1_SWEEPS["fig1d"][0] == "friend_probability"
+        assert FIG1_SWEEPS["fig1e"][0] == "max_event_capacity"
+        assert FIG1_SWEEPS["fig1f"][0] == "max_user_capacity"
+
+    def test_default_values_are_on_every_grid(self):
+        """Each sweep grid must contain the Table I default of its factor."""
+        defaults = SyntheticConfig()
+        for parameter, _label, values in FIG1_SWEEPS.values():
+            assert getattr(defaults, parameter) in values
+
+
+class TestRunSweep:
+    def test_one_stats_dict_per_grid_point(self):
+        result = run_sweep(
+            "num_events",
+            [5, 10],
+            base_config=SMALL_BASE,
+            algorithm_factory=_fast_algorithms,
+            repetitions=2,
+        )
+        assert result.values == [5, 10]
+        assert len(result.stats) == 2
+        assert result.repetitions == 2
+        for point in result.stats:
+            assert set(point) == {"gg", "random-u"}
+            assert len(point["gg"].utilities) == 2
+
+    def test_series_extraction(self):
+        result = run_sweep(
+            "num_events",
+            [5, 10],
+            base_config=SMALL_BASE,
+            algorithm_factory=_fast_algorithms,
+            repetitions=1,
+        )
+        series = result.series("gg")
+        assert len(series) == 2
+        assert all(value >= 0.0 for value in series)
+
+    def test_more_events_grow_utility_when_capacity_binds(self):
+        """Fig. 1(a) shape: growing |V| grows utility.  At miniature scale
+        the effect is only reliable when event capacities bind, so the base
+        config uses max c_v = 2 (50 users competing for few seats)."""
+        config = SyntheticConfig(
+            num_events=5,
+            num_users=50,
+            max_event_capacity=2,
+            conflict_probability=0.4,
+        )
+        result = run_sweep(
+            "num_events",
+            [5, 25],
+            base_config=config,
+            algorithm_factory=_fast_algorithms,
+            repetitions=4,
+        )
+        series = result.series("gg")
+        assert series[1] > series[0]
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(TypeError):
+            run_sweep(
+                "no_such_field",
+                [1],
+                base_config=SMALL_BASE,
+                algorithm_factory=_fast_algorithms,
+                repetitions=1,
+            )
+
+    def test_seed_decorrelation_across_points(self):
+        """Grid points must not reuse the same instance seeds."""
+        seen_per_point = []
+
+        def tracking_factory():
+            return [GGGreedy()]
+
+        import repro.experiments.sweeps as sweeps_module
+
+        original = sweeps_module.run_repetitions
+
+        def spy(factory, algorithms, repetitions, base_seed):
+            seen_per_point.append(base_seed)
+            return original(factory, algorithms=algorithms,
+                            repetitions=repetitions, base_seed=base_seed)
+
+        sweeps_module.run_repetitions = spy
+        try:
+            run_sweep(
+                "num_events",
+                [5, 10, 15],
+                base_config=SMALL_BASE,
+                algorithm_factory=tracking_factory,
+                repetitions=2,
+                base_seed=7,
+            )
+        finally:
+            sweeps_module.run_repetitions = original
+        assert seen_per_point == [7, 1007, 2007]
+
+
+class TestRunFigure:
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            run_figure("fig9z")
+
+    def test_run_figure_small(self):
+        result = run_figure(
+            "fig1f",
+            repetitions=1,
+            base_config=SMALL_BASE,
+            algorithm_factory=_fast_algorithms,
+        )
+        assert result.parameter == "max_user_capacity"
+        assert result.label == "max cu"
+        assert result.values == [2, 3, 4, 5, 6]

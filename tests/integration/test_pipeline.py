@@ -1,0 +1,146 @@
+"""End-to-end integration tests: generator -> algorithms -> reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactILP, GGGreedy, LPPacking, RandomU, RandomV, lp_upper_bound
+from repro.datagen import MeetupConfig, SyntheticConfig, generate_meetup, generate_synthetic
+from repro.experiments import (
+    default_algorithms,
+    format_utility_table,
+    run_on_instance,
+    run_repetitions,
+)
+from repro.model import IGEPAInstance
+
+
+class TestSyntheticPipeline:
+    """Reduced-scale version of the paper's synthetic evaluation loop."""
+
+    CONFIG = SyntheticConfig(num_events=25, num_users=150)
+
+    def test_full_loop_produces_paper_ordering(self):
+        stats = run_repetitions(
+            lambda seed: generate_synthetic(self.CONFIG, seed=seed),
+            repetitions=5,
+            base_seed=0,
+        )
+        lp = stats["lp-packing"].mean_utility
+        gg = stats["gg"].mean_utility
+        random_u = stats["random-u"].mean_utility
+        random_v = stats["random-v"].mean_utility
+        # The paper's headline: LP-packing wins, GG second, randoms behind.
+        assert lp > random_u
+        assert lp > random_v
+        assert lp >= gg * 0.99
+        assert gg > min(random_u, random_v)
+
+    def test_report_contains_all_rows(self):
+        stats = run_repetitions(
+            lambda seed: generate_synthetic(self.CONFIG, seed=seed),
+            repetitions=2,
+        )
+        text = format_utility_table(stats, title="integration")
+        for name in ("lp-packing", "gg", "random-u", "random-v"):
+            assert name in text
+
+
+class TestMeetupPipeline:
+    CONFIG = MeetupConfig(num_events=25, num_users=120, num_groups=6)
+
+    def test_fixed_instance_loop(self):
+        instance = generate_meetup(self.CONFIG, seed=4)
+        stats = run_on_instance(instance, repetitions=3, base_seed=0)
+        assert stats["lp-packing"].mean_utility >= stats["random-u"].mean_utility
+        assert stats["lp-packing"].mean_utility >= stats["random-v"].mean_utility
+
+    def test_lp_cache_survives_repetitions(self):
+        instance = generate_meetup(self.CONFIG, seed=4)
+        algorithm = LPPacking(alpha=1.0)
+        first = algorithm.solve(instance, seed=0)
+        second = algorithm.solve(instance, seed=1)
+        assert second.details["lp_backend"] == "cache"
+        assert first.details["lp_objective"] == pytest.approx(
+            second.details["lp_objective"]
+        )
+
+
+class TestSaveLoadSolve:
+    def test_json_round_trip_through_disk_then_solve(self, tmp_path):
+        instance = generate_synthetic(
+            SyntheticConfig(num_events=12, num_users=40), seed=9
+        )
+        path = tmp_path / "workload.json"
+        instance.save(path)
+        restored = IGEPAInstance.load(path)
+        original = GGGreedy().solve(instance)
+        replayed = GGGreedy().solve(restored)
+        assert original.pairs == replayed.pairs
+
+    def test_meetup_round_trip(self, tmp_path):
+        instance = generate_meetup(
+            MeetupConfig(num_events=10, num_users=30, num_groups=4), seed=2
+        )
+        path = tmp_path / "meetup.json"
+        instance.save(path)
+        restored = IGEPAInstance.load(path)
+        assert restored.degrees_override == instance.degrees_override
+        for event in instance.events:
+            twin = restored.event_by_id[event.event_id]
+            assert twin.start_time == pytest.approx(event.start_time)
+
+
+class TestCrossAlgorithmDominance:
+    """Statistical shape of the algorithm hierarchy on many small instances."""
+
+    def test_lp_packing_dominates_on_average(self):
+        wins = 0
+        trials = 10
+        for seed in range(trials):
+            instance = generate_synthetic(
+                SyntheticConfig(num_events=15, num_users=80), seed=seed
+            )
+            lp = LPPacking().solve(instance, seed=0).utility
+            others = max(
+                GGGreedy().solve(instance, seed=0).utility,
+                RandomU().solve(instance, seed=0).utility,
+                RandomV().solve(instance, seed=0).utility,
+            )
+            if lp >= others - 1e-9:
+                wins += 1
+        assert wins >= 8, f"LP-packing won only {wins}/{trials} instances"
+
+    def test_exact_confirms_lp_packing_near_optimality(self):
+        """On small instances LP-packing with α = 1 should land within 10%
+        of the true optimum (usually exactly on it)."""
+        ratios = []
+        for seed in range(5):
+            instance = generate_synthetic(
+                SyntheticConfig(
+                    num_events=6,
+                    num_users=10,
+                    max_event_capacity=3,
+                    max_bids=4,
+                ),
+                seed=seed,
+            )
+            optimum = ExactILP().solve(instance).utility
+            if optimum == 0.0:
+                continue
+            achieved = np.mean(
+                [LPPacking().solve(instance, seed=s).utility for s in range(20)]
+            )
+            ratios.append(achieved / optimum)
+        assert ratios, "all instances degenerate"
+        assert min(ratios) >= 0.75
+        assert np.mean(ratios) >= 0.9
+
+    def test_bound_chain_on_one_instance(self):
+        """utility(any algorithm) <= OPT <= LP* — the Lemma 1 chain."""
+        instance = generate_synthetic(
+            SyntheticConfig(num_events=6, num_users=10, max_bids=3), seed=1
+        )
+        bound = lp_upper_bound(instance)
+        optimum = ExactILP().solve(instance).utility
+        heuristic = GGGreedy().solve(instance).utility
+        assert heuristic <= optimum + 1e-9 <= bound + 1e-9

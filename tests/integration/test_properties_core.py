@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the IGEPA model and algorithms."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    GGGreedy,
+    LPPacking,
+    RandomU,
+    RandomV,
+    enumerate_admissible_sets,
+    is_admissible,
+    lp_upper_bound,
+)
+from repro.model import (
+    Arrangement,
+    ArrangementError,
+    Event,
+    IGEPAInstance,
+    MatrixConflict,
+    TabulatedInterest,
+    User,
+)
+from repro.social import Graph
+
+
+# ----------------------------------------------------------------------
+# Strategy: complete random IGEPA instances.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def igepa_instances(draw):
+    num_events = draw(st.integers(min_value=1, max_value=6))
+    num_users = draw(st.integers(min_value=1, max_value=8))
+    event_ids = list(range(num_events))
+    user_ids = list(range(100, 100 + num_users))
+
+    events = [
+        Event(
+            event_id=e,
+            capacity=draw(st.integers(min_value=0, max_value=3)),
+        )
+        for e in event_ids
+    ]
+    pairs = list(itertools.combinations(event_ids, 2))
+    conflicting = [pair for pair in pairs if draw(st.booleans())]
+    conflict = MatrixConflict(conflicting)
+
+    users = []
+    interest = {}
+    for u in user_ids:
+        subset = [e for e in event_ids if draw(st.booleans())]
+        users.append(
+            User(
+                user_id=u,
+                capacity=draw(st.integers(min_value=0, max_value=3)),
+                bids=tuple(subset),
+            )
+        )
+        for e in subset:
+            interest[(e, u)] = draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            )
+
+    social = Graph(nodes=user_ids)
+    for a, b in itertools.combinations(user_ids, 2):
+        if draw(st.booleans()):
+            social.add_edge(a, b)
+
+    beta = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return IGEPAInstance(
+        events=events,
+        users=users,
+        conflict=conflict,
+        interest=TabulatedInterest(interest),
+        social=social,
+        beta=beta,
+    )
+
+
+ALGORITHM_FACTORIES = [
+    lambda: LPPacking(alpha=1.0),
+    lambda: LPPacking(alpha=0.5),
+    lambda: GGGreedy(),
+    lambda: RandomU(),
+    lambda: RandomV(),
+]
+
+
+class TestAlgorithmInvariants:
+    @given(igepa_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_every_algorithm_yields_feasible_arrangements(self, instance, seed):
+        for factory in ALGORITHM_FACTORIES:
+            result = factory().solve(instance, seed=seed)
+            assert result.arrangement.is_feasible(), (
+                f"{result.algorithm} produced violations: "
+                f"{result.arrangement.violations()}"
+            )
+
+    @given(igepa_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_no_algorithm_beats_the_lp_bound(self, instance, seed):
+        bound = lp_upper_bound(instance)
+        for factory in ALGORITHM_FACTORIES:
+            result = factory().solve(instance, seed=seed)
+            assert result.utility <= bound + 1e-6, result.algorithm
+
+    @given(igepa_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_utility_equals_sum_of_pair_weights(self, instance, seed):
+        result = GGGreedy().solve(instance, seed=seed)
+        expected = sum(
+            instance.weight(u, v) for v, u in result.pairs
+        )
+        assert result.utility == pytest.approx(expected)
+
+
+class TestAdmissibleSetProperties:
+    @given(igepa_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_enumerated_sets_are_admissible_and_complete(self, instance):
+        for user in instance.users:
+            sets = enumerate_admissible_sets(instance, user)
+            as_set = set(sets)
+            assert len(as_set) == len(sets), "duplicates in enumeration"
+            for events in sets:
+                assert is_admissible(instance, user, events)
+            # Completeness against brute force.
+            for size in range(1, min(user.capacity, len(user.bids)) + 1):
+                for combo in itertools.combinations(sorted(user.bids), size):
+                    if is_admissible(instance, user, combo):
+                        assert combo in as_set
+
+    @given(igepa_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_downward_closure(self, instance):
+        for user in instance.users:
+            sets = set(enumerate_admissible_sets(instance, user))
+            for events in sets:
+                if len(events) > 1:
+                    for drop in range(len(events)):
+                        subset = events[:drop] + events[drop + 1 :]
+                        assert subset in sets
+
+
+class TestArrangementProperties:
+    @given(
+        igepa_instances(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=100, max_value=107),
+            ),
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_checked_mutation_maintains_feasibility(self, instance, operations):
+        """Whatever sequence of guarded adds is attempted, the arrangement
+        stays feasible — rejected operations must not corrupt state."""
+        arrangement = Arrangement(instance)
+        for event_id, user_id in operations:
+            try:
+                arrangement.add(event_id, user_id)
+            except ArrangementError:
+                pass
+            assert arrangement.is_feasible()
+
+    @given(igepa_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_add_remove_roundtrip_restores_utility(self, instance, seed):
+        result = RandomU().solve(instance, seed=seed)
+        arrangement = result.arrangement
+        before = arrangement.utility()
+        pairs = list(arrangement.pairs)
+        if not pairs:
+            return
+        event_id, user_id = pairs[0]
+        arrangement.remove(event_id, user_id)
+        arrangement.add(event_id, user_id)
+        assert arrangement.utility() == pytest.approx(before)
+
+
+class TestSerializationProperties:
+    @given(igepa_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_preserves_weights(self, instance):
+        restored = IGEPAInstance.from_dict(instance.to_dict())
+        assert restored.num_events == instance.num_events
+        assert restored.num_users == instance.num_users
+        for user in instance.users:
+            for event_id in user.bids:
+                assert restored.weight(user.user_id, event_id) == pytest.approx(
+                    instance.weight(user.user_id, event_id)
+                )
+
+    @given(igepa_instances(), st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_preserves_algorithm_output(self, instance, seed):
+        """Deterministic algorithms must produce identical arrangements on a
+        serialization round-trip — the acid test for lossless encoding."""
+        restored = IGEPAInstance.from_dict(instance.to_dict())
+        original = GGGreedy().solve(instance, seed=seed)
+        replayed = GGGreedy().solve(restored, seed=seed)
+        assert original.pairs == replayed.pairs
+        assert original.utility == pytest.approx(replayed.utility)

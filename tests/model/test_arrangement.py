@@ -1,0 +1,192 @@
+"""Unit tests for Arrangement: feasibility constraints and utility."""
+
+import pytest
+
+from repro.model import Arrangement, ArrangementError
+from tests.util import tiny_instance
+
+
+@pytest.fixture
+def instance():
+    return tiny_instance()
+
+
+class TestBidConstraint:
+    def test_assigned_event_must_be_bid(self, instance):
+        arrangement = Arrangement(instance)
+        with pytest.raises(ArrangementError, match="bid constraint"):
+            arrangement.add(3, 10)  # user 10 bids only for 1, 2
+
+    def test_bid_event_is_accepted(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10)
+        assert (1, 10) in arrangement
+
+
+class TestCapacityConstraints:
+    def test_event_capacity_enforced(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(2, 10)  # event 2 has capacity 1
+        with pytest.raises(ArrangementError, match="event 2 is full"):
+            arrangement.add(2, 12)
+
+    def test_user_capacity_enforced(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10)  # user 10 has capacity 1
+        with pytest.raises(ArrangementError, match="user 10 is at capacity"):
+            arrangement.add(2, 10)
+
+    def test_capacity_frees_after_removal(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(2, 10)
+        arrangement.remove(2, 10)
+        arrangement.add(2, 12)  # capacity 1 slot reusable
+        assert (2, 12) in arrangement
+
+
+class TestConflictConstraint:
+    def test_conflicting_events_rejected_for_same_user(self, instance):
+        # Events 1 and 2 conflict; user 12 bids {2, 3} so use a user who bids both.
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 11)
+        arrangement.add(3, 11)  # 1 and 3 do not conflict
+        assert len(arrangement) == 2
+
+    def test_conflict_detected(self, instance):
+        # Give user 10 capacity 2 via a fresh check: bids (1, 2) conflict.
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10)
+        # user 10 capacity is 1, so capacity triggers first; use user 12 for
+        # the conflict path instead: bids (2, 3), no conflict there, so build
+        # a direct conflict via user 11? 11 bids (1, 3) non-conflicting.
+        # The tiny instance has only users 10 with both conflicting bids, so
+        # check can_add reports False for the second conflicting event.
+        assert not arrangement.can_add(2, 10)
+
+    def test_conflict_error_message(self):
+        from repro.model import Event, IGEPAInstance, MatrixConflict, TabulatedInterest, User
+        from repro.social import Graph
+
+        events = [Event(event_id=1, capacity=2), Event(event_id=2, capacity=2)]
+        users = [User(user_id=5, capacity=2, bids=(1, 2))]
+        instance = IGEPAInstance(
+            events,
+            users,
+            MatrixConflict([(1, 2)]),
+            TabulatedInterest({(1, 5): 0.5, (2, 5): 0.5}),
+            Graph(nodes=[5]),
+        )
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 5)
+        with pytest.raises(ArrangementError, match="conflict constraint"):
+            arrangement.add(2, 5)
+
+
+class TestMutationBookkeeping:
+    def test_duplicate_pair_rejected(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10)
+        with pytest.raises(ArrangementError, match="already present"):
+            arrangement.add(1, 10)
+
+    def test_unknown_ids_rejected(self, instance):
+        arrangement = Arrangement(instance)
+        with pytest.raises(ArrangementError, match="unknown event"):
+            arrangement.add(99, 10)
+        with pytest.raises(ArrangementError, match="unknown user"):
+            arrangement.add(1, 999)
+
+    def test_remove_missing_pair_raises(self, instance):
+        with pytest.raises(ArrangementError, match="not in arrangement"):
+            Arrangement(instance).remove(1, 10)
+
+    def test_views(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 11)
+        arrangement.add(3, 11)
+        arrangement.add(3, 13)
+        assert arrangement.events_of(11) == {1, 3}
+        assert arrangement.users_of(3) == {11, 13}
+        assert arrangement.attendance(3) == 2
+        assert arrangement.load(11) == 2
+        assert arrangement.load(10) == 0
+
+    def test_iteration_and_len(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10)
+        arrangement.add(3, 13)
+        assert len(arrangement) == 2
+        assert set(arrangement) == {(1, 10), (3, 13)}
+
+    def test_from_pairs(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10), (3, 13)])
+        assert len(arrangement) == 2
+
+    def test_copy_is_independent(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10)])
+        clone = arrangement.copy()
+        clone.add(3, 13)
+        assert len(arrangement) == 1
+        assert len(clone) == 2
+
+
+class TestFeasibilityAudit:
+    def test_feasible_arrangement_has_no_violations(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10), (1, 11), (3, 12)])
+        assert arrangement.is_feasible()
+        assert arrangement.violations() == []
+
+    def test_unchecked_bid_violation_detected(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(3, 10, check=False)  # 10 did not bid for 3
+        assert not arrangement.is_feasible()
+        assert any("bid" in v for v in arrangement.violations())
+
+    def test_unchecked_capacity_violation_detected(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(2, 10, check=False)
+        arrangement.add(2, 12, check=False)  # event 2 capacity 1
+        assert any("capacity: event 2" in v for v in arrangement.violations())
+
+    def test_unchecked_user_capacity_violation_detected(self, instance):
+        arrangement = Arrangement(instance)
+        arrangement.add(1, 10, check=False)
+        arrangement.add(2, 10, check=False)  # user 10 capacity 1 (also conflict)
+        violations = arrangement.violations()
+        assert any("capacity: user 10" in v for v in violations)
+        assert any("conflict" in v for v in violations)
+
+
+class TestUtility:
+    def test_empty_arrangement_utility_is_zero(self, instance):
+        assert Arrangement(instance).utility() == 0.0
+
+    def test_utility_matches_definition(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10), (3, 11)])
+        beta = instance.beta
+        expected = (
+            beta * (0.9 + 0.8)
+            + (1 - beta) * (instance.degree(10) + instance.degree(11))
+        )
+        assert arrangement.utility() == pytest.approx(expected)
+
+    def test_utility_decomposition(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10), (3, 11)])
+        assert arrangement.interest_total() == pytest.approx(1.7)
+        assert arrangement.interaction_total() == pytest.approx(1.0)
+        assert arrangement.utility() == pytest.approx(
+            instance.beta * arrangement.interest_total()
+            + (1 - instance.beta) * arrangement.interaction_total()
+        )
+
+    def test_utility_additivity_under_removal(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10), (3, 11)])
+        before = arrangement.utility()
+        arrangement.remove(3, 11)
+        assert arrangement.utility() == pytest.approx(
+            before - instance.weight(11, 3)
+        )
+
+    def test_repr_contains_utility(self, instance):
+        arrangement = Arrangement.from_pairs(instance, [(1, 10)])
+        assert "pairs=1" in repr(arrangement)

@@ -1,0 +1,149 @@
+"""Unit tests for the fluent InstanceBuilder."""
+
+import pytest
+
+from repro.model import (
+    CosineInterest,
+    InstanceBuilder,
+    InstanceValidationError,
+)
+
+
+def _weekend_builder():
+    return (
+        InstanceBuilder(beta=0.6, name="weekend")
+        .event(1, capacity=2, start=18.0, duration=2.0)
+        .event(2, capacity=1, start=19.0, duration=2.0)
+        .event(3, capacity=3, start=22.0, duration=1.0)
+        .user(100, capacity=2, bids=[1, 2, 3])
+        .user(101, capacity=1, bids=[2])
+        .friends(100, 101)
+        .interest(1, 100, 0.9)
+        .interest(2, 100, 0.8)
+        .interest(3, 100, 0.4)
+        .interest(2, 101, 0.7)
+    )
+
+
+class TestBasicAssembly:
+    def test_builds_valid_instance(self):
+        instance = _weekend_builder().build()
+        assert instance.num_events == 3
+        assert instance.num_users == 2
+        assert instance.beta == 0.6
+        assert instance.name == "weekend"
+
+    def test_temporal_conflicts_inferred(self):
+        instance = _weekend_builder().build()
+        assert instance.conflicts(1, 2)  # 18-20 overlaps 19-21
+        assert not instance.conflicts(1, 3)  # 22-23 disjoint
+
+    def test_interest_table(self):
+        instance = _weekend_builder().build()
+        assert instance.interest_of(1, 100) == pytest.approx(0.9)
+        assert instance.interest_of(3, 101) == 0.0  # default
+
+    def test_social_ties(self):
+        instance = _weekend_builder().build()
+        assert instance.degree(100) == pytest.approx(1.0)  # 1 tie / (2-1)
+
+    def test_chaining_returns_builder(self):
+        builder = InstanceBuilder()
+        assert builder.event(1, capacity=1) is builder
+        assert builder.user(2, capacity=1) is builder
+        assert builder.interest(1, 2, 0.5) is builder
+
+
+class TestConflictModes:
+    def test_no_conflicts_when_untimed_and_undeclared(self):
+        instance = (
+            InstanceBuilder()
+            .event(1, capacity=1)
+            .event(2, capacity=1)
+            .user(9, capacity=2, bids=[1, 2])
+            .build()
+        )
+        assert not instance.conflicts(1, 2)
+
+    def test_explicit_conflicts(self):
+        instance = (
+            InstanceBuilder()
+            .event(1, capacity=1)
+            .event(2, capacity=1)
+            .user(9, capacity=2, bids=[1, 2])
+            .conflict(1, 2)
+            .build()
+        )
+        assert instance.conflicts(1, 2)
+
+    def test_composite_time_plus_explicit(self):
+        instance = (
+            InstanceBuilder()
+            .event(1, capacity=1, start=0.0, duration=2.0)
+            .event(2, capacity=1, start=1.0, duration=2.0)
+            .event(3, capacity=1, start=9.0, duration=1.0)
+            .user(9, capacity=3, bids=[1, 2, 3])
+            .conflict(1, 3)  # same venue, say
+            .build()
+        )
+        assert instance.conflicts(1, 2)  # time overlap
+        assert instance.conflicts(1, 3)  # declared
+        assert not instance.conflicts(2, 3)
+
+
+class TestInterestModes:
+    def test_default_interest(self):
+        instance = (
+            InstanceBuilder()
+            .event(1, capacity=1)
+            .user(9, capacity=1, bids=[1])
+            .default_interest(0.3)
+            .build()
+        )
+        assert instance.interest_of(1, 9) == pytest.approx(0.3)
+
+    def test_attribute_driven_interest(self):
+        instance = (
+            InstanceBuilder()
+            .event(1, capacity=1, attributes=[1.0, 0.0])
+            .user(9, capacity=1, bids=[1], attributes=[1.0, 0.0])
+            .interest_function(CosineInterest())
+            .build()
+        )
+        assert instance.interest_of(1, 9) == pytest.approx(1.0)
+
+
+class TestGroupsAndValidation:
+    def test_friend_group_builds_clique(self):
+        instance = (
+            InstanceBuilder()
+            .user(1, capacity=1)
+            .user(2, capacity=1)
+            .user(3, capacity=1)
+            .friend_group([1, 2, 3])
+            .build()
+        )
+        assert instance.social.has_edge(1, 2)
+        assert instance.social.has_edge(2, 3)
+        assert instance.social.has_edge(1, 3)
+
+    def test_dangling_bid_rejected_at_build(self):
+        builder = InstanceBuilder().event(1, capacity=1).user(9, capacity=1, bids=[99])
+        with pytest.raises(InstanceValidationError, match="unknown events"):
+            builder.build()
+
+    def test_tie_to_unknown_user_rejected_at_build(self):
+        builder = InstanceBuilder().user(1, capacity=1).friends(1, 42)
+        with pytest.raises(InstanceValidationError, match="non-user"):
+            builder.build()
+
+    def test_built_instance_is_solvable(self):
+        from repro.core import ExactILP, GGGreedy
+
+        instance = _weekend_builder().build()
+        exact = ExactILP().solve(instance)
+        greedy = GGGreedy().solve(instance)
+        assert exact.arrangement.is_feasible()
+        assert greedy.utility <= exact.utility + 1e-9
+        # Hand check: 100 -> {1 or 2, 3} and 101 -> 2 when 100 takes 1.
+        assert exact.utility > 0.0

@@ -1,0 +1,102 @@
+"""Unit tests for Event and User entities."""
+
+import numpy as np
+import pytest
+
+from repro.model import Event, User
+
+
+class TestEvent:
+    def test_minimal_event(self):
+        e = Event(event_id=1, capacity=10)
+        assert e.event_id == 1
+        assert e.capacity == 10
+        assert e.attributes.size == 0
+        assert e.start_time is None
+        assert e.end_time is None
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Event(event_id=1, capacity=-1)
+
+    def test_zero_capacity_allowed(self):
+        assert Event(event_id=1, capacity=0).capacity == 0
+
+    def test_attributes_coerced_to_float_array(self):
+        e = Event(event_id=1, capacity=5, attributes=[1, 2, 3])
+        assert e.attributes.dtype == float
+        assert e.attributes == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_non_vector_attributes_raise(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Event(event_id=1, capacity=5, attributes=[[1, 2], [3, 4]])
+
+    def test_temporal_attributes(self):
+        e = Event(event_id=1, capacity=5, start_time=10.0, duration=2.5)
+        assert e.end_time == pytest.approx(12.5)
+
+    def test_start_without_duration_raises(self):
+        with pytest.raises(ValueError, match="together"):
+            Event(event_id=1, capacity=5, start_time=10.0)
+
+    def test_duration_without_start_raises(self):
+        with pytest.raises(ValueError, match="together"):
+            Event(event_id=1, capacity=5, duration=1.0)
+
+    def test_nonpositive_duration_raises(self):
+        with pytest.raises(ValueError, match="duration"):
+            Event(event_id=1, capacity=5, start_time=0.0, duration=0.0)
+
+    def test_categories_frozen(self):
+        e = Event(event_id=1, capacity=5, categories={"tech", "social"})
+        assert e.categories == frozenset({"tech", "social"})
+
+    def test_equality_includes_attributes(self):
+        e1 = Event(event_id=1, capacity=5, attributes=[1.0])
+        e2 = Event(event_id=1, capacity=5, attributes=[1.0])
+        e3 = Event(event_id=1, capacity=5, attributes=[2.0])
+        assert e1 == e2
+        assert e1 != e3
+
+    def test_hashable_by_id(self):
+        e1 = Event(event_id=1, capacity=5)
+        e2 = Event(event_id=1, capacity=9)
+        assert hash(e1) == hash(e2)
+        assert len({e1, Event(event_id=2, capacity=5)}) == 2
+
+
+class TestUser:
+    def test_minimal_user(self):
+        u = User(user_id=7, capacity=3)
+        assert u.user_id == 7
+        assert u.bids == ()
+        assert u.bid_set == frozenset()
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError, match="capacity"):
+            User(user_id=1, capacity=-2)
+
+    def test_bids_normalized_to_int_tuple(self):
+        u = User(user_id=1, capacity=2, bids=[np.int64(3), 5])
+        assert u.bids == (3, 5)
+        assert all(isinstance(b, int) for b in u.bids)
+
+    def test_duplicate_bids_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            User(user_id=1, capacity=2, bids=(3, 3))
+
+    def test_bid_set_membership(self):
+        u = User(user_id=1, capacity=2, bids=(3, 5))
+        assert 3 in u.bid_set
+        assert 4 not in u.bid_set
+
+    def test_equality_and_hash(self):
+        u1 = User(user_id=1, capacity=2, bids=(3,))
+        u2 = User(user_id=1, capacity=2, bids=(3,))
+        assert u1 == u2
+        assert hash(u1) == hash(u2)
+        assert u1 != User(user_id=1, capacity=2, bids=(4,))
+
+    def test_equality_against_other_types(self):
+        assert User(user_id=1, capacity=1) != "user"
+        assert Event(event_id=1, capacity=1) != "event"

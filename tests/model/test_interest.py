@@ -1,0 +1,145 @@
+"""Unit tests for interest functions."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    CosineInterest,
+    Event,
+    JaccardInterest,
+    ScaledDotInterest,
+    TabulatedInterest,
+    User,
+    interest_from_dict,
+)
+
+
+def _event(attributes=(), categories=(), event_id=1):
+    return Event(
+        event_id=event_id, capacity=5, attributes=attributes, categories=categories
+    )
+
+
+def _user(attributes=(), categories=(), user_id=1):
+    return User(
+        user_id=user_id, capacity=3, attributes=attributes, categories=categories
+    )
+
+
+class TestCosineInterest:
+    def test_identical_vectors_give_one(self):
+        f = CosineInterest()
+        assert f.interest(_event([1.0, 2.0]), _user([1.0, 2.0])) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors_give_zero(self):
+        f = CosineInterest()
+        assert f.interest(_event([1.0, 0.0]), _user([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_negative_similarity_clipped_to_zero(self):
+        f = CosineInterest()
+        assert f.interest(_event([1.0]), _user([-1.0])) == 0.0
+
+    def test_zero_norm_gives_zero(self):
+        f = CosineInterest()
+        assert f.interest(_event([0.0, 0.0]), _user([1.0, 1.0])) == 0.0
+
+    def test_mismatched_shapes_give_zero(self):
+        f = CosineInterest()
+        assert f.interest(_event([1.0]), _user([1.0, 2.0])) == 0.0
+
+    def test_empty_vectors_give_zero(self):
+        f = CosineInterest()
+        assert f.interest(_event(), _user()) == 0.0
+
+    def test_range_on_random_vectors(self):
+        rng = np.random.default_rng(0)
+        f = CosineInterest()
+        for _ in range(50):
+            value = f.interest(
+                _event(rng.normal(size=4)), _user(rng.normal(size=4))
+            )
+            assert 0.0 <= value <= 1.0
+
+
+class TestJaccardInterest:
+    def test_identical_sets_give_one(self):
+        f = JaccardInterest()
+        assert f.interest(
+            _event(categories={"a", "b"}), _user(categories={"a", "b"})
+        ) == pytest.approx(1.0)
+
+    def test_disjoint_sets_give_zero(self):
+        f = JaccardInterest()
+        assert f.interest(
+            _event(categories={"a"}), _user(categories={"b"})
+        ) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        f = JaccardInterest()
+        assert f.interest(
+            _event(categories={"a", "b", "c"}), _user(categories={"b", "c", "d"})
+        ) == pytest.approx(0.5)
+
+    def test_both_empty_give_zero(self):
+        f = JaccardInterest()
+        assert f.interest(_event(), _user()) == 0.0
+
+
+class TestScaledDotInterest:
+    def test_topic_distributions(self):
+        f = ScaledDotInterest()
+        value = f.interest(_event([0.5, 0.5]), _user([1.0, 0.0]))
+        assert value == pytest.approx(0.5)
+
+    def test_clipped_above_one(self):
+        f = ScaledDotInterest()
+        assert f.interest(_event([2.0]), _user([3.0])) == 1.0
+
+    def test_mismatched_shapes_give_zero(self):
+        f = ScaledDotInterest()
+        assert f.interest(_event([1.0]), _user([1.0, 1.0])) == 0.0
+
+
+class TestTabulatedInterest:
+    def test_lookup(self):
+        f = TabulatedInterest({(1, 10): 0.7})
+        assert f.interest(_event(event_id=1), _user(user_id=10)) == pytest.approx(0.7)
+
+    def test_missing_pair_uses_default(self):
+        f = TabulatedInterest({(1, 10): 0.7}, default=0.2)
+        assert f.interest(_event(event_id=9), _user(user_id=9)) == pytest.approx(0.2)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            TabulatedInterest({(1, 1): 1.5})
+
+    def test_out_of_range_default_rejected(self):
+        with pytest.raises(ValueError, match="default"):
+            TabulatedInterest({}, default=-0.1)
+
+    def test_len(self):
+        assert len(TabulatedInterest({(1, 1): 0.5, (2, 2): 0.5})) == 2
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "function",
+        [
+            CosineInterest(),
+            JaccardInterest(),
+            ScaledDotInterest(),
+            TabulatedInterest({(1, 2): 0.25, (3, 4): 0.75}, default=0.1),
+        ],
+        ids=["cosine", "jaccard", "dot", "tabulated"],
+    )
+    def test_round_trip(self, function):
+        restored = interest_from_dict(function.to_dict())
+        event = _event([0.6, 0.8], categories={"a"}, event_id=1)
+        user = _user([0.6, 0.8], categories={"a", "b"}, user_id=2)
+        assert restored.interest(event, user) == pytest.approx(
+            function.interest(event, user)
+        )
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown interest"):
+            interest_from_dict({"kind": "psychic"})

@@ -1,0 +1,147 @@
+"""Unit tests for repro.social.generators."""
+
+import numpy as np
+import pytest
+
+from repro.social import (
+    barabasi_albert_graph,
+    complete_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    graph_from_edges,
+    watts_strogatz_graph,
+)
+
+
+class TestBasicGenerators:
+    def test_empty_graph(self):
+        g = empty_graph(range(5))
+        assert g.number_of_nodes == 5
+        assert g.number_of_edges == 0
+
+    def test_complete_graph_edge_count(self):
+        g = complete_graph(range(6))
+        assert g.number_of_edges == 15
+        for node in g.nodes():
+            assert g.degree(node) == 5
+
+    def test_complete_graph_of_one_node(self):
+        g = complete_graph([7])
+        assert g.number_of_nodes == 1
+        assert g.number_of_edges == 0
+
+    def test_graph_from_edges_with_isolated_nodes(self):
+        g = graph_from_edges([(1, 2)], nodes=[9])
+        assert set(g.nodes()) == {1, 2, 9}
+        assert g.degree(9) == 0
+
+
+class TestErdosRenyi:
+    def test_p_zero_yields_no_edges(self):
+        g = erdos_renyi_graph(range(20), 0.0, seed=1)
+        assert g.number_of_edges == 0
+
+    def test_p_one_yields_complete_graph(self):
+        g = erdos_renyi_graph(range(10), 1.0, seed=1)
+        assert g.number_of_edges == 45
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError, match="edge probability"):
+            erdos_renyi_graph(range(3), 1.5)
+        with pytest.raises(ValueError, match="edge probability"):
+            erdos_renyi_graph(range(3), -0.1)
+
+    def test_seed_determinism(self):
+        g1 = erdos_renyi_graph(range(30), 0.3, seed=42)
+        g2 = erdos_renyi_graph(range(30), 0.3, seed=42)
+        assert g1 == g2
+
+    def test_different_seeds_differ(self):
+        g1 = erdos_renyi_graph(range(30), 0.5, seed=1)
+        g2 = erdos_renyi_graph(range(30), 0.5, seed=2)
+        assert g1 != g2
+
+    def test_rng_takes_precedence_over_seed(self):
+        rng = np.random.default_rng(7)
+        g1 = erdos_renyi_graph(range(20), 0.4, rng=rng, seed=999)
+        g2 = erdos_renyi_graph(range(20), 0.4, seed=7)
+        assert g1 == g2
+
+    def test_edge_count_close_to_expectation(self):
+        n, p = 200, 0.3
+        g = erdos_renyi_graph(range(n), p, seed=3)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.number_of_edges - expected) < 0.1 * expected
+
+    def test_single_node_graph(self):
+        g = erdos_renyi_graph([0], 0.9, seed=1)
+        assert g.number_of_nodes == 1
+        assert g.number_of_edges == 0
+
+    def test_arbitrary_node_labels(self):
+        g = erdos_renyi_graph(["a", "b", "c"], 1.0, seed=1)
+        assert g.has_edge("a", "b")
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 50, 3
+        g = barabasi_albert_graph(list(range(n)), m, seed=5)
+        # seed clique has C(m+1, 2) edges; each later node adds exactly m.
+        expected = (m + 1) * m // 2 + (n - m - 1) * m
+        assert g.number_of_edges == expected
+
+    def test_minimum_degree_is_m(self):
+        g = barabasi_albert_graph(list(range(40)), 2, seed=5)
+        assert min(g.degree(v) for v in g.nodes()) >= 2
+
+    def test_invalid_m_raises(self):
+        with pytest.raises(ValueError, match="1 <= m < n"):
+            barabasi_albert_graph(list(range(5)), 0)
+        with pytest.raises(ValueError, match="1 <= m < n"):
+            barabasi_albert_graph(list(range(5)), 5)
+
+    def test_determinism(self):
+        g1 = barabasi_albert_graph(list(range(30)), 2, seed=11)
+        g2 = barabasi_albert_graph(list(range(30)), 2, seed=11)
+        assert g1 == g2
+
+    def test_hub_emergence(self):
+        """Preferential attachment should create a degree spread."""
+        g = barabasi_albert_graph(list(range(200)), 2, seed=1)
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        assert degrees[-1] > 3 * degrees[len(degrees) // 2]
+
+
+class TestWattsStrogatz:
+    def test_zero_rewiring_is_ring_lattice(self):
+        g = watts_strogatz_graph(list(range(10)), 4, 0.0, seed=1)
+        assert g.number_of_edges == 10 * 4 // 2
+        for node in g.nodes():
+            assert g.degree(node) == 4
+
+    def test_edge_count_preserved_under_rewiring(self):
+        g = watts_strogatz_graph(list(range(20)), 4, 0.5, seed=2)
+        assert g.number_of_edges == 20 * 4 // 2
+
+    def test_odd_k_raises(self):
+        with pytest.raises(ValueError, match="even"):
+            watts_strogatz_graph(list(range(10)), 3, 0.1)
+
+    def test_k_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="0 < k < n"):
+            watts_strogatz_graph(list(range(4)), 4, 0.1)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError, match="rewiring"):
+            watts_strogatz_graph(list(range(10)), 2, 1.5)
+
+    def test_determinism(self):
+        g1 = watts_strogatz_graph(list(range(25)), 4, 0.3, seed=9)
+        g2 = watts_strogatz_graph(list(range(25)), 4, 0.3, seed=9)
+        assert g1 == g2
+
+    def test_full_rewiring_changes_lattice(self):
+        lattice = watts_strogatz_graph(list(range(30)), 4, 0.0, seed=3)
+        rewired = watts_strogatz_graph(list(range(30)), 4, 1.0, seed=3)
+        assert lattice != rewired

@@ -1,0 +1,152 @@
+"""Unit tests for repro.social.graph.Graph."""
+
+import pytest
+
+from repro.social import Graph
+
+
+class TestConstruction:
+    def test_empty_graph_has_no_nodes_or_edges(self):
+        g = Graph()
+        assert g.number_of_nodes == 0
+        assert g.number_of_edges == 0
+        assert g.nodes() == []
+        assert g.edges() == []
+
+    def test_init_with_nodes_and_edges(self):
+        g = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        assert g.number_of_nodes == 3
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_init_edges_create_missing_nodes(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert set(g.nodes()) == {1, 2, 3, 4}
+
+    def test_nodes_preserve_insertion_order(self):
+        g = Graph(nodes=[3, 1, 2])
+        assert g.nodes() == [3, 1, 2]
+
+
+class TestMutation:
+    def test_add_node_is_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.number_of_nodes == 1
+
+    def test_add_edge_is_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.number_of_edges == 1
+
+    def test_add_edge_rejects_self_loop(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_edge_is_symmetric(self):
+        g = Graph(edges=[(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        assert g.has_node(1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_remove_node_drops_incident_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert g.degree(1) == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_node(42)
+
+
+class TestQueries:
+    def test_neighbors_returns_copy(self):
+        g = Graph(edges=[(1, 2)])
+        neighbors = g.neighbors(1)
+        neighbors.add(99)
+        assert g.neighbors(1) == {2}
+
+    def test_neighbors_of_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().neighbors(0)
+
+    def test_degree_counts_distinct_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_edges_lists_each_edge_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        edges = g.edges()
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {frozenset((1, 2)), frozenset((2, 3)), frozenset((1, 3))}
+
+    def test_dunder_protocols(self):
+        g = Graph(edges=[(1, 2)])
+        assert 1 in g
+        assert 3 not in g
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]
+
+    def test_equality_compares_structure(self):
+        g1 = Graph(edges=[(1, 2)])
+        g2 = Graph(edges=[(2, 1)])
+        assert g1 == g2
+        g2.add_node(3)
+        assert g1 != g2
+
+    def test_equality_against_non_graph(self):
+        assert Graph() != "not a graph"
+
+    def test_repr_mentions_counts(self):
+        g = Graph(edges=[(1, 2)])
+        assert "nodes=2" in repr(g)
+        assert "edges=1" in repr(g)
+
+
+class TestDerivations:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(1, 3)
+        assert not g.has_edge(1, 3)
+        assert clone.has_edge(1, 2)
+
+    def test_subgraph_keeps_internal_edges_only(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph([2, 3, 4])
+        assert set(sub.nodes()) == {2, 3, 4}
+        assert sub.has_edge(2, 3)
+        assert sub.has_edge(3, 4)
+        assert not sub.has_node(1)
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        g = Graph(edges=[(1, 2)])
+        sub = g.subgraph([1, 99])
+        assert set(sub.nodes()) == {1}
+
+    def test_networkx_round_trip(self):
+        g = Graph(edges=[(1, 2), (2, 3)], nodes=[4])
+        nx_graph = g.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert set(back.nodes()) == {1, 2, 3, 4}
+        assert back.has_edge(1, 2)
+        assert back.has_edge(2, 3)
+        assert back.number_of_edges == 2

@@ -1,0 +1,135 @@
+"""Unit tests for repro.social.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.social import (
+    Graph,
+    average_degree,
+    clustering_coefficient,
+    complete_graph,
+    connected_components,
+    degree_centrality,
+    degree_histogram,
+    degree_of_potential_interaction,
+    density,
+    empty_graph,
+    interaction_vector,
+)
+
+
+class TestDegreeOfPotentialInteraction:
+    """Definition 6: D(G, u) = deg(u) / (|U| - 1)."""
+
+    def test_star_center(self):
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        assert degree_of_potential_interaction(g, 0) == 1.0
+
+    def test_star_leaf(self):
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        assert degree_of_potential_interaction(g, 1) == pytest.approx(0.25)
+
+    def test_isolated_node_is_zero(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert degree_of_potential_interaction(g, 1) == 0.0
+
+    def test_single_node_graph_is_zero(self):
+        g = Graph(nodes=[1])
+        assert degree_of_potential_interaction(g, 1) == 0.0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            degree_of_potential_interaction(Graph(nodes=[1]), 99)
+
+    def test_value_in_unit_interval(self):
+        g = complete_graph(range(7))
+        for node in g.nodes():
+            d = degree_of_potential_interaction(g, node)
+            assert 0.0 <= d <= 1.0
+
+    def test_complete_graph_all_ones(self):
+        g = complete_graph(range(5))
+        assert all(degree_of_potential_interaction(g, v) == 1.0 for v in g)
+
+
+class TestInteractionVector:
+    def test_matches_scalar_function(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        vec = interaction_vector(g, nodes=[0, 1, 2])
+        assert vec == pytest.approx([0.5, 1.0, 0.5])
+
+    def test_default_order_is_graph_order(self):
+        g = Graph(nodes=[5, 3], edges=[(5, 3)])
+        vec = interaction_vector(g)
+        assert vec.shape == (2,)
+        assert np.all(vec == 1.0)
+
+    def test_custom_subset_order(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        vec = interaction_vector(g, nodes=[2, 1])
+        assert vec == pytest.approx([0.5, 1.0])
+
+
+class TestAggregateMetrics:
+    def test_degree_centrality_matches_definition(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        centrality = degree_centrality(g)
+        assert centrality == {
+            0: pytest.approx(0.5),
+            1: pytest.approx(1.0),
+            2: pytest.approx(0.5),
+        }
+
+    def test_average_degree(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert average_degree(g) == pytest.approx(4 / 3)
+
+    def test_average_degree_empty_graph(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_density_of_complete_graph(self):
+        assert density(complete_graph(range(6))) == 1.0
+
+    def test_density_of_empty_graph(self):
+        assert density(empty_graph(range(6))) == 0.0
+        assert density(Graph()) == 0.0
+        assert density(Graph(nodes=[1])) == 0.0
+
+    def test_degree_histogram(self):
+        g = Graph(edges=[(0, 1), (0, 2)], nodes=[3])
+        assert degree_histogram(g) == {2: 1, 1: 2, 0: 1}
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        g = complete_graph(range(3))
+        assert clustering_coefficient(g, 0) == 1.0
+
+    def test_path_center_has_zero_clustering(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert clustering_coefficient(g, 1) == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        g = Graph(edges=[(0, 1)])
+        assert clustering_coefficient(g, 0) == 0.0
+
+    def test_partial_clustering(self):
+        # 0 connects to 1,2,3; only (1,2) tied among them -> 1/3.
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert clustering_coefficient(g, 0) == pytest.approx(1 / 3)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert connected_components(g) == [{0, 1, 2}]
+
+    def test_multiple_components_sorted_by_size(self):
+        g = Graph(edges=[(0, 1), (1, 2), (5, 6)], nodes=[9])
+        components = connected_components(g)
+        assert components[0] == {0, 1, 2}
+        assert components[1] == {5, 6}
+        assert components[2] == {9}
+
+    def test_empty_graph_has_no_components(self):
+        assert connected_components(Graph()) == []

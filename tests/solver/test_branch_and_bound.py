@@ -1,0 +1,144 @@
+"""Unit tests for the branch-and-bound ILP solver."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchAndBoundOptions,
+    LinearProgram,
+    Sense,
+    SolveStatus,
+    solve_ilp,
+    solve_lp,
+)
+
+
+def _knapsack(values, weights, capacity, maximize=True):
+    lp = LinearProgram(maximize=maximize)
+    for j, value in enumerate(values):
+        lp.add_variable(f"x{j}", upper=1.0, objective=float(value), is_integer=True)
+    lp.add_constraint(
+        {j: float(w) for j, w in enumerate(weights)}, Sense.LE, float(capacity)
+    )
+    return lp
+
+
+class TestKnapsack:
+    def test_small_knapsack_optimum(self):
+        # values 10, 13, 7; weights 3, 4, 2; capacity 5 -> best is {10, 7} = 17.
+        lp = _knapsack([10, 13, 7], [3, 4, 2], 5)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(17.0)
+        assert solution.x == pytest.approx([1.0, 0.0, 1.0])
+
+    def test_lp_relaxation_is_an_upper_bound(self):
+        lp = _knapsack([10, 13, 7], [3, 4, 2], 5)
+        relaxation = solve_lp(lp)
+        integral = solve_ilp(lp)
+        assert relaxation.objective_value >= integral.objective_value - 1e-9
+
+    def test_fractional_relaxation_forces_branching(self):
+        # Relaxation puts 1/2 of item 1; B&B must still find the integral optimum.
+        lp = _knapsack([6, 10], [3, 5], 5)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(10.0)
+
+    def test_exhaustive_agreement_with_brute_force(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(2, 7))
+            values = rng.uniform(1, 10, n)
+            weights = rng.uniform(1, 5, n)
+            capacity = float(weights.sum() * rng.uniform(0.3, 0.8))
+            lp = _knapsack(values, weights, capacity)
+            solution = solve_ilp(lp)
+            assert solution.is_optimal
+            best = 0.0
+            for mask in range(2**n):
+                chosen = [(mask >> j) & 1 for j in range(n)]
+                if np.dot(chosen, weights) <= capacity + 1e-9:
+                    best = max(best, float(np.dot(chosen, values)))
+            assert solution.objective_value == pytest.approx(best)
+
+
+class TestStatuses:
+    def test_infeasible_ilp(self):
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variable("x", upper=1.0, objective=1.0, is_integer=True)
+        lp.add_constraint({x: 1.0}, Sense.GE, 2.0)
+        assert solve_ilp(lp).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_ilp(self):
+        lp = LinearProgram(maximize=True)
+        lp.add_variable("x", objective=1.0, is_integer=True)
+        assert solve_ilp(lp).status is SolveStatus.UNBOUNDED
+
+    def test_node_limit(self):
+        rng = np.random.default_rng(0)
+        n = 14
+        values = rng.uniform(1, 2, n)
+        weights = rng.uniform(1, 2, n)
+        lp = _knapsack(values, weights, weights.sum() / 2)
+        solution = solve_ilp(lp, BranchAndBoundOptions(max_nodes=2))
+        assert solution.status in (SolveStatus.NODE_LIMIT, SolveStatus.OPTIMAL)
+        if solution.status is SolveStatus.NODE_LIMIT:
+            assert solution.nodes_explored <= 2
+            assert solution.gap >= 0.0
+
+    def test_gap_is_zero_when_optimal(self):
+        lp = _knapsack([5, 4], [2, 3], 4)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.gap == 0.0
+
+
+class TestMixedInteger:
+    def test_continuous_variables_stay_continuous(self):
+        # max x + y, x integer <= 1.5 -> x = 1; y continuous <= 1.5 -> y = 1.5.
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variable("x", objective=1.0, is_integer=True)
+        y = lp.add_variable("y", objective=1.0)
+        lp.add_constraint({x: 1.0}, Sense.LE, 1.5)
+        lp.add_constraint({y: 1.0}, Sense.LE, 1.5)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.x[x] == pytest.approx(1.0)
+        assert solution.x[y] == pytest.approx(1.5)
+        assert solution.objective_value == pytest.approx(2.5)
+
+    def test_pure_lp_through_ilp_solver(self):
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variable("x", upper=2.5, objective=1.0)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(2.5)
+
+    def test_minimization_ilp(self):
+        # min 3x + 2y s.t. x + y >= 2.5, binaries -> infeasible with binaries?
+        # x + y can be at most 2 -> infeasible.
+        lp = LinearProgram(maximize=False)
+        x = lp.add_variable("x", upper=1.0, objective=3.0, is_integer=True)
+        y = lp.add_variable("y", upper=1.0, objective=2.0, is_integer=True)
+        lp.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 2.5)
+        assert solve_ilp(lp).status is SolveStatus.INFEASIBLE
+
+    def test_minimization_ilp_feasible(self):
+        # min 3x + 2y s.t. x + y >= 1.5 -> both must be 1, cost 5.
+        lp = LinearProgram(maximize=False)
+        x = lp.add_variable("x", upper=1.0, objective=3.0, is_integer=True)
+        y = lp.add_variable("y", upper=1.0, objective=2.0, is_integer=True)
+        lp.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 1.5)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        assert solution.objective_value == pytest.approx(5.0)
+
+    def test_integer_solution_is_exactly_integral(self):
+        lp = _knapsack([3.3, 4.7, 1.2], [1, 2, 1], 2)
+        solution = solve_ilp(lp)
+        assert solution.is_optimal
+        for variable in lp.variables:
+            if variable.is_integer:
+                value = solution.x[variable.index]
+                assert value == pytest.approx(round(value), abs=1e-12)

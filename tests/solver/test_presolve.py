@@ -1,0 +1,127 @@
+"""Unit tests for LP presolve."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    LinearProgram,
+    PresolveStatus,
+    Sense,
+    presolve,
+)
+
+
+def test_fixed_variable_is_removed_and_substituted():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", lower=2.0, upper=2.0, objective=3.0)
+    y = lp.add_variable("y", upper=5.0, objective=1.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 6.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.lp.num_variables == 1
+    assert result.fixed_values == {x: 2.0}
+    assert result.objective_offset == pytest.approx(6.0)
+    # The row becomes y <= 4 — and being a singleton it is folded into bounds.
+    assert result.lp.variables[0].upper == pytest.approx(4.0)
+
+
+def test_empty_constraint_dropped_when_satisfied():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_constraint({}, Sense.LE, 3.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.lp.num_constraints == 0
+
+
+def test_empty_constraint_infeasible():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.add_constraint({}, Sense.GE, 3.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.INFEASIBLE
+    assert "reduced to 0" in result.infeasibility_reason
+
+
+def test_inverted_bounds_detected():
+    lp = LinearProgram()
+    lp.add_variable("x", objective=1.0)
+    lp.variables[0].lower = 3.0
+    lp.variables[0].upper = 1.0
+    result = presolve(lp)
+    assert result.status is PresolveStatus.INFEASIBLE
+    assert "empty domain" in result.infeasibility_reason
+
+
+def test_singleton_row_tightens_upper_bound():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=10.0, objective=1.0)
+    lp.add_constraint({x: 2.0}, Sense.LE, 6.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.lp.num_constraints == 0
+    assert result.lp.variables[0].upper == pytest.approx(3.0)
+
+
+def test_singleton_row_with_negative_coefficient_flips_sense():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=10.0, objective=1.0)
+    lp.add_constraint({x: -1.0}, Sense.LE, -4.0)  # i.e. x >= 4
+    result = presolve(lp)
+    assert result.lp.variables[0].lower == pytest.approx(4.0)
+
+
+def test_singleton_equality_fixes_variable():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=10.0, objective=1.0)
+    y = lp.add_variable("y", upper=1.0, objective=1.0)
+    lp.add_constraint({x: 2.0}, Sense.EQ, 6.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 4.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.fixed_values == {x: 3.0}
+    # Remaining row over y only: y <= 1 -> folded into its bound.
+    assert result.lp.num_variables == 1
+
+
+def test_singleton_chain_detects_infeasibility():
+    lp = LinearProgram()
+    x = lp.add_variable("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, 1.0)
+    lp.add_constraint({x: 1.0}, Sense.GE, 2.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.INFEASIBLE
+
+
+def test_recover_x_reassembles_full_vector():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", lower=1.0, upper=1.0, objective=1.0)
+    y = lp.add_variable("y", upper=2.0, objective=1.0)
+    z = lp.add_variable("z", lower=5.0, upper=5.0, objective=1.0)
+    lp.add_constraint({x: 1.0, y: 1.0, z: 1.0}, Sense.LE, 8.0)
+    result = presolve(lp)
+    assert result.kept_variables == [y]
+    full = result.recover_x(np.array([1.5]), lp.num_variables)
+    assert full == pytest.approx([1.0, 1.5, 5.0])
+
+
+def test_input_program_is_not_mutated():
+    lp = LinearProgram()
+    x = lp.add_variable("x", lower=2.0, upper=2.0, objective=1.0)
+    y = lp.add_variable("y", objective=1.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 5.0)
+    presolve(lp)
+    assert lp.num_variables == 2
+    assert lp.constraints[0].coefficients == {x: 1.0, y: 1.0}
+
+
+def test_no_reductions_possible_is_identity():
+    lp = LinearProgram(maximize=True)
+    x = lp.add_variable("x", upper=4.0, objective=3.0)
+    y = lp.add_variable("y", upper=2.0, objective=5.0)
+    lp.add_constraint({x: 1.0, y: 2.0}, Sense.LE, 8.0)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.lp.num_variables == 2
+    assert result.lp.num_constraints == 1
+    assert result.fixed_values == {}

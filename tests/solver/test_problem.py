@@ -1,0 +1,135 @@
+"""Unit tests for the LinearProgram model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import Constraint, LinearProgram, Sense
+
+
+class TestVariables:
+    def test_add_variable_returns_sequential_indices(self):
+        lp = LinearProgram()
+        assert lp.add_variable("a") == 0
+        assert lp.add_variable("b") == 1
+        assert lp.num_variables == 2
+
+    def test_default_bounds_are_nonnegative(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        assert lp.variables[0].lower == 0.0
+        assert lp.variables[0].upper == math.inf
+
+    def test_auto_generated_names(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        lp.add_variable()
+        assert [v.name for v in lp.variables] == ["x0", "x1"]
+
+    def test_duplicate_name_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            lp.add_variable("x")
+
+    def test_inverted_bounds_raise(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError, match="lower"):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_integer_marker(self):
+        lp = LinearProgram()
+        lp.add_variable("x", is_integer=True)
+        lp.add_variable("y")
+        assert lp.has_integer_variables
+        assert lp.variables[0].is_integer
+        assert not lp.variables[1].is_integer
+
+    def test_no_integer_variables(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        assert not lp.has_integer_variables
+
+
+class TestConstraints:
+    def test_add_constraint_drops_zero_coefficients(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        y = lp.add_variable("y")
+        lp.add_constraint({x: 1.0, y: 0.0}, Sense.LE, 5.0)
+        assert lp.constraints[0].coefficients == {x: 1.0}
+
+    def test_unknown_variable_index_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(IndexError, match="unknown variable"):
+            lp.add_constraint({7: 1.0}, Sense.LE, 1.0)
+
+    def test_constraint_evaluate(self):
+        c = Constraint("c", {0: 2.0, 2: -1.0}, Sense.LE, 4.0)
+        assert c.evaluate(np.array([1.0, 9.0, 3.0])) == pytest.approx(-1.0)
+
+    def test_constraint_satisfaction_le(self):
+        c = Constraint("c", {0: 1.0}, Sense.LE, 1.0)
+        assert c.is_satisfied(np.array([0.5]))
+        assert c.is_satisfied(np.array([1.0]))
+        assert not c.is_satisfied(np.array([1.5]))
+
+    def test_constraint_satisfaction_ge(self):
+        c = Constraint("c", {0: 1.0}, Sense.GE, 1.0)
+        assert not c.is_satisfied(np.array([0.5]))
+        assert c.is_satisfied(np.array([1.5]))
+
+    def test_constraint_satisfaction_eq(self):
+        c = Constraint("c", {0: 1.0}, Sense.EQ, 1.0)
+        assert c.is_satisfied(np.array([1.0]))
+        assert not c.is_satisfied(np.array([1.1]))
+
+
+class TestProgramQueries:
+    def _small_lp(self):
+        lp = LinearProgram(maximize=True)
+        x = lp.add_variable("x", upper=4.0, objective=3.0)
+        y = lp.add_variable("y", upper=2.0, objective=5.0)
+        lp.add_constraint({x: 1.0, y: 2.0}, Sense.LE, 8.0)
+        return lp, x, y
+
+    def test_objective_vector_and_value(self):
+        lp, _, _ = self._small_lp()
+        assert lp.objective_vector() == pytest.approx([3.0, 5.0])
+        assert lp.objective_value(np.array([1.0, 1.0])) == pytest.approx(8.0)
+
+    def test_dense_constraint_matrix(self):
+        lp, _, _ = self._small_lp()
+        a, senses, b = lp.dense_constraint_matrix()
+        assert a == pytest.approx(np.array([[1.0, 2.0]]))
+        assert senses == [Sense.LE]
+        assert b == pytest.approx([8.0])
+
+    def test_is_feasible_checks_bounds_and_rows(self):
+        lp, _, _ = self._small_lp()
+        assert lp.is_feasible(np.array([4.0, 2.0]))
+        assert not lp.is_feasible(np.array([5.0, 0.0]))  # bound violated
+        assert not lp.is_feasible(np.array([-0.1, 0.0]))  # lower bound
+        assert not lp.is_feasible(np.array([4.0, 2.5]))  # row and bound
+
+    def test_is_feasible_rejects_wrong_shape(self):
+        lp, _, _ = self._small_lp()
+        with pytest.raises(ValueError, match="shape"):
+            lp.is_feasible(np.array([1.0]))
+
+    def test_copy_is_deep_for_bounds_and_rows(self):
+        lp, x, _ = self._small_lp()
+        clone = lp.copy()
+        clone.variables[x].upper = 99.0
+        clone.constraints[0].coefficients[x] = 7.0
+        assert lp.variables[x].upper == 4.0
+        assert lp.constraints[0].coefficients[x] == 1.0
+
+    def test_repr_mentions_shape_and_kind(self):
+        lp, _, _ = self._small_lp()
+        assert "vars=2" in repr(lp)
+        assert "LP" in repr(lp)
+        lp.add_variable("z", is_integer=True)
+        assert "ILP" in repr(lp)

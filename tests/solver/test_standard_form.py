@@ -1,0 +1,124 @@
+"""Unit tests for the standard-form conversion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver import LinearProgram, Sense
+from repro.solver.standard_form import to_standard_form
+
+
+def test_b_is_nonnegative_after_conversion():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.GE, -5.0)
+    lp.add_constraint({x: -1.0}, Sense.LE, -2.0)
+    sf = to_standard_form(lp)
+    assert np.all(sf.b >= 0.0)
+
+
+def test_le_constraint_gets_slack():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, 4.0)
+    sf = to_standard_form(lp)
+    # One structural column + one slack.
+    assert sf.num_columns == 2
+    assert sf.num_rows == 1
+    # x + s = 4
+    assert sf.a[0] == pytest.approx([1.0, 1.0])
+
+
+def test_ge_constraint_gets_surplus():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.GE, 4.0)
+    sf = to_standard_form(lp)
+    assert sf.a[0] == pytest.approx([1.0, -1.0])
+
+
+def test_eq_constraint_gets_no_slack():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.EQ, 4.0)
+    sf = to_standard_form(lp)
+    assert sf.num_columns == 1
+
+
+def test_maximize_negates_costs():
+    lp = LinearProgram(maximize=True)
+    lp.add_variable("x", objective=3.0)
+    sf = to_standard_form(lp)
+    assert sf.c[0] == pytest.approx(-3.0)
+    assert sf.recover_objective(-6.0) == pytest.approx(6.0)
+
+
+def test_shifted_lower_bound():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", lower=2.0, objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, 10.0)
+    sf = to_standard_form(lp)
+    # x = 2 + y: row becomes y <= 8, objective offset 2.
+    assert sf.b[0] == pytest.approx(8.0)
+    assert sf.objective_offset == pytest.approx(2.0)
+    x_rec = sf.recover_x(np.array([3.0, 0.0]))
+    assert x_rec[0] == pytest.approx(5.0)
+
+
+def test_finite_upper_bound_becomes_row():
+    lp = LinearProgram(maximize=False)
+    lp.add_variable("x", lower=1.0, upper=4.0, objective=1.0)
+    sf = to_standard_form(lp)
+    # The bound row y <= 3 plus its slack.
+    assert sf.num_rows == 1
+    assert sf.b[0] == pytest.approx(3.0)
+
+
+def test_mirrored_variable_upper_bound_only():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", lower=-math.inf, upper=5.0, objective=2.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, 3.0)
+    sf = to_standard_form(lp)
+    # x = 5 - y: row x <= 3 becomes -y <= -2, i.e. y >= 2 after the flip.
+    y = np.array([2.0, 0.0])
+    assert sf.recover_x(y)[0] == pytest.approx(3.0)
+    assert sf.objective_offset == pytest.approx(10.0)
+
+
+def test_free_variable_split():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", lower=-math.inf, upper=math.inf, objective=1.0)
+    lp.add_constraint({x: 1.0}, Sense.EQ, -7.0)
+    sf = to_standard_form(lp)
+    # Two columns for x; recover from y_pos - y_neg.
+    assert sf.num_columns == 2
+    assert sf.recover_x(np.array([0.0, 7.0]))[0] == pytest.approx(-7.0)
+
+
+def test_fixed_variable_substituted():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", lower=3.0, upper=3.0, objective=2.0)
+    y = lp.add_variable("y", objective=1.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 10.0)
+    sf = to_standard_form(lp)
+    # x contributes 3 to the row and 6 to the objective offset.
+    assert sf.b[0] == pytest.approx(7.0)
+    assert sf.objective_offset == pytest.approx(6.0)
+    assert sf.recover_x(np.zeros(sf.num_columns))[0] == pytest.approx(3.0)
+
+
+def test_empty_domain_raises():
+    lp = LinearProgram(maximize=False)
+    lp.add_variable("x", objective=1.0)
+    lp.variables[0].lower = 5.0
+    lp.variables[0].upper = 1.0  # bypass add_variable validation
+    with pytest.raises(ValueError, match="empty domain"):
+        to_standard_form(lp)
+
+
+def test_recover_objective_minimize_passthrough():
+    lp = LinearProgram(maximize=False)
+    lp.add_variable("x", objective=1.0)
+    sf = to_standard_form(lp)
+    assert sf.recover_objective(5.0) == pytest.approx(5.0)

@@ -1,0 +1,105 @@
+"""Shared instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model import (
+    Event,
+    IGEPAInstance,
+    MatrixConflict,
+    TabulatedInterest,
+    User,
+)
+from repro.social import Graph, erdos_renyi_graph
+
+
+def tiny_instance(beta: float = 0.5) -> IGEPAInstance:
+    """A 3-event / 4-user instance with one conflict, fully hand-checkable.
+
+    Layout:
+        events: 1 (cap 2), 2 (cap 1), 3 (cap 2); conflict (1, 2).
+        users:  10 bids {1,2} cap 1; 11 bids {1,3} cap 2;
+                12 bids {2,3} cap 2; 13 bids {3} cap 1.
+        social: 10-11, 11-12 (so D: 10->1/3, 11->2/3, 12->1/3, 13->0).
+    """
+    events = [
+        Event(event_id=1, capacity=2),
+        Event(event_id=2, capacity=1),
+        Event(event_id=3, capacity=2),
+    ]
+    users = [
+        User(user_id=10, capacity=1, bids=(1, 2)),
+        User(user_id=11, capacity=2, bids=(1, 3)),
+        User(user_id=12, capacity=2, bids=(2, 3)),
+        User(user_id=13, capacity=1, bids=(3,)),
+    ]
+    interest = TabulatedInterest(
+        {
+            (1, 10): 0.9,
+            (2, 10): 0.4,
+            (1, 11): 0.6,
+            (3, 11): 0.8,
+            (2, 12): 0.7,
+            (3, 12): 0.3,
+            (3, 13): 1.0,
+        }
+    )
+    social = Graph(nodes=[10, 11, 12, 13], edges=[(10, 11), (11, 12)])
+    return IGEPAInstance(
+        events=events,
+        users=users,
+        conflict=MatrixConflict([(1, 2)]),
+        interest=interest,
+        social=social,
+        beta=beta,
+        name="tiny",
+    )
+
+
+def random_instance(
+    seed: int,
+    num_events: int = 6,
+    num_users: int = 10,
+    max_event_capacity: int = 3,
+    max_user_capacity: int = 3,
+    conflict_probability: float = 0.3,
+    friend_probability: float = 0.4,
+    max_bids: int = 4,
+    beta: float = 0.5,
+) -> IGEPAInstance:
+    """A small random instance for exhaustive / statistical tests."""
+    rng = np.random.default_rng(seed)
+    event_ids = list(range(num_events))
+    user_ids = list(range(100, 100 + num_users))
+    events = [
+        Event(event_id=e, capacity=int(rng.integers(1, max_event_capacity + 1)))
+        for e in event_ids
+    ]
+    interest_values = {}
+    users = []
+    for u in user_ids:
+        count = int(rng.integers(1, max_bids + 1))
+        bids = tuple(
+            int(b) for b in rng.choice(event_ids, size=min(count, num_events), replace=False)
+        )
+        users.append(
+            User(
+                user_id=u,
+                capacity=int(rng.integers(1, max_user_capacity + 1)),
+                bids=bids,
+            )
+        )
+        for b in bids:
+            interest_values[(b, u)] = float(rng.uniform())
+    conflict = MatrixConflict.sample(event_ids, conflict_probability, rng)
+    social = erdos_renyi_graph(user_ids, friend_probability, rng=rng)
+    return IGEPAInstance(
+        events=events,
+        users=users,
+        conflict=conflict,
+        interest=TabulatedInterest(interest_values),
+        social=social,
+        beta=beta,
+        name=f"random-{seed}",
+    )
