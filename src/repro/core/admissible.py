@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.model.entities import User
 from repro.model.instance import IGEPAInstance
 
@@ -62,20 +64,26 @@ def enumerate_admissible_sets(
     if capacity == 0 or not bids:
         return results
 
-    def extend(start: int, current: list[int]) -> None:
-        for position in range(start, len(bids)):
-            candidate = bids[position]
-            if any(instance.conflicts(candidate, chosen) for chosen in current):
+    index = instance.index
+    conflict = index.conflict_matrix
+    positions = [index.event_pos[event_id] for event_id in bids]
+
+    def extend(start: int, current: list[int], chosen_positions: list[int]) -> None:
+        for offset in range(start, len(bids)):
+            row = conflict[positions[offset]]
+            if any(row[p] for p in chosen_positions):
                 continue
-            current.append(candidate)
+            current.append(bids[offset])
+            chosen_positions.append(positions[offset])
             results.append(tuple(current))
             if len(results) > max_sets:
                 raise AdmissibleSetExplosion(user.user_id, max_sets)
             if len(current) < capacity:
-                extend(position + 1, current)
+                extend(offset + 1, current, chosen_positions)
             current.pop()
+            chosen_positions.pop()
 
-    extend(0, [])
+    extend(0, [], [])
     return results
 
 
@@ -105,8 +113,7 @@ def is_admissible(
         return False
     if not set(events) <= user.bid_set:
         return False
-    for i, first in enumerate(events):
-        for second in events[i + 1 :]:
-            if instance.conflicts(first, second):
-                return False
-    return True
+    index = instance.index
+    positions = [index.event_pos[event_id] for event_id in events]
+    conflict = index.conflict_matrix
+    return not conflict[np.ix_(positions, positions)].any()

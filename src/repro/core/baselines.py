@@ -95,14 +95,41 @@ class GGGreedy(ArrangementAlgorithm):
     def _solve(
         self, instance: IGEPAInstance, rng: np.random.Generator
     ) -> tuple[Arrangement, dict]:
-        candidates: list[tuple[float, int, int]] = []
-        for user in instance.users:
-            for event_id in user.bids:
-                weight = instance.weight(user.user_id, event_id)
-                candidates.append((weight, event_id, user.user_id))
-        candidates.sort(key=lambda t: (-t[0], t[1], t[2]))
-        arrangement = Arrangement(instance)
-        for _, event_id, user_id in candidates:
-            if arrangement.can_add(event_id, user_id):
-                arrangement.add(event_id, user_id, check=False)
-        return arrangement, {"candidate_pairs": len(candidates)}
+        index = instance.index
+        if index.num_bids == 0:
+            return Arrangement(instance), {"candidate_pairs": 0}
+        # One row per bid pair, straight from the CSR incidence.
+        upos = index.bid_user_positions
+        vpos = index.bid_indices
+        weights = index.bid_weights
+        user_ids = index.user_ids[upos]
+        event_ids = index.event_ids[vpos]
+        # Sort by (-w, event_id, user_id): negation of IEEE doubles is exact,
+        # so the order matches the tuple sort it replaces bit for bit.
+        order = np.lexsort((user_ids, event_ids, -weights))
+
+        # Greedy scan over plain Python scalars (cheaper than per-element
+        # ndarray indexing); the arrangement is assembled afterwards.
+        attendance = [0] * index.num_events
+        load = [0] * index.num_users
+        event_cap = index.event_capacity.tolist()
+        user_cap = index.user_capacity.tolist()
+        assigned_events: list[list[int]] = [[] for _ in range(index.num_users)]
+        conflict = index.conflict_matrix
+        upos_list = upos.tolist()
+        vpos_list = vpos.tolist()
+        survivors: list[tuple[int, int]] = []
+        for k in order.tolist():
+            i = upos_list[k]
+            j = vpos_list[k]
+            if attendance[j] >= event_cap[j] or load[i] >= user_cap[i]:
+                continue
+            row = conflict[j]
+            if any(row[p] for p in assigned_events[i]):
+                continue
+            attendance[j] += 1
+            load[i] += 1
+            assigned_events[i].append(j)
+            survivors.append((int(event_ids[k]), int(user_ids[k])))
+        arrangement = Arrangement.from_pairs(instance, survivors, check=False)
+        return arrangement, {"candidate_pairs": index.num_bids}

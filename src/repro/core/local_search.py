@@ -16,6 +16,13 @@ search terminates; a pass cap bounds the worst case.  Wrapped as
 :class:`LocalSearch`, it composes with any base algorithm::
 
     LocalSearch(RandomU()).solve(instance)   # name: "random-u+ls"
+
+The move scans run on a :class:`_SearchState` snapshot of the instance's
+:class:`~repro.model.index.InstanceIndex` — bid weights, capacities and the
+conflict matrix unpacked into plain Python lists once per ``improve`` call —
+so feasibility probes are scalar lookups instead of the remove/`can_add`/
+re-add cycles of the naive implementation.  Selection order is unchanged:
+first maximum feasible gain in bid order (upgrade) or bidder order (evict).
 """
 
 from __future__ import annotations
@@ -29,78 +36,166 @@ from repro.model.instance import IGEPAInstance
 _MIN_GAIN = 1e-9
 
 
-def _try_add_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+class _SearchState:
+    """Index data unpacked to Python lists plus live attendance/load mirrors."""
+
+    def __init__(self, instance: IGEPAInstance, arrangement: Arrangement):
+        index = instance.index
+        self.instance = instance
+        self.arrangement = arrangement
+        self.index = index
+        self.user_ids = index.user_ids.tolist()
+        self.event_ids = index.event_ids.tolist()
+        self.user_cap = index.user_capacity.tolist()
+        self.event_cap = index.event_capacity.tolist()
+        indptr = index.bid_indptr.tolist()
+        positions = index.bid_indices.tolist()
+        weights = index.bid_weights.tolist()
+        self.user_bid_positions = [
+            positions[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
+        ]
+        self.user_bid_weights = [
+            weights[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
+        ]
+        self.conflict_rows = index.conflict_matrix.tolist()
+        # Mirrors of the arrangement counters, updated at each accepted move.
+        self.attendance = arrangement.attendance_counts.tolist()
+        self.load = arrangement.load_counts.tolist()
+
+    def pair_weight(self, upos: int, vpos: int) -> float:
+        """``w(u, v)`` of an *assigned* pair, tolerating non-bid assignments."""
+        index = self.index
+        if index.bid_mask[upos, vpos]:
+            return float(index.W[upos, vpos])
+        return self.instance.weight(self.user_ids[upos], self.event_ids[vpos])
+
+    def apply_add(self, upos: int, vpos: int) -> None:
+        self.arrangement.add(self.event_ids[vpos], self.user_ids[upos], check=False)
+        self.attendance[vpos] += 1
+        self.load[upos] += 1
+
+    def apply_swap(self, upos: int, old_vpos: int, new_vpos: int) -> None:
+        user_id = self.user_ids[upos]
+        self.arrangement.remove(self.event_ids[old_vpos], user_id)
+        self.arrangement.add(self.event_ids[new_vpos], user_id, check=False)
+        self.attendance[old_vpos] -= 1
+        self.attendance[new_vpos] += 1
+
+    def apply_evict(self, vpos: int, out_upos: int, in_upos: int) -> None:
+        event_id = self.event_ids[vpos]
+        self.arrangement.remove(event_id, self.user_ids[out_upos])
+        self.arrangement.add(event_id, self.user_ids[in_upos], check=False)
+        self.load[out_upos] -= 1
+        self.load[in_upos] += 1
+
+
+def _try_add_moves(state: _SearchState) -> int:
+    arrangement = state.arrangement
+    attendance = state.attendance
+    load = state.load
+    event_cap = state.event_cap
+    conflict_rows = state.conflict_rows
     accepted = 0
-    for user in instance.users:
-        if arrangement.load(user.user_id) >= user.capacity:
+    for upos in range(state.index.num_users):
+        capacity = state.user_cap[upos]
+        if load[upos] >= capacity:
             continue
-        for event_id in user.bids:
-            if (event_id, user.user_id) in arrangement:
+        assigned = arrangement.assigned_event_positions(upos)  # live view
+        weights = state.user_bid_weights[upos]
+        for offset, vpos in enumerate(state.user_bid_positions[upos]):
+            if load[upos] >= capacity:
+                break
+            if weights[offset] <= _MIN_GAIN:
                 continue
-            if instance.weight(user.user_id, event_id) <= _MIN_GAIN:
+            if vpos in assigned:
                 continue
-            if arrangement.can_add(event_id, user.user_id):
-                arrangement.add(event_id, user.user_id, check=False)
-                accepted += 1
+            if attendance[vpos] >= event_cap[vpos]:
+                continue
+            row = conflict_rows[vpos]
+            if any(row[p] for p in assigned):
+                continue
+            state.apply_add(upos, vpos)
+            accepted += 1
     return accepted
 
 
-def _try_upgrade_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+def _try_upgrade_moves(state: _SearchState) -> int:
+    arrangement = state.arrangement
+    attendance = state.attendance
+    event_cap = state.event_cap
+    conflict_rows = state.conflict_rows
+    event_ids = state.event_ids
     accepted = 0
-    for user in instance.users:
-        assigned = sorted(arrangement.events_of(user.user_id))
-        for current in assigned:
-            current_weight = instance.weight(user.user_id, current)
-            best_candidate = None
+    for upos in range(state.index.num_users):
+        assigned = arrangement.assigned_event_positions(upos)  # live view
+        if not assigned:
+            continue
+        if state.load[upos] - 1 >= state.user_cap[upos]:
+            continue  # overloaded user: no swap can be feasible
+        # Scan in event-id order, as the scalar pass did.
+        snapshot = sorted(assigned, key=event_ids.__getitem__)
+        bids = state.user_bid_positions[upos]
+        weights = state.user_bid_weights[upos]
+        for current in snapshot:
+            current_weight = state.pair_weight(upos, current)
+            best = None
             best_gain = _MIN_GAIN
-            for candidate in user.bids:
-                if (candidate, user.user_id) in arrangement:
-                    continue
-                gain = instance.weight(user.user_id, candidate) - current_weight
+            others = [p for p in assigned if p != current]
+            for offset, candidate in enumerate(bids):
+                gain = weights[offset] - current_weight
                 if gain <= best_gain:
                     continue
-                arrangement.remove(current, user.user_id)
-                feasible = arrangement.can_add(candidate, user.user_id)
-                arrangement.add(current, user.user_id, check=False)
-                if feasible:
-                    best_candidate = candidate
-                    best_gain = gain
-            if best_candidate is not None:
-                arrangement.remove(current, user.user_id)
-                arrangement.add(best_candidate, user.user_id, check=False)
+                if candidate in assigned:
+                    continue
+                if attendance[candidate] >= event_cap[candidate]:
+                    continue
+                row = conflict_rows[candidate]
+                if any(row[p] for p in others):
+                    continue
+                best = candidate
+                best_gain = gain
+            if best is not None:
+                state.apply_swap(upos, current, best)
                 accepted += 1
     return accepted
 
 
-def _try_evict_moves(instance: IGEPAInstance, arrangement: Arrangement) -> int:
+def _try_evict_moves(state: _SearchState) -> int:
+    arrangement = state.arrangement
+    index = state.index
+    conflict_rows = state.conflict_rows
     accepted = 0
-    for event in instance.events:
-        if arrangement.attendance(event.event_id) < event.capacity:
+    for vpos in range(index.num_events):
+        if state.attendance[vpos] < state.event_cap[vpos]:
             continue  # not full: add moves already cover it
-        attendees = arrangement.users_of(event.event_id)
+        if state.attendance[vpos] - 1 >= state.event_cap[vpos]:
+            continue  # over capacity: even after an eviction the event is full
+        attendees = np.flatnonzero(arrangement.assignment_matrix[:, vpos]).tolist()
         if not attendees:
             continue
-        lightest = min(
-            attendees, key=lambda u: (instance.weight(u, event.event_id), u)
+        # min by (weight, user_id), as the scalar scan ordered it.
+        lightest, lightest_weight = min(
+            ((u, state.pair_weight(u, vpos)) for u in attendees),
+            key=lambda item: (item[1], state.user_ids[item[0]]),
         )
-        lightest_weight = instance.weight(lightest, event.event_id)
-        best_bidder = None
+        column = index.W[:, vpos]
+        best = None
         best_gain = _MIN_GAIN
-        for user_id in instance.bidders(event.event_id):
-            if user_id in attendees:
+        for bidder in index.event_bidder_positions(vpos).tolist():
+            if arrangement.assignment_matrix[bidder, vpos]:
                 continue
-            gain = instance.weight(user_id, event.event_id) - lightest_weight
+            gain = float(column[bidder]) - lightest_weight
             if gain <= best_gain:
                 continue
-            arrangement.remove(event.event_id, lightest)
-            feasible = arrangement.can_add(event.event_id, user_id)
-            arrangement.add(event.event_id, lightest, check=False)
-            if feasible:
-                best_bidder = user_id
-                best_gain = gain
-        if best_bidder is not None:
-            arrangement.remove(event.event_id, lightest)
-            arrangement.add(event.event_id, best_bidder, check=False)
+            if state.load[bidder] >= state.user_cap[bidder]:
+                continue
+            row = conflict_rows[vpos]
+            if any(row[p] for p in arrangement.assigned_event_positions(bidder)):
+                continue
+            best = bidder
+            best_gain = gain
+        if best is not None:
+            state.apply_evict(vpos, lightest, best)
             accepted += 1
     return accepted
 
@@ -116,12 +211,13 @@ def improve(
         Move counts: ``{"adds": ..., "upgrades": ..., "evictions": ...,
         "passes": ...}``.
     """
+    state = _SearchState(instance, arrangement)
     totals = {"adds": 0, "upgrades": 0, "evictions": 0, "passes": 0}
     for _ in range(max_passes):
         moved = 0
-        adds = _try_add_moves(instance, arrangement)
-        upgrades = _try_upgrade_moves(instance, arrangement)
-        evictions = _try_evict_moves(instance, arrangement)
+        adds = _try_add_moves(state)
+        upgrades = _try_upgrade_moves(state)
+        evictions = _try_evict_moves(state)
         moved = adds + upgrades + evictions
         totals["adds"] += adds
         totals["upgrades"] += upgrades

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.admissible import (
     DEFAULT_MAX_SETS_PER_USER,
     enumerate_all_admissible_sets,
@@ -55,9 +57,10 @@ class BenchmarkLP:
         result.
         """
         pairs: list[tuple[int, int]] = []
-        for index, (user_id, events) in enumerate(self.assignments):
-            if x[index] > threshold:
-                pairs.extend((event_id, user_id) for event_id in events)
+        chosen = np.flatnonzero(np.asarray(x, dtype=float) > threshold)
+        for index in chosen.tolist():
+            user_id, events = self.assignments[index]
+            pairs.extend((event_id, user_id) for event_id in events)
         return pairs
 
 
@@ -82,16 +85,31 @@ def build_benchmark_lp(
     if admissible is None:
         admissible = enumerate_all_admissible_sets(instance, max_sets_per_user)
 
+    instance_index = instance.index
     lp = LinearProgram(name=f"benchmark-lp[{instance.name}]", maximize=True)
     assignments: list[tuple[int, tuple[int, ...]]] = []
     by_user: dict[int, list[int]] = {}
     # (3) needs, per event, the variables whose set contains it.
     event_terms: dict[int, dict[int, float]] = {e.event_id: {} for e in instance.events}
 
-    for user in instance.users:
+    for upos, user in enumerate(instance.users):
         indices: list[int] = []
-        for events in admissible.get(user.user_id, []):
-            weight = sum(instance.weight(user.user_id, event_id) for event_id in events)
+        user_sets = admissible.get(user.user_id, [])
+        if not user_sets:
+            by_user[user.user_id] = indices
+            continue
+        # CSR-backed weight row: w(u, S) sums the same doubles the scalar
+        # accessor returns, without per-pair lookups through the instance.
+        # Caller-supplied admissible sets may reach outside the bid list;
+        # those pairs fall back to the scalar accessor.
+        weight_of = instance_index.user_weight_by_event_id(upos)
+        for events in user_sets:
+            weight = sum(
+                weight_of[event_id]
+                if event_id in weight_of
+                else instance.weight(user.user_id, event_id)
+                for event_id in events
+            )
             index = lp.add_variable(
                 f"x[{user.user_id},{','.join(map(str, events))}]",
                 lower=0.0,

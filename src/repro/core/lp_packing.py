@@ -124,12 +124,13 @@ class LPPacking(ArrangementAlgorithm):
                 # solver noise, so rescale rather than crash.
                 probabilities /= total
             draw = rng.random()
-            cumulative = 0.0
-            for offset, index in enumerate(indices):
-                cumulative += float(probabilities[offset])
-                if draw < cumulative:
-                    sampled[user_id] = benchmark.assignments[index][1]
-                    break
+            # First offset whose running sum strictly exceeds the draw —
+            # np.cumsum accumulates left to right, exactly like the scalar
+            # loop it replaces.
+            cumulative = np.cumsum(probabilities)
+            offset = int(np.searchsorted(cumulative, draw, side="right"))
+            if offset < len(indices):
+                sampled[user_id] = benchmark.assignments[indices[offset]][1]
         return sampled
 
     # ------------------------------------------------------------------
@@ -149,25 +150,42 @@ class LPPacking(ArrangementAlgorithm):
         while their event has room — every scan order yields a feasible
         arrangement.
         """
+        index = instance.index
         pairs: list[tuple[int, int]] = []
-        user_position = {user.user_id: i for i, user in enumerate(instance.users)}
         for user_id, events in sampled.items():
             pairs.extend((event_id, user_id) for event_id in sorted(events))
 
-        if self.repair_order == "user":
-            pairs.sort(key=lambda p: (user_position[p[1]], p[0]))
-        elif self.repair_order == "random":
+        if self.repair_order == "random":
             rng.shuffle(pairs)
-        else:  # "weight"
-            pairs.sort(
-                key=lambda p: (-instance.weight(p[1], p[0]), user_position[p[1]], p[0])
+        elif pairs:
+            # Argsort over the index arrays replaces the per-pair key tuples.
+            event_ids = np.fromiter((p[0] for p in pairs), dtype=np.int64)
+            upos = np.fromiter(
+                (index.user_pos[p[1]] for p in pairs), dtype=np.int64
             )
+            if self.repair_order == "user":
+                order = np.lexsort((event_ids, upos))
+            else:  # "weight": decreasing w(u, v), ties by (user position, event)
+                vpos = np.fromiter(
+                    (index.event_pos[e] for e in event_ids), dtype=np.int64
+                )
+                weights = index.W[upos, vpos]
+                # Sampled sets are admissible, hence bid pairs — but caller-
+                # supplied admissible sets may reach outside the bid list,
+                # where the masked W is 0; patch those from the scalar path.
+                off_bid = ~index.bid_mask[upos, vpos]
+                for k in np.flatnonzero(off_bid).tolist():
+                    weights[k] = instance.weight(pairs[k][1], pairs[k][0])
+                order = np.lexsort((event_ids, upos, -weights))
+            pairs = [pairs[k] for k in order.tolist()]
 
-        remaining = {e.event_id: e.capacity for e in instance.events}
+        remaining = index.event_capacity.tolist()
+        event_pos = index.event_pos
         survivors: list[tuple[int, int]] = []
         for event_id, user_id in pairs:
-            if remaining[event_id] > 0:
-                remaining[event_id] -= 1
+            position = event_pos[event_id]
+            if remaining[position] > 0:
+                remaining[position] -= 1
                 survivors.append((event_id, user_id))
         return survivors
 

@@ -21,13 +21,22 @@ def event_fill_rates(
     instance: IGEPAInstance, arrangement: Arrangement
 ) -> dict[int, float]:
     """Per event: assigned attendance / capacity (0.0 for capacity-0 events)."""
-    rates = {}
-    for event in instance.events:
-        if event.capacity == 0:
-            rates[event.event_id] = 0.0
-        else:
-            rates[event.event_id] = arrangement.attendance(event.event_id) / event.capacity
-    return rates
+    index = instance.index
+    capacity = index.event_capacity
+    if arrangement.is_clean():
+        attendance = arrangement.attendance_counts.astype(np.float64)
+    else:
+        attendance = np.array(
+            [arrangement.attendance(event_id) for event_id in index.event_ids.tolist()],
+            dtype=np.float64,
+        )
+    rates = np.divide(
+        attendance,
+        capacity,
+        out=np.zeros(index.num_events, dtype=np.float64),
+        where=capacity > 0,
+    )
+    return dict(zip(index.event_ids.tolist(), rates.tolist()))
 
 
 def mean_fill_rate(instance: IGEPAInstance, arrangement: Arrangement) -> float:
@@ -54,6 +63,10 @@ def user_utilities(
     instance: IGEPAInstance, arrangement: Arrangement
 ) -> dict[int, float]:
     """Per user: the utility contributed by that user's assignments."""
+    index = instance.index
+    if arrangement.is_clean():
+        totals = (index.W * arrangement.assignment_matrix).sum(axis=1)
+        return dict(zip(index.user_ids.tolist(), totals.tolist()))
     totals = {user.user_id: 0.0 for user in instance.users}
     for event_id, user_id in arrangement.pairs:
         totals[user_id] += instance.weight(user_id, event_id)
@@ -116,13 +129,15 @@ def interaction_lift(instance: IGEPAInstance, arrangement: Arrangement) -> float
     users — the behaviour the interaction term is designed to induce.
     Returns 1.0 when either mean is degenerate (no users / zero degrees).
     """
-    assigned = {user_id for _, user_id in arrangement.pairs}
-    if not assigned or instance.num_users == 0:
+    if not arrangement.pairs or instance.num_users == 0:
         return 1.0
-    assigned_mean = float(np.mean([instance.degree(u) for u in assigned]))
-    population_mean = float(
-        np.mean([instance.degree(u.user_id) for u in instance.users])
-    )
+    degrees = instance.index.degrees
+    if arrangement.is_clean():
+        assigned_mean = float(degrees[arrangement.load_counts > 0].mean())
+    else:
+        assigned = {user_id for _, user_id in arrangement.pairs}
+        assigned_mean = float(np.mean([instance.degree(u) for u in assigned]))
+    population_mean = float(degrees.mean())
     if population_mean == 0.0:
         return 1.0
     return assigned_mean / population_mean

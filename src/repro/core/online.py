@@ -96,18 +96,23 @@ class OnlineGreedy(_OnlineAlgorithm):
         rng: np.random.Generator,
     ) -> None:
         user = instance.user_by_id[user_id]
+        index = instance.index
+        upos = index.user_pos[user_id]
+        weight_of = index.user_weight_by_event_id(upos)
+        event_pos = index.event_pos
+        attendance = arrangement.attendance_counts
+        event_capacity = index.event_capacity
         best_set: tuple[int, ...] | None = None
         best_weight = 0.0
         for events in enumerate_admissible_sets(
             instance, user, self.max_sets_per_user
         ):
             if any(
-                arrangement.attendance(event_id)
-                >= instance.event_by_id[event_id].capacity
+                attendance[event_pos[event_id]] >= event_capacity[event_pos[event_id]]
                 for event_id in events
             ):
                 continue
-            weight = sum(instance.weight(user_id, event_id) for event_id in events)
+            weight = sum(weight_of[event_id] for event_id in events)
             if weight > best_weight:
                 best_weight = weight
                 best_set = events

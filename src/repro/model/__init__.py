@@ -27,6 +27,7 @@ from repro.model.conflicts import (
 )
 from repro.model.entities import Event, User
 from repro.model.errors import ArrangementError, InstanceValidationError, ModelError
+from repro.model.index import InstanceIndex
 from repro.model.instance import IGEPAInstance
 from repro.model.interest import (
     CosineInterest,
@@ -41,6 +42,7 @@ __all__ = [
     "Event",
     "User",
     "IGEPAInstance",
+    "InstanceIndex",
     "Arrangement",
     "InstanceBuilder",
     "ConflictFunction",

@@ -38,12 +38,31 @@ class ConflictFunction(ABC):
             f"{type(self).__name__} does not support serialization"
         )
 
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        """Boolean σ matrix over ``events`` (zero diagonal).
+
+        The generic implementation evaluates every unordered pair; concrete
+        conflict functions override it with a vectorized construction so the
+        :class:`~repro.model.index.InstanceIndex` build stays cheap.
+        """
+        n = len(events)
+        result = np.zeros((n, n), dtype=bool)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.conflicts(events[i], events[j]):
+                    result[i, j] = True
+                    result[j, i] = True
+        return result
+
 
 class NoConflict(ConflictFunction):
     """σ ≡ 0: no two events ever conflict (degenerates IGEPA to GEACC-like)."""
 
     def conflicts(self, first: Event, second: Event) -> bool:
         return False
+
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        return np.zeros((len(events), len(events)), dtype=bool)
 
     def to_dict(self) -> dict:
         return {"kind": "none"}
@@ -54,6 +73,10 @@ class AlwaysConflict(ConflictFunction):
 
     def conflicts(self, first: Event, second: Event) -> bool:
         return first.event_id != second.event_id
+
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        ids = np.array([e.event_id for e in events], dtype=np.int64)
+        return ids[:, None] != ids[None, :]
 
     def to_dict(self) -> dict:
         return {"kind": "always"}
@@ -102,6 +125,18 @@ class MatrixConflict(ConflictFunction):
             return False
         return frozenset((first_id, second_id)) in self._pairs
 
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        position = {e.event_id: i for i, e in enumerate(events)}
+        result = np.zeros((len(events), len(events)), dtype=bool)
+        for pair in self._pairs:
+            first_id, second_id = tuple(pair)
+            i = position.get(first_id)
+            j = position.get(second_id)
+            if i is not None and j is not None:
+                result[i, j] = True
+                result[j, i] = True
+        return result
+
     @property
     def num_conflicting_pairs(self) -> int:
         return len(self._pairs)
@@ -129,6 +164,21 @@ class TimeIntervalConflict(ConflictFunction):
             and second.start_time < first.end_time
         )
 
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        n = len(events)
+        starts = np.array(
+            [e.start_time if e.start_time is not None else np.nan for e in events]
+        )
+        ends = np.array(
+            [e.end_time if e.end_time is not None else np.nan for e in events]
+        )
+        ids = np.array([e.event_id for e in events], dtype=np.int64)
+        with np.errstate(invalid="ignore"):
+            overlap = (starts[:, None] < ends[None, :]) & (
+                starts[None, :] < ends[:, None]
+            )
+        return overlap & (ids[:, None] != ids[None, :])
+
     def to_dict(self) -> dict:
         return {"kind": "time-interval"}
 
@@ -147,6 +197,12 @@ class CompositeConflict(ConflictFunction):
     def conflicts(self, first: Event, second: Event) -> bool:
         return any(member.conflicts(first, second) for member in self.members)
 
+    def matrix(self, events: Sequence[Event]) -> np.ndarray:
+        result = np.zeros((len(events), len(events)), dtype=bool)
+        for member in self.members:
+            result |= member.matrix(events)
+        return result
+
     def to_dict(self) -> dict:
         return {
             "kind": "composite",
@@ -158,14 +214,7 @@ def conflict_matrix(
     events: Sequence[Event], conflict: ConflictFunction
 ) -> np.ndarray:
     """Boolean matrix ``C[i, j] = σ(events[i], events[j])`` (zero diagonal)."""
-    n = len(events)
-    matrix = np.zeros((n, n), dtype=bool)
-    for i in range(n):
-        for j in range(i + 1, n):
-            if conflict.conflicts(events[i], events[j]):
-                matrix[i, j] = True
-                matrix[j, i] = True
-    return matrix
+    return conflict.matrix(events)
 
 
 def validate_symmetry(

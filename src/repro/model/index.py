@@ -1,0 +1,245 @@
+"""Array-backed instance index: the vectorized view of an IGEPA instance.
+
+Every derived quantity of Definitions 6-8 — ``D(G, u)``, ``SI``, ``w(u, v)``,
+σ, bidder sets — used to live in per-pair dict caches, which forces nested
+Python loops onto every algorithm.  :class:`InstanceIndex` materializes them
+once per :class:`~repro.model.instance.IGEPAInstance` as contiguous NumPy
+arrays so the layers above (arrangements, baselines, local search, LP
+construction) can batch their hot paths:
+
+* ``user_ids`` / ``event_ids`` and the inverse ``user_pos`` / ``event_pos``
+  maps — the contiguous coordinate system everything else is expressed in;
+* ``W`` — the dense ``(num_users, num_events)`` weight matrix
+  ``β·SI + (1-β)·D`` on bid pairs (0 elsewhere, see ``bid_mask``);
+* ``SI`` — the matching interest matrix (0 off the bid pairs);
+* ``bid_indptr`` / ``bid_indices`` / ``bid_weights`` — a CSR-style incidence
+  of the bid relation by user, in each user's bid-list order;
+* ``bidder_indptr`` / ``bidder_indices`` — the transposed incidence by event,
+  in instance user order (matching ``IGEPAInstance.bidders``);
+* ``conflict_matrix`` — boolean σ over event positions (zero diagonal);
+* ``degrees``, ``user_capacity``, ``event_capacity`` — per-entity vectors.
+
+The index is *read-only by convention*: instances are immutable, so the index
+is built lazily once (``IGEPAInstance.index``) and shared by every
+arrangement and algorithm run on the instance.
+
+Values are bit-identical to the scalar accessors they back: the same interest
+function calls, the same degree normalisation, the same IEEE-754 double
+arithmetic — so routing an algorithm through the index cannot change its
+decisions under a fixed seed.
+
+Memory is ``O(|U|·|V|)`` for the dense matrices — a few megabytes at the
+benchmark scales (4000 × 200).  Workloads beyond ~10⁷ cells should shard the
+user dimension before indexing; the CSR arrays stay proportional to the bid
+count either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.model.errors import InstanceValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.model.instance import IGEPAInstance
+
+
+class InstanceIndex:
+    """Contiguous array views over one :class:`IGEPAInstance` (see module doc)."""
+
+    def __init__(self, instance: "IGEPAInstance"):
+        self.instance = instance
+        users = instance.users
+        events = instance.events
+        num_users = len(users)
+        num_events = len(events)
+
+        self.user_ids = np.fromiter(
+            (u.user_id for u in users), dtype=np.int64, count=num_users
+        )
+        self.event_ids = np.fromiter(
+            (e.event_id for e in events), dtype=np.int64, count=num_events
+        )
+        self.user_pos: dict[int, int] = {
+            u.user_id: i for i, u in enumerate(users)
+        }
+        self.event_pos: dict[int, int] = {
+            e.event_id: j for j, e in enumerate(events)
+        }
+
+        self.user_capacity = np.fromiter(
+            (u.capacity for u in users), dtype=np.int64, count=num_users
+        )
+        self.event_capacity = np.fromiter(
+            (e.capacity for e in events), dtype=np.int64, count=num_events
+        )
+
+        self.degrees = self._build_degrees()
+        self.conflict_matrix = instance.conflict.matrix(events)
+        # float32 copy for the BLAS-backed bulk conflict audit.
+        self.conflict_f32 = self.conflict_matrix.astype(np.float32)
+
+        (
+            self.bid_indptr,
+            self.bid_indices,
+            self.SI,
+            self.bid_mask,
+        ) = self._build_bid_incidence()
+
+        beta = instance.beta
+        self.W = np.where(
+            self.bid_mask, beta * self.SI + (1.0 - beta) * self.degrees[:, None], 0.0
+        )
+        #: Row expansion of the CSR: the user position of each bid pair,
+        #: aligned with ``bid_indices``.
+        self.bid_user_positions = np.repeat(
+            np.arange(num_users, dtype=np.int64), np.diff(self.bid_indptr)
+        )
+        #: CSR values aligned with ``bid_indices``: ``w(u, v)`` per bid pair.
+        self.bid_weights = (
+            self.W[self.bid_user_positions, self.bid_indices]
+            if self.bid_indices.size
+            else np.empty(0, dtype=np.float64)
+        )
+
+        self.bidder_indptr, self.bidder_indices = self._build_bidder_incidence()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_degrees(self) -> np.ndarray:
+        """``D(G, u)`` per user position (Definition 6)."""
+        instance = self.instance
+        num_users = len(instance.users)
+        degrees = np.zeros(num_users, dtype=np.float64)
+        if instance.degrees_override is not None:
+            override = instance.degrees_override
+            for i, user in enumerate(instance.users):
+                degrees[i] = override.get(user.user_id, 0.0)
+        elif num_users > 1:
+            social = instance.social
+            norm = num_users - 1
+            for i, user in enumerate(instance.users):
+                if social.has_node(user.user_id):
+                    degrees[i] = social.degree(user.user_id) / norm
+        return degrees
+
+    def _build_bid_incidence(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR bid incidence plus the dense SI matrix over bid pairs.
+
+        Interest values are validated against Definition 5 exactly as the
+        scalar ``IGEPAInstance.interest_of`` does.
+        """
+        instance = self.instance
+        num_users = len(instance.users)
+        num_events = len(instance.events)
+        interest = instance.interest.interest
+        event_pos = self.event_pos
+        events_by_pos = instance.events
+
+        indptr = np.zeros(num_users + 1, dtype=np.int64)
+        indices: list[int] = []
+        si = np.zeros((num_users, num_events), dtype=np.float64)
+        bid_mask = np.zeros((num_users, num_events), dtype=bool)
+        for i, user in enumerate(instance.users):
+            for event_id in user.bids:
+                j = event_pos[event_id]
+                value = interest(events_by_pos[j], user)
+                if not 0.0 <= value <= 1.0:
+                    raise InstanceValidationError(
+                        f"interest function returned {value} for event "
+                        f"{event_id}, user {user.user_id}; Definition 5 "
+                        "requires [0, 1]"
+                    )
+                si[i, j] = value
+                bid_mask[i, j] = True
+                indices.append(j)
+            indptr[i + 1] = len(indices)
+        return (
+            indptr,
+            np.asarray(indices, dtype=np.int64),
+            si,
+            bid_mask,
+        )
+
+    def _build_bidder_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+        """Transpose of the bid incidence: user positions per event.
+
+        Users appear in instance order within each event — the same order
+        ``IGEPAInstance.bidders`` has always returned.
+        """
+        num_events = len(self.instance.events)
+        if self.bid_indices.size == 0:
+            return np.zeros(num_events + 1, dtype=np.int64), np.empty(
+                0, dtype=np.int64
+            )
+        counts = np.bincount(self.bid_indices, minlength=num_events)
+        indptr = np.zeros(num_events + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        user_of_bid = np.repeat(
+            np.arange(len(self.instance.users), dtype=np.int64),
+            np.diff(self.bid_indptr),
+        )
+        # Stable sort by event position keeps users in instance order.
+        order = np.argsort(self.bid_indices, kind="stable")
+        return indptr, user_of_bid[order]
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.user_ids.size
+
+    @property
+    def num_events(self) -> int:
+        return self.event_ids.size
+
+    @property
+    def num_bids(self) -> int:
+        return self.bid_indices.size
+
+    # ------------------------------------------------------------------
+    # Row / slice accessors
+    # ------------------------------------------------------------------
+    def user_bid_positions(self, upos: int) -> np.ndarray:
+        """Event positions of the user's bids, in bid-list order."""
+        return self.bid_indices[self.bid_indptr[upos] : self.bid_indptr[upos + 1]]
+
+    def user_bid_weights(self, upos: int) -> np.ndarray:
+        """``w(u, v)`` aligned with :meth:`user_bid_positions`."""
+        return self.bid_weights[self.bid_indptr[upos] : self.bid_indptr[upos + 1]]
+
+    def event_bidder_positions(self, vpos: int) -> np.ndarray:
+        """User positions of the event's bidders, in instance user order."""
+        return self.bidder_indices[
+            self.bidder_indptr[vpos] : self.bidder_indptr[vpos + 1]
+        ]
+
+    def user_weight_by_event_id(self, upos: int) -> dict[int, float]:
+        """``{event_id: w(u, v)}`` over the user's bids.
+
+        Handy for summing ``w(u, S)`` over admissible sets with the exact
+        left-to-right float semantics of the scalar code path.
+        """
+        positions = self.user_bid_positions(upos)
+        weights = self.user_bid_weights(upos)
+        return dict(
+            zip(self.event_ids[positions].tolist(), weights.tolist())
+        )
+
+    def conflict_pair_count(self) -> int:
+        """Number of unordered conflicting event pairs."""
+        if self.num_events < 2:
+            return 0
+        return int(np.count_nonzero(np.triu(self.conflict_matrix, k=1)))
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceIndex(users={self.num_users}, events={self.num_events}, "
+            f"bids={self.num_bids})"
+        )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.model.conflicts import ConflictFunction, conflict_from_dict
 from repro.model.entities import Event, User
 from repro.model.errors import InstanceValidationError
+from repro.model.index import InstanceIndex
 from repro.model.interest import InterestFunction, interest_from_dict
 from repro.social.graph import Graph
 from repro.social.metrics import degree_of_potential_interaction
@@ -82,11 +83,10 @@ class IGEPAInstance:
         self._event_index: dict[int, int] = {
             e.event_id: i for i, e in enumerate(self.events)
         }
-        self._degree_cache: dict[int, float] = {}
-        self._weight_cache: dict[tuple[int, int], float] = {}
+        # Fallback cache for SI on non-bid pairs only; bid pairs live in the
+        # index's dense SI matrix.
         self._interest_cache: dict[tuple[int, int], float] = {}
-        self._conflict_cache: dict[frozenset[int], bool] = {}
-        self._bidders: dict[int, list[int]] | None = None
+        self._index: InstanceIndex | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -141,8 +141,19 @@ class IGEPAInstance:
         return len(self.users)
 
     # ------------------------------------------------------------------
-    # Derived quantities (cached)
+    # Derived quantities (thin views over the array-backed index)
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> InstanceIndex:
+        """The array-backed :class:`InstanceIndex`, built lazily once.
+
+        Single source of truth for weights, interest, degrees, conflicts and
+        bid incidence; the scalar accessors below are views over it.
+        """
+        if self._index is None:
+            self._index = InstanceIndex(self)
+        return self._index
+
     def degree(self, user_id: int) -> float:
         """``D(G, u)`` (Definition 6) for the given user.
 
@@ -150,31 +161,27 @@ class IGEPAInstance:
         normalisation is by ``|U| - 1`` where ``U`` is the *user set of the
         instance* (the paper's social network is over all users).
         """
-        cached = self._degree_cache.get(user_id)
-        if cached is not None:
-            return cached
-        if user_id not in self.user_by_id:
+        index = self.index
+        position = index.user_pos.get(user_id)
+        if position is None:
             raise KeyError(f"unknown user id {user_id}")
-        if self.degrees_override is not None:
-            value = self.degrees_override.get(user_id, 0.0)
-            self._degree_cache[user_id] = value
-            return value
-        if self.num_users <= 1:
-            value = 0.0
-        elif not self.social.has_node(user_id):
-            value = 0.0
-        else:
-            value = self.social.degree(user_id) / (self.num_users - 1)
-        self._degree_cache[user_id] = value
-        return value
+        return float(index.degrees[position])
 
     def interest_of(self, event_id: int, user_id: int) -> float:
-        """``SI(l_v, l_u)``, cached per pair.
+        """``SI(l_v, l_u)`` — an index lookup for bid pairs.
+
+        Non-bid pairs (never queried by feasible arrangements) fall back to
+        the interest function, cached per pair.
 
         Raises:
             InstanceValidationError: if the interest function returns a value
                 outside ``[0, 1]``.
         """
+        index = self.index
+        upos = index.user_pos.get(user_id)
+        vpos = index.event_pos.get(event_id)
+        if upos is not None and vpos is not None and index.bid_mask[upos, vpos]:
+            return float(index.SI[upos, vpos])
         key = (event_id, user_id)
         cached = self._interest_cache.get(key)
         if cached is not None:
@@ -192,50 +199,49 @@ class IGEPAInstance:
 
     def weight(self, user_id: int, event_id: int) -> float:
         """``w(u, v) = β·SI(l_v, l_u) + (1 - β)·D(G, u)`` from the benchmark LP."""
-        key = (user_id, event_id)
-        cached = self._weight_cache.get(key)
-        if cached is not None:
-            return cached
-        value = self.beta * self.interest_of(event_id, user_id) + (
+        index = self.index
+        upos = index.user_pos.get(user_id)
+        vpos = index.event_pos.get(event_id)
+        if upos is not None and vpos is not None and index.bid_mask[upos, vpos]:
+            return float(index.W[upos, vpos])
+        return self.beta * self.interest_of(event_id, user_id) + (
             1.0 - self.beta
         ) * self.degree(user_id)
-        self._weight_cache[key] = value
-        return value
 
     def conflicts(self, event_id: int, other_id: int) -> bool:
-        """σ between two events by id, cached per unordered pair."""
+        """σ between two events by id — a conflict-matrix lookup."""
         if event_id == other_id:
             return False
-        key = frozenset((event_id, other_id))
-        cached = self._conflict_cache.get(key)
-        if cached is not None:
-            return cached
-        value = self.conflict.conflicts(
-            self.event_by_id[event_id], self.event_by_id[other_id]
-        )
-        self._conflict_cache[key] = value
-        return value
+        index = self.index
+        first = index.event_pos.get(event_id)
+        if first is None:
+            raise KeyError(event_id)
+        second = index.event_pos.get(other_id)
+        if second is None:
+            raise KeyError(other_id)
+        return bool(index.conflict_matrix[first, second])
 
     def bidders(self, event_id: int) -> list[int]:
-        """``N_v``: ids of users who bid for the event."""
-        if self._bidders is None:
-            self._bidders = {e.event_id: [] for e in self.events}
-            for user in self.users:
-                for bid in user.bids:
-                    self._bidders[bid].append(user.user_id)
-        if event_id not in self._bidders:
+        """``N_v``: ids of users who bid for the event, in instance order."""
+        index = self.index
+        position = index.event_pos.get(event_id)
+        if position is None:
             raise KeyError(f"unknown event id {event_id}")
-        return list(self._bidders[event_id])
+        return index.user_ids[index.event_bidder_positions(position)].tolist()
 
     def bid_conflict_edges(self, user: User) -> list[tuple[int, int]]:
         """Conflicting pairs among the user's bids (the graph whose
         independent sets are the admissible event sets)."""
+        index = self.index
+        matrix = index.conflict_matrix
+        positions = [index.event_pos[event_id] for event_id in user.bids]
         bids = user.bids
         edges = []
         for i, first in enumerate(bids):
-            for second in bids[i + 1 :]:
-                if self.conflicts(first, second):
-                    edges.append((first, second))
+            row = matrix[positions[i]]
+            for j in range(i + 1, len(bids)):
+                if row[positions[j]]:
+                    edges.append((first, bids[j]))
         return edges
 
     # ------------------------------------------------------------------
@@ -245,14 +251,7 @@ class IGEPAInstance:
         """Summary statistics used by reports and sanity tests."""
         total_bids = sum(len(u.bids) for u in self.users)
         n = self.num_events
-        conflict_pairs = 0
-        if n >= 2:
-            conflict_pairs = sum(
-                1
-                for i in range(n)
-                for j in range(i + 1, n)
-                if self.conflicts(self.events[i].event_id, self.events[j].event_id)
-            )
+        conflict_pairs = self.index.conflict_pair_count()
         return {
             "name": self.name,
             "num_events": self.num_events,

@@ -160,24 +160,42 @@ def to_standard_form(lp: LinearProgram) -> StandardForm:
     n = num_structural + num_slacks
     m = len(rows)
     a = np.zeros((m, n), dtype=float)
-    b = np.zeros(m, dtype=float)
+    b = np.fromiter((rhs for _, _, rhs in rows), dtype=float, count=m)
     c = np.zeros(n, dtype=float)
     c[:num_structural] = columns_c
 
+    # Gather the structural and slack entries as COO triplets, then fill the
+    # dense matrix with two fancy-index writes instead of per-row loops.
+    entry_rows: list[int] = []
+    entry_cols: list[int] = []
+    entry_vals: list[float] = []
+    slack_rows: list[int] = []
+    slack_cols: list[int] = []
+    slack_vals: list[float] = []
     slack_cursor = num_structural
-    for i, (coeffs, sense, rhs) in enumerate(rows):
-        for col, coeff in coeffs.items():
-            a[i, col] = coeff
-        b[i] = rhs
+    for i, (coeffs, sense, _) in enumerate(rows):
+        entry_rows.extend([i] * len(coeffs))
+        entry_cols.extend(coeffs.keys())
+        entry_vals.extend(coeffs.values())
         if sense is Sense.LE:
-            a[i, slack_cursor] = 1.0
+            slack_rows.append(i)
+            slack_cols.append(slack_cursor)
+            slack_vals.append(1.0)
             slack_cursor += 1
         elif sense is Sense.GE:
-            a[i, slack_cursor] = -1.0
+            slack_rows.append(i)
+            slack_cols.append(slack_cursor)
+            slack_vals.append(-1.0)
             slack_cursor += 1
-        if b[i] < 0.0:
-            a[i, :] = -a[i, :]
-            b[i] = -b[i]
+    if entry_rows:
+        a[entry_rows, entry_cols] = entry_vals
+    if slack_rows:
+        a[slack_rows, slack_cols] = slack_vals
+
+    negative = b < 0.0
+    if negative.any():
+        a[negative] = -a[negative]
+        b[negative] = -b[negative]
 
     return StandardForm(
         c=c,
