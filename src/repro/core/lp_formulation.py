@@ -89,8 +89,12 @@ def build_benchmark_lp(
     lp = LinearProgram(name=f"benchmark-lp[{instance.name}]", maximize=True)
     assignments: list[tuple[int, tuple[int, ...]]] = []
     by_user: dict[int, list[int]] = {}
-    # (3) needs, per event, the variables whose set contains it.
-    event_terms: dict[int, dict[int, float]] = {e.event_id: {} for e in instance.events}
+    # Constraint rows are accumulated as sparse column-index lists and turned
+    # into COO triplets at the end — the wide LP's matrix never exists in any
+    # denser form than (rows, cols, vals) arrays.  (3) needs, per event, the
+    # variables whose set contains it.
+    user_rows: list[list[int]] = []  # variable indices per user row (2)
+    event_cols: dict[int, list[int]] = {e.event_id: [] for e in instance.events}
 
     for upos, user in enumerate(instance.users):
         indices: list[int] = []
@@ -119,25 +123,45 @@ def build_benchmark_lp(
             )
             assignments.append((user.user_id, events))
             indices.append(index)
-            for event_id in events:
-                event_terms[event_id][index] = 1.0
+            # dict.fromkeys dedupes (caller-supplied sets may repeat an
+            # event) while keeping the order deterministic, so membership
+            # matches the constraint dicts the COO cache is checked against.
+            for event_id in dict.fromkeys(events):
+                event_cols[event_id].append(index)
         by_user[user.user_id] = indices
         if indices:
             # (2): at most one admissible set per user.
             lp.add_constraint(
-                {index: 1.0 for index in indices},
+                dict.fromkeys(indices, 1.0),
                 Sense.LE,
                 1.0,
                 name=f"user[{user.user_id}]",
             )
+            user_rows.append(indices)
 
+    event_rows: list[list[int]] = []
     for event in instance.events:
-        terms = event_terms[event.event_id]
-        if terms:
+        cols = event_cols[event.event_id]
+        if cols:
             # (3): event capacity over all sets containing it.
             lp.add_constraint(
-                terms, Sense.LE, float(event.capacity), name=f"event[{event.event_id}]"
+                dict.fromkeys(cols, 1.0),
+                Sense.LE,
+                float(event.capacity),
+                name=f"event[{event.event_id}]",
             )
+            event_rows.append(cols)
+
+    # Emit the COO triplets (every coefficient of (2)-(3) is 1.0) and prime
+    # the LP's cache so to_standard_form never re-walks the row dicts.
+    all_rows = user_rows + event_rows
+    lengths = np.fromiter((len(r) for r in all_rows), dtype=np.int64, count=len(all_rows))
+    if lengths.size:
+        coo_rows = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+        coo_cols = np.concatenate(
+            [np.asarray(r, dtype=np.int64) for r in all_rows]
+        )
+        lp.set_constraints_coo(coo_rows, coo_cols, np.ones(coo_cols.size))
 
     return BenchmarkLP(
         lp=lp, assignments=assignments, by_user=by_user, admissible=admissible

@@ -55,7 +55,12 @@ class LPPacking(ArrangementAlgorithm):
             empirical setting; ``0.5`` gives the proven 1/4 guarantee.
         seed: default RNG seed (overridable per ``solve`` call).
         lp_backend: backend for the benchmark LP (see
-            :data:`repro.solver.BACKENDS`).
+            :data:`repro.solver.BACKENDS`): ``"auto"`` prefers scipy/HiGHS
+            and falls back to the from-scratch revised simplex, which picks
+            its dense or sparse constraint representation by problem size;
+            ``"revised-simplex-sparse"`` / ``"revised-simplex-dense"``
+            force the representation, ``"simplex"`` is the reference dense
+            tableau.
         repair_order: one of :data:`REPAIR_ORDERS`.
         max_sets_per_user: admissible-set explosion guard.
         cache_lp: reuse the solved benchmark LP across ``solve`` calls on the

@@ -22,7 +22,8 @@ from repro.solver.revised_simplex import (
 )
 from repro.solver.scipy_backend import scipy_available, solve_lp_scipy
 from repro.solver.simplex import SimplexOptions, solve_lp_simplex
-from repro.solver.standard_form import StandardForm, to_standard_form
+from repro.solver.sparse import CSCMatrix, DenseMatrix
+from repro.solver.standard_form import StandardForm, prefer_sparse, to_standard_form
 
 __all__ = [
     "LinearProgram",
@@ -48,6 +49,9 @@ __all__ = [
     "solve_lp_scipy",
     "StandardForm",
     "to_standard_form",
+    "prefer_sparse",
+    "CSCMatrix",
+    "DenseMatrix",
     "write_lp_format",
     "parse_lp_format",
     "LPFormatError",

@@ -3,10 +3,20 @@
 ``solve_lp(lp, backend="auto")`` is what the rest of the library calls.
 Backends:
 
-* ``"simplex"`` — from-scratch two-phase tableau simplex.
-* ``"revised-simplex"`` — from-scratch revised simplex (wide-LP friendly).
+* ``"simplex"`` — from-scratch two-phase tableau simplex (dense, reference).
+* ``"revised-simplex"`` — from-scratch revised simplex; the constraint
+  representation (dense array vs pure-NumPy CSC) is picked by problem size:
+  above :data:`~repro.solver.standard_form.DENSE_CELL_LIMIT` cells
+  (``m * (n + m)``, phase-1 artificials included) the sparse path is used
+  (see :func:`repro.solver.standard_form.prefer_sparse`).
+* ``"revised-simplex-dense"`` / ``"revised-simplex-sparse"`` — the revised
+  simplex with the representation forced (benchmarking, parity tests).
 * ``"scipy"`` — HiGHS via ``scipy.optimize.linprog``.
 * ``"auto"`` — scipy when importable, otherwise revised simplex.
+
+Algorithm-level callers select a backend by name, e.g.
+``LPPacking(lp_backend="revised-simplex-sparse")`` or
+``ExactILP(lp_backend="revised-simplex")``.
 """
 
 from __future__ import annotations
@@ -22,7 +32,14 @@ from repro.solver.revised_simplex import RevisedSimplexOptions, solve_lp_revised
 from repro.solver.scipy_backend import scipy_available, solve_lp_scipy
 from repro.solver.simplex import SimplexOptions, solve_lp_simplex
 
-BACKENDS = ("auto", "simplex", "revised-simplex", "scipy")
+BACKENDS = (
+    "auto",
+    "simplex",
+    "revised-simplex",
+    "revised-simplex-dense",
+    "revised-simplex-sparse",
+    "scipy",
+)
 
 
 def resolve_backend(backend: str) -> str:
@@ -44,6 +61,14 @@ def _solver_for(backend: str) -> Callable[[LinearProgram], LPSolution]:
         return lambda lp: solve_lp_simplex(lp, SimplexOptions())
     if name == "revised-simplex":
         return lambda lp: solve_lp_revised_simplex(lp, RevisedSimplexOptions())
+    if name == "revised-simplex-dense":
+        return lambda lp: solve_lp_revised_simplex(
+            lp, RevisedSimplexOptions(sparse=False)
+        )
+    if name == "revised-simplex-sparse":
+        return lambda lp: solve_lp_revised_simplex(
+            lp, RevisedSimplexOptions(sparse=True)
+        )
     return solve_lp_scipy
 
 
@@ -60,7 +85,8 @@ def solve_lp(
         backend: one of :data:`BACKENDS`.
         presolve: run the reduction passes first (recommended; fixed
             variables and singleton rows are common in branch-and-bound
-            subproblems).
+            subproblems, and the implied-bound pass is what keeps the wide
+            benchmark LP at ``|U| + |V|`` standard-form rows).
 
     Returns:
         An :class:`LPSolution` whose ``x`` is aligned with ``lp``'s variables

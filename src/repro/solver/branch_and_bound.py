@@ -8,8 +8,12 @@ beyond standard LP-based branch-and-bound:
 
 * depth-first search (keeps the open list small),
 * branching on the most fractional integer variable,
-* pruning by the LP relaxation bound against the incumbent,
-* node limit with a reported optimality gap when hit.
+* pruning by the LP relaxation bound against the incumbent (nodes also
+  carry their parent's relaxation bound, so dominated subtrees are pruned
+  before their LP is ever solved),
+* node limit with a reported optimality gap when hit; the gap is computed
+  over the *live* open frontier (the stack) only — bounds of subtrees that
+  were fully explored or pruned no longer count.
 """
 
 from __future__ import annotations
@@ -77,16 +81,27 @@ def solve_ilp(
     incumbent_value = -math.inf if maximize else math.inf
     incumbent_x: np.ndarray | None = None
     nodes_explored = 0
-    # Each stack entry is a map {var_index: (lower, upper)} of tightened bounds.
-    stack: list[dict[int, tuple[float, float]]] = [{}]
-    open_bounds: list[float] = []  # relaxation bounds of open subtrees
+    # Each stack entry is a map {var_index: (lower, upper)} of tightened
+    # bounds plus the parent's relaxation bound — a valid bound for the whole
+    # subtree, inherited until the node's own relaxation is solved.  The
+    # stack IS the open frontier: popping a node (pruned, integral, branched
+    # or infeasible) removes its bound from the frontier, so the gap reported
+    # on NODE_LIMIT is computed over live subtrees only, never over subtrees
+    # that were already closed.
+    root_bound = math.inf if maximize else -math.inf
+    stack: list[tuple[dict[int, tuple[float, float]], float]] = [({}, root_bound)]
+    # Bounds of subtrees abandoned because their relaxation failed to solve;
+    # they stay unresolved, so their bounds must keep counting toward the gap.
+    unresolved_bounds: list[float] = []
     hit_node_limit = False
 
     while stack:
         if nodes_explored >= options.max_nodes:
             hit_node_limit = True
             break
-        tightenings = stack.pop()
+        tightenings, parent_bound = stack.pop()
+        if incumbent_x is not None and not better(parent_bound, incumbent_value):
+            continue  # inherited bound already proves the subtree is dominated
         nodes_explored += 1
 
         node_lp = lp.copy()
@@ -108,6 +123,7 @@ def solve_ilp(
             return ILPSolution(SolveStatus.UNBOUNDED, nodes_explored=nodes_explored)
         if not relaxation.is_optimal:
             hit_node_limit = True  # relaxation failed; treat as unresolved
+            unresolved_bounds.append(parent_bound)
             continue
 
         bound = relaxation.objective_value
@@ -134,19 +150,28 @@ def solve_ilp(
         ceil_bounds = dict(tightenings)
         ceil_bounds[index] = (max(lower_prev, math.ceil(value)), upper_prev)
         # Depth-first: push the ceiling child last so the "round up" branch is
-        # explored first (tends to find packing incumbents quickly).
-        stack.append(floor_bounds)
-        stack.append(ceil_bounds)
-        open_bounds.append(bound)
+        # explored first (tends to find packing incumbents quickly).  Both
+        # children inherit this node's relaxation bound.
+        stack.append((floor_bounds, bound))
+        stack.append((ceil_bounds, bound))
 
     if incumbent_x is None:
         status = SolveStatus.NODE_LIMIT if hit_node_limit else SolveStatus.INFEASIBLE
         return ILPSolution(status, nodes_explored=nodes_explored)
 
     if hit_node_limit:
-        best_bound = (
-            max(open_bounds) if maximize else min(open_bounds)
-        ) if open_bounds else incumbent_value
+        frontier = [bound for _, bound in stack] + unresolved_bounds
+        if frontier:
+            best_bound = max(frontier) if maximize else min(frontier)
+            # Frontier nodes that cannot beat the incumbent would be pruned,
+            # so the incumbent itself caps how bad the true bound can be.
+            best_bound = (
+                max(best_bound, incumbent_value)
+                if maximize
+                else min(best_bound, incumbent_value)
+            )
+        else:
+            best_bound = incumbent_value
         return ILPSolution(
             SolveStatus.NODE_LIMIT,
             objective_value=incumbent_value,

@@ -10,6 +10,20 @@ Implemented reductions (applied to a fixed point):
    right-hand side and dropped, or declare infeasibility.
 4. **Singleton rows** (one nonzero coefficient) are converted into variable
    bounds, possibly fixing the variable and triggering another pass.
+5. **Implied (redundant) upper bounds** — a ``<=``/``==`` row whose minimum
+   activity already caps a variable below its declared upper bound makes
+   that bound redundant, and it is dropped (relaxed to ``+inf``).  This is
+   what keeps the wide benchmark LP small: every ``x_{u,S} <= 1`` bound is
+   implied by the user's row (2), so no per-variable bound row reaches the
+   standard form and the simplex runs over ``|U| + |V|`` rows instead of
+   ``|U| + |V| + n``.
+
+When no reduction applies, the *original* program object is returned
+untouched (no O(nnz) defensive copy).  When only variable bounds changed
+(the benchmark LP root relaxation: the implied-bound pass fires, nothing
+else does), the rebuilt program inherits the original's COO triplet cache,
+so a cache primed by ``build_benchmark_lp`` survives presolve and
+``to_standard_form`` never re-walks the coefficient dicts.
 
 The result keeps a recovery recipe so a solution of the reduced program can
 be lifted back to the original variable space.
@@ -26,6 +40,11 @@ import numpy as np
 from repro.solver.problem import Constraint, LinearProgram, Sense, Variable
 
 _TOL = 1e-9
+#: Primal feasibility tolerance for *infeasibility declarations*: matches
+#: ``Constraint.is_satisfied`` and the HiGHS default, so presolve never
+#: declares infeasible a program the reference backend would solve (e.g. a
+#: singleton row ``x <= -6e-8`` against ``x >= 0``).
+_FEAS_TOL = 1e-7
 
 
 class PresolveStatus(Enum):
@@ -78,12 +97,51 @@ def _tighten(
     return lower, upper
 
 
+def _drop_implied_upper_bounds(
+    rows: list[Constraint], bounds: list[tuple[float, float]]
+) -> bool:
+    """Relax variable upper bounds that a ``<=``/``==`` row already implies.
+
+    For a row ``sum_j a_j x_j <= r`` the minimum activity excluding ``x_i``
+    (lower bounds where ``a_j > 0``, upper bounds where ``a_j < 0``) yields
+    ``x_i <= (r - min_act_other) / a_i`` whenever ``a_i > 0``; if that cap is
+    at or below the declared upper bound, the bound is redundant and is
+    dropped.  Returns whether any bound was dropped.
+    """
+    changed = False
+    for row in rows:
+        if row.sense is Sense.GE or len(row.coefficients) < 2:
+            continue
+        min_activity = 0.0
+        for index, coeff in row.coefficients.items():
+            lower, upper = bounds[index]
+            contribution = coeff * (lower if coeff > 0.0 else upper)
+            if not math.isfinite(contribution):
+                min_activity = -math.inf
+                break
+            min_activity += contribution
+        if not math.isfinite(min_activity):
+            continue
+        for index, coeff in row.coefficients.items():
+            if coeff <= 0.0:
+                continue
+            lower, upper = bounds[index]
+            if not math.isfinite(upper):
+                continue
+            implied = (row.rhs - (min_activity - coeff * lower)) / coeff
+            if implied <= upper + _TOL:
+                bounds[index] = (lower, math.inf)
+                changed = True
+    return changed
+
+
 def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
     """Run the reduction passes on a copy of ``lp``.
 
-    The input program is never mutated.  ``max_passes`` bounds the
-    fix-substitute-tighten loop (each pass either fixes at least one more
-    variable or is the last).
+    The input program is never mutated — and when nothing reduces, it is
+    returned as-is (``result.lp is lp``), skipping the defensive rebuild.
+    ``max_passes`` bounds the fix-substitute-tighten loop (each pass either
+    fixes at least one more variable or is the last).
     """
     bounds = [(v.lower, v.upper) for v in lp.variables]
     fixed: dict[int, float] = {}
@@ -91,15 +149,19 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
         Constraint(c.name, dict(c.coefficients), c.sense, c.rhs)
         for c in lp.constraints
     ]
+    any_change = False
 
     for _ in range(max_passes):
         changed = False
 
-        # Pass A: bound sanity and newly fixed variables.
+        # Pass A: bound sanity and newly fixed variables.  A slightly
+        # inverted domain (within the feasibility tolerance) is treated as
+        # fixed at the midpoint, not infeasible — each bound is then violated
+        # by at most _FEAS_TOL / 2.
         for index, (lower, upper) in enumerate(bounds):
             if index in fixed:
                 continue
-            if lower > upper + _TOL:
+            if lower > upper + _FEAS_TOL:
                 return PresolveResult(
                     PresolveStatus.INFEASIBLE,
                     infeasibility_reason=(
@@ -107,8 +169,8 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
                         f"[{lower}, {upper}]"
                     ),
                 )
-            if math.isfinite(lower) and abs(upper - lower) <= _TOL:
-                fixed[index] = lower
+            if math.isfinite(lower) and upper - lower <= _TOL:
+                fixed[index] = lower if upper >= lower else 0.5 * (lower + upper)
                 changed = True
 
         # Pass B: substitute fixed variables into rows.
@@ -121,9 +183,9 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
         for row in active_rows:
             if not row.coefficients:
                 satisfied = (
-                    (row.sense is Sense.LE and 0.0 <= row.rhs + _TOL)
-                    or (row.sense is Sense.GE and 0.0 >= row.rhs - _TOL)
-                    or (row.sense is Sense.EQ and abs(row.rhs) <= _TOL)
+                    (row.sense is Sense.LE and 0.0 <= row.rhs + _FEAS_TOL)
+                    or (row.sense is Sense.GE and 0.0 >= row.rhs - _FEAS_TOL)
+                    or (row.sense is Sense.EQ and abs(row.rhs) <= _FEAS_TOL)
                 )
                 if not satisfied:
                     return PresolveResult(
@@ -150,8 +212,21 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
             remaining.append(row)
         active_rows = remaining
 
+        any_change = any_change or changed
         if not changed:
             break
+
+    # One final pass (outside the fixpoint loop: dropping an upper bound can
+    # never enable reductions 1-4) that strips redundant upper bounds.
+    any_change = _drop_implied_upper_bounds(active_rows, bounds) or any_change
+
+    if not any_change:
+        # Nothing reduced: hand back the original program object.
+        return PresolveResult(
+            PresolveStatus.REDUCED,
+            lp=lp,
+            kept_variables=list(range(lp.num_variables)),
+        )
 
     # Assemble the reduced program.
     kept = [i for i in range(lp.num_variables) if i not in fixed]
@@ -176,6 +251,12 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
             row.rhs,
             name=row.name,
         )
+    if not fixed and len(active_rows) == lp.num_constraints:
+        # Only variable bounds changed (the implied-bound pass, typically):
+        # every row survived with its coefficients and column indices intact,
+        # so the original program's COO triplet cache — if primed, e.g. by
+        # build_benchmark_lp — still describes the reduced constraint matrix.
+        reduced._coo = lp._coo
     return PresolveResult(
         PresolveStatus.REDUCED,
         lp=reduced,

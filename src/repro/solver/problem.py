@@ -89,6 +89,11 @@ class LinearProgram:
     variables: list[Variable] = field(default_factory=list)
     constraints: list[Constraint] = field(default_factory=list)
     _names: set[str] = field(default_factory=set, repr=False)
+    # Cached COO triplets of the constraint matrix (rows, cols, vals);
+    # invalidated by add_constraint, primed in bulk by set_constraints_coo.
+    _coo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -149,7 +154,67 @@ class LinearProgram:
         if name is None:
             name = f"c{len(self.constraints)}"
         self.constraints.append(Constraint(name, clean, sense, float(rhs)))
+        self._coo = None
         return len(self.constraints) - 1
+
+    def set_constraints_coo(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+    ) -> None:
+        """Prime the COO triplet cache of the constraint matrix.
+
+        Bulk builders (:func:`repro.core.lp_formulation.build_benchmark_lp`)
+        already hold the constraint matrix as triplet arrays; installing them
+        here lets :func:`~repro.solver.standard_form.to_standard_form` skip
+        re-iterating every coefficient dict.  The triplets must describe
+        exactly the current constraints (checked cheaply by nonzero count).
+
+        Raises:
+            ValueError: when the triplet count disagrees with the constraints.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=float)
+        nnz = sum(len(c.coefficients) for c in self.constraints)
+        if not (rows.size == cols.size == vals.size == nnz):
+            raise ValueError(
+                f"COO cache has {vals.size} entries; constraints hold {nnz}"
+            )
+        self._coo = (rows, cols, vals)
+
+    def constraints_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The constraint matrix as COO triplets ``(rows, cols, vals)``.
+
+        Assembled from the per-row coefficient dicts on first use and cached;
+        bulk builders can prime the cache via :meth:`set_constraints_coo`.
+        """
+        if self._coo is None:
+            row_arrays: list[np.ndarray] = []
+            col_arrays: list[np.ndarray] = []
+            val_arrays: list[np.ndarray] = []
+            for i, constraint in enumerate(self.constraints):
+                count = len(constraint.coefficients)
+                if count == 0:
+                    continue
+                row_arrays.append(np.full(count, i, dtype=np.int64))
+                col_arrays.append(
+                    np.fromiter(constraint.coefficients.keys(), dtype=np.int64, count=count)
+                )
+                val_arrays.append(
+                    np.fromiter(constraint.coefficients.values(), dtype=float, count=count)
+                )
+            if row_arrays:
+                self._coo = (
+                    np.concatenate(row_arrays),
+                    np.concatenate(col_arrays),
+                    np.concatenate(val_arrays),
+                )
+            else:
+                self._coo = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0),
+                )
+        return self._coo
 
     # ------------------------------------------------------------------
     # Introspection
@@ -216,6 +281,10 @@ class LinearProgram:
             for c in self.constraints
         ]
         clone._names = set(self._names)
+        # The triplet cache describes the (immutable-by-copy) constraint
+        # matrix, so the clone can share it; branch-and-bound copies only
+        # tighten variable bounds.
+        clone._coo = self._coo
         return clone
 
     def __repr__(self) -> str:

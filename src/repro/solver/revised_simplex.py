@@ -4,9 +4,29 @@ The benchmark LP (1)-(4) is *wide*: one column per (user, admissible set)
 pair but only ``|U| + |V|`` rows.  The tableau simplex updates the full
 ``m x (n + m)`` tableau per pivot; the revised simplex keeps only the
 ``m x m`` basis inverse and prices columns on demand, which is the right
-trade-off for wide LPs.  The basis inverse is updated by an eta
-(elementary) transformation each pivot and rebuilt from scratch every
+trade-off for wide LPs.  The basis inverse is updated by a rank-1 (eta)
+transformation each pivot and rebuilt from scratch every
 ``refactor_every`` pivots to stop drift.
+
+The core is representation-agnostic: it consumes the sparse
+(:class:`~repro.solver.sparse.CSCMatrix`) or dense
+(:class:`~repro.solver.sparse.DenseMatrix`) constraint operator that
+:func:`~repro.solver.standard_form.to_standard_form` produced, so the wide
+LP is priced as an O(nnz) segment sum instead of an O(m*n) dense matvec.
+The per-pivot work is kept at a single rank-1 update:
+
+* pricing uses a rotating partial-pricing window (Dantzig within the
+  window, full sweep before declaring optimality) with the usual permanent
+  switch to Bland's rule after ``bland_after`` pivots;
+* the ratio test is fully vectorized with the Bland tie-break anchored at
+  the true minimum ratio (see :func:`repro.solver.simplex.min_ratio_row`);
+* the duals are updated incrementally from the leaving row of the basis
+  inverse (``y' = y + beta * rho_r``) instead of re-solving
+  ``c_B @ B^-1`` every pivot, and recomputed exactly at every
+  refactorization;
+* a slack crash basis from :attr:`StandardForm.basis_hint` skips phase 1
+  outright for all-inequality programs with nonnegative rhs — which the
+  benchmark LP always is.
 
 Phases, pivot rules, anti-cycling and statuses mirror
 :mod:`repro.solver.simplex`; both backends are cross-checked against each
@@ -21,15 +41,30 @@ import numpy as np
 
 from repro.solver.problem import LinearProgram
 from repro.solver.result import LPSolution, SolveStatus
-from repro.solver.simplex import SimplexOptions, _TableauResult
+from repro.solver.simplex import SimplexOptions, _TableauResult, min_ratio_row
+from repro.solver.sparse import CSCMatrix, DenseMatrix
 from repro.solver.standard_form import StandardForm, to_standard_form
 
 
 @dataclass
 class RevisedSimplexOptions(SimplexOptions):
-    """Simplex options plus the basis refactorization period."""
+    """Simplex options plus the revised-specific knobs.
 
-    refactor_every: int = 100
+    Attributes:
+        refactor_every: basis-inverse rebuild period (rank-1 drift guard).
+        sparse: force the CSC (True) or dense (False) constraint
+            representation; None lets the standard-form size heuristic
+            decide (see :func:`repro.solver.standard_form.prefer_sparse`).
+        partial_pricing: price a rotating window of columns per pivot
+            instead of the full Dantzig scan (a full sweep still certifies
+            optimality; Bland's rule, once active, always scans fully).
+        pricing_block: window width; 0 picks ``max(256, n // 16)``.
+    """
+
+    refactor_every: int = 200
+    sparse: bool | None = None
+    partial_pricing: bool = True
+    pricing_block: int = 0
 
 
 class _RevisedCore:
@@ -37,27 +72,41 @@ class _RevisedCore:
 
     def __init__(
         self,
-        a: np.ndarray,
+        matrix: CSCMatrix | DenseMatrix,
         b: np.ndarray,
         options: RevisedSimplexOptions,
     ):
-        self.a = a
+        self.matrix = matrix
         self.b = b
         self.options = options
-        self.m = a.shape[0]
-        self.n = a.shape[1]
-        self.basis: list[int] = []
+        self.m = matrix.shape[0]
+        self.n = matrix.shape[1]
+        self.basis = np.empty(0, dtype=np.int64)
+        self.in_basis = np.zeros(self.n, dtype=bool)
         self.basis_inverse = np.eye(self.m)
         self.x_basic = b.copy()
+        self.duals: np.ndarray | None = None  # maintained per run()
         self.pivots_since_refactor = 0
+        self.pricing_cursor = 0
+        self._rank1 = np.empty((self.m, self.m))  # reused eta-update buffer
 
-    def set_basis(self, basis: list[int]) -> None:
-        self.basis = list(basis)
-        self.refactor()
+    def set_basis(self, basis: np.ndarray | list[int], *, identity: bool = False) -> None:
+        """Install a basis; ``identity=True`` skips the O(m^3) inversion
+        when the basis matrix is known to be the identity (crash basis of
+        slack and artificial unit columns)."""
+        self.basis = np.asarray(basis, dtype=np.int64).copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        if identity:
+            self.basis_inverse = np.eye(self.m)
+            self.x_basic = self.b.copy()
+            self.pivots_since_refactor = 0
+        else:
+            self.refactor()
 
     def refactor(self) -> None:
         """Rebuild the basis inverse and basic solution from scratch."""
-        basis_matrix = self.a[:, self.basis]
+        basis_matrix = self.matrix.gather_dense(self.basis)
         self.basis_inverse = np.linalg.inv(basis_matrix)
         self.x_basic = self.basis_inverse @ self.b
         # Numerical noise can push a basic value to -1e-13; clamp so the
@@ -75,84 +124,141 @@ class _RevisedCore:
         """Pivot to optimality for ``costs`` over columns ``[0, allowed)``."""
         tol = self.options.tol
         iterations = start_iteration
+        degenerate_run = 0
+        run_limit = self.options.degenerate_run_limit(self.m)
+        force_bland = False
+        self.duals = costs[self.basis] @ self.basis_inverse
         while True:
-            duals = costs[self.basis] @ self.basis_inverse
-            reduced = costs[:allowed] - duals @ self.a[:, :allowed]
-            basic_set = set(self.basis)
-            use_bland = iterations >= self.options.bland_after
-            entering = self._choose_entering(reduced, basic_set, use_bland, tol)
+            use_bland = force_bland or iterations >= self.options.bland_after
+            entering = self._choose_entering(costs, self.duals, allowed, use_bland, tol)
             if entering is None:
                 return SolveStatus.OPTIMAL, iterations
-            direction = self.basis_inverse @ self.a[:, entering]
+            direction = self.matrix.direction(self.basis_inverse, entering)
             leaving_row = self._ratio_test(direction, tol)
             if leaving_row is None:
                 return SolveStatus.UNBOUNDED, iterations
-            self._pivot(entering, leaving_row, direction)
+            step = self.x_basic[leaving_row] / direction[leaving_row]
+            self._pivot(entering, leaving_row, direction, costs)
+            if step <= tol:
+                degenerate_run += 1
+                force_bland = force_bland or degenerate_run >= run_limit
+            else:
+                degenerate_run = 0
             iterations += 1
             if iterations >= max_iterations:
                 return SolveStatus.ITERATION_LIMIT, iterations
 
-    @staticmethod
     def _choose_entering(
-        reduced: np.ndarray, basic: set[int], use_bland: bool, tol: float
+        self,
+        costs: np.ndarray,
+        duals: np.ndarray,
+        allowed: int,
+        use_bland: bool,
+        tol: float,
     ) -> int | None:
-        if use_bland:
-            for j in np.nonzero(reduced < -tol)[0]:
-                if int(j) not in basic:
-                    return int(j)
+        if allowed == 0:
             return None
-        masked = reduced.copy()
-        for j in basic:
-            if j < masked.shape[0]:
-                masked[j] = 0.0
-        best = int(np.argmin(masked))
-        return best if masked[best] < -tol else None
+        if use_bland:
+            # Bland: lowest-index nonbasic column with negative reduced cost.
+            # Always a full scan — that is what the termination proof needs.
+            reduced = costs[:allowed] - self.matrix.price(duals, allowed)
+            reduced[self.in_basis[:allowed]] = 0.0
+            below = np.flatnonzero(reduced < -tol)
+            return int(below[0]) if below.size else None
+
+        block = self.options.pricing_block or max(256, allowed // 16)
+        if not self.options.partial_pricing or block >= allowed:
+            reduced = costs[:allowed] - self.matrix.price(duals, allowed)
+            reduced[self.in_basis[:allowed]] = 0.0
+            best = int(np.argmin(reduced))
+            return best if reduced[best] < -tol else None
+
+        # Partial pricing: Dantzig within a rotating window.  The duals are
+        # fixed while we sweep, so covering every window without finding a
+        # negative reduced cost is a complete optimality certificate.
+        start = self.pricing_cursor if self.pricing_cursor < allowed else 0
+        scanned = 0
+        while scanned < allowed:
+            stop = min(start + block, allowed)
+            reduced = costs[start:stop] - self.matrix.price_block(duals, start, stop)
+            reduced[self.in_basis[start:stop]] = 0.0
+            best = int(np.argmin(reduced))
+            if reduced[best] < -tol:
+                # Stay on this window next pivot: entering candidates cluster.
+                self.pricing_cursor = start
+                return start + best
+            scanned += stop - start
+            start = 0 if stop >= allowed else stop
+        return None
 
     def _ratio_test(self, direction: np.ndarray, tol: float) -> int | None:
-        best_row: int | None = None
-        best_ratio = np.inf
-        for row in range(self.m):
-            if direction[row] > tol:
-                ratio = self.x_basic[row] / direction[row]
-                better = ratio < best_ratio - tol
-                tie = ratio < best_ratio + tol and (
-                    best_row is None or self.basis[row] < self.basis[best_row]
-                )
-                if better or tie:
-                    best_ratio = ratio
-                    best_row = row
-        return best_row
+        return min_ratio_row(direction, self.x_basic, self.basis, tol)
 
-    def _pivot(self, entering: int, row: int, direction: np.ndarray) -> None:
-        """Eta update of the basis inverse and the basic solution."""
-        step = self.x_basic[row] / direction[row]
+    def _pivot(
+        self,
+        entering: int,
+        row: int,
+        direction: np.ndarray,
+        costs: np.ndarray | None,
+    ) -> None:
+        """Rank-1 update of the basis inverse, basic solution and duals.
+
+        ``costs`` drives the incremental dual update ``y' = y + beta *
+        rho_r`` (``rho_r`` = leaving row of the old inverse); pass None —
+        e.g. for the inter-phase artificial drive-out — to invalidate the
+        duals instead (the next :meth:`run` recomputes them).
+        """
+        pivot_value = direction[row]
+        step = self.x_basic[row] / pivot_value
         self.x_basic -= step * direction
         self.x_basic[row] = step
         self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
-        eta = -direction / direction[row]
-        eta[row] = 1.0 / direction[row]
+        eta = direction / (-pivot_value)
+        eta[row] = 1.0 / pivot_value
         pivot_row = self.basis_inverse[row].copy()
-        self.basis_inverse += np.outer(eta, pivot_row)
-        self.basis_inverse[row] = eta[row] * pivot_row
+        if costs is not None and self.duals is not None:
+            costs_b = costs[self.basis]
+            beta = float(
+                eta @ costs_b
+                + eta[row] * (costs[entering] - costs_b[row])
+                - costs_b[row]
+            )
+            self.duals += beta * pivot_row
+        else:
+            self.duals = None
+        # B'^-1 = B^-1 + eta~ (x) rho_r with eta~ = eta - e_r, because row r
+        # of B^-1 *is* rho_r — one buffered rank-1, no row rewrite, no
+        # per-pivot m x m allocation.
+        eta[row] -= 1.0
+        np.multiply(eta[:, None], pivot_row[None, :], out=self._rank1)
+        self.basis_inverse += self._rank1
+        self.in_basis[self.basis[row]] = False
+        self.in_basis[entering] = True
         self.basis[row] = entering
         self.pivots_since_refactor += 1
         if self.pivots_since_refactor >= self.options.refactor_every:
             self.refactor()
+            if costs is not None:
+                self.duals = costs[self.basis] @ self.basis_inverse
 
     def solution(self) -> np.ndarray:
         x = np.zeros(self.n, dtype=float)
-        for row, basic in enumerate(self.basis):
-            x[basic] = self.x_basic[row]
+        x[self.basis] = self.x_basic
         return x
 
 
 def solve_standard_form_revised(
     sf: StandardForm, options: RevisedSimplexOptions | None = None
 ) -> _TableauResult:
-    """Two-phase revised simplex over a :class:`StandardForm`."""
+    """Two-phase revised simplex over a :class:`StandardForm`.
+
+    A full slack crash basis (available whenever every row is an inequality
+    with nonnegative rhs, e.g. the benchmark LP) starts phase 2 directly;
+    otherwise the missing rows get phase-1 artificials.
+    """
     options = options or RevisedSimplexOptions()
-    a, b, c = sf.a, sf.b, sf.c
-    m, n = a.shape
+    b, c = sf.b, sf.c
+    m, n = sf.num_rows, sf.num_columns
     max_iterations = options.resolved_max_iterations(m, n)
 
     if m == 0:
@@ -160,38 +266,47 @@ def solve_standard_form_revised(
             return _TableauResult(SolveStatus.UNBOUNDED, np.zeros(n), np.nan, 0)
         return _TableauResult(SolveStatus.OPTIMAL, np.zeros(n), 0.0, 0)
 
-    # Phase 1 over [A | I] with artificial costs.
-    a_ext = np.hstack([a, np.eye(m)])
-    costs1 = np.concatenate([np.zeros(n), np.ones(m)])
-    core = _RevisedCore(a_ext, b, options)
-    core.set_basis(list(range(n, n + m)))
-    status, iterations = core.run(costs1, n + m, 0, max_iterations)
-    if status is SolveStatus.ITERATION_LIMIT:
-        return _TableauResult(status, np.zeros(n), np.nan, iterations)
-    phase1_value = float(costs1[core.basis] @ core.x_basic)
-    if phase1_value > 1e-7:
-        return _TableauResult(SolveStatus.INFEASIBLE, np.zeros(n), np.nan, iterations)
+    matrix = sf.matrix()
+    hint = sf.basis_hint
+    full_crash = hint is not None and bool((hint >= 0).all())
+    iterations = 0
 
-    # Drive residual artificials out of the basis where possible.
-    for row in range(m):
-        if core.basis[row] < n:
-            continue
-        tableau_row = core.basis_inverse[row] @ a
-        candidates = np.nonzero(np.abs(tableau_row) > options.tol)[0]
-        if candidates.size:
-            entering = int(candidates[0])
-            direction = core.basis_inverse @ a_ext[:, entering]
-            core._pivot(entering, row, direction)
-            iterations += 1
+    if full_crash:
+        # Slack basis is the identity and already feasible: skip phase 1.
+        core = _RevisedCore(matrix, b, options)
+        core.set_basis(hint, identity=True)
+        costs2 = c
+    else:
+        # Phase 1 over [A | I]: artificials only where no slack is usable.
+        a_ext = matrix.with_identity()
+        artificial = np.arange(n, n + m, dtype=np.int64)
+        basis0 = np.where(hint >= 0, hint, artificial) if hint is not None else artificial
+        costs1 = np.concatenate([np.zeros(n), np.ones(m)])
+        core = _RevisedCore(a_ext, b, options)
+        core.set_basis(basis0, identity=True)
+        status, iterations = core.run(costs1, n + m, 0, max_iterations)
+        if status is SolveStatus.ITERATION_LIMIT:
+            return _TableauResult(status, np.zeros(n), np.nan, iterations)
+        phase1_value = float(costs1[core.basis] @ core.x_basic)
+        if phase1_value > 1e-7:
+            return _TableauResult(
+                SolveStatus.INFEASIBLE, np.zeros(n), np.nan, iterations
+            )
 
-    if any(basic >= n for basic in core.basis):
-        # A redundant row pins an artificial in the basis at level zero.  The
-        # eta updates keep it there harmlessly, but its cost must stay zero in
-        # phase 2 — which it is, because phase-2 costs are only set for
-        # structural columns.
-        pass
+        # Drive residual artificials out of the basis where possible.  A row
+        # whose structural part prices to all-zero is redundant: the
+        # artificial stays basic at level zero, harmlessly, because phase-2
+        # costs are only set for structural columns.
+        for row in np.flatnonzero(core.basis >= n).tolist():
+            tableau_row = matrix.price(core.basis_inverse[row], n)
+            candidates = np.flatnonzero(np.abs(tableau_row) > options.tol)
+            if candidates.size:
+                entering = int(candidates[0])
+                direction = a_ext.direction(core.basis_inverse, entering)
+                core._pivot(entering, row, direction, None)
+                iterations += 1
+        costs2 = np.concatenate([c, np.zeros(m)])
 
-    costs2 = np.concatenate([c, np.zeros(m)])
     status, iterations = core.run(costs2, n, iterations, max_iterations)
     if status is not SolveStatus.OPTIMAL:
         return _TableauResult(status, np.zeros(n), np.nan, iterations)
@@ -204,12 +319,21 @@ def solve_standard_form_revised(
 def solve_lp_revised_simplex(
     lp: LinearProgram, options: RevisedSimplexOptions | None = None
 ) -> LPSolution:
-    """Solve a :class:`LinearProgram` with the revised simplex backend."""
-    sf = to_standard_form(lp)
+    """Solve a :class:`LinearProgram` with the revised simplex backend.
+
+    ``options.sparse`` selects the constraint representation (None = size
+    heuristic); everything downstream of the representation — pivot rules,
+    tolerances, statuses — is identical between the two.
+    """
+    options = options or RevisedSimplexOptions()
+    sf = to_standard_form(lp, sparse=options.sparse)
     result = solve_standard_form_revised(sf, options)
+    # Always report the representation-qualified name, so callers see which
+    # path actually ran — also when "revised-simplex" let the heuristic pick.
+    backend = "revised-simplex-sparse" if sf.is_sparse else "revised-simplex-dense"
     if result.status is not SolveStatus.OPTIMAL:
         return LPSolution(
-            status=result.status, iterations=result.iterations, backend="revised-simplex"
+            status=result.status, iterations=result.iterations, backend=backend
         )
     x = sf.recover_x(result.y)
     objective = sf.recover_objective(result.objective)
@@ -218,5 +342,5 @@ def solve_lp_revised_simplex(
         objective_value=objective,
         x=x,
         iterations=result.iterations,
-        backend="revised-simplex",
+        backend=backend,
     )

@@ -50,6 +50,16 @@ class SimplexOptions:
             return self.max_iterations
         return 50 * (m + n) + 1000
 
+    def degenerate_run_limit(self, m: int) -> int:
+        """Consecutive degenerate (zero-step) pivots tolerated before the
+        pivot rule switches to Bland permanently.
+
+        ``bland_after`` alone cannot guarantee termination — it may exceed
+        the iteration cap — and a cycle only ever makes degenerate pivots,
+        so a long zero-progress run is the reliable trigger.
+        """
+        return m + 16
+
 
 @dataclass
 class _TableauResult:
@@ -88,30 +98,42 @@ def _choose_entering(
     return best if candidates[best] < -tol else None
 
 
+def min_ratio_row(
+    column: np.ndarray, rhs: np.ndarray, basis: np.ndarray, tol: float
+) -> int | None:
+    """Row of the leaving variable by the vectorized minimum ratio test.
+
+    Computes the *true* minimum ratio over the rows with ``column > tol``,
+    then breaks ties — rows within ``tol`` of that minimum — by the smallest
+    basis index (the Bland tie-break, which is also what makes the full Bland
+    rule cycle-free).  Anchoring ties against the true minimum matters: the
+    historical per-row loop re-anchored on every accepted tie, letting the
+    accepted ratio ratchet upward by up to ``tol`` per row, so a row far from
+    the minimum could win the pivot and take a feasibility-destroying step.
+
+    Returns None when the column is nonpositive, i.e. the LP is unbounded
+    along it.
+    """
+    eligible = column > tol
+    if not eligible.any():
+        return None
+    ratios = np.full(column.shape[0], np.inf)
+    np.divide(rhs, column, out=ratios, where=eligible)
+    min_ratio = ratios.min()
+    ties = np.flatnonzero(ratios <= min_ratio + tol)
+    if ties.size == 1:
+        return int(ties[0])
+    return int(ties[np.argmin(basis[ties])])
+
+
 def _choose_leaving(
     tableau: np.ndarray, basis: list[int], col: int, tol: float
 ) -> int | None:
-    """Row index of the leaving variable by the minimum ratio test.
-
-    Ties are broken by the smallest basis index (the Bland tie-break), which
-    is also what makes the full Bland rule cycle-free. Returns None when the
-    column is nonpositive, i.e. the LP is unbounded along it.
-    """
+    """Row index of the leaving variable (see :func:`min_ratio_row`)."""
     m = len(basis)
-    column = tableau[:m, col]
-    rhs = tableau[:m, -1]
-    best_row: int | None = None
-    best_ratio = np.inf
-    for row in range(m):
-        if column[row] > tol:
-            ratio = rhs[row] / column[row]
-            if ratio < best_ratio - tol or (
-                ratio < best_ratio + tol
-                and (best_row is None or basis[row] < basis[best_row])
-            ):
-                best_ratio = ratio
-                best_row = row
-    return best_row
+    return min_ratio_row(
+        tableau[:m, col], tableau[:m, -1], np.asarray(basis, dtype=np.int64), tol
+    )
 
 
 def _run_simplex(
@@ -127,15 +149,24 @@ def _run_simplex(
     Returns the terminal status and the cumulative iteration count.
     """
     iterations = start_iteration
+    degenerate_run = 0
+    run_limit = options.degenerate_run_limit(len(basis))
+    force_bland = False
     while True:
-        use_bland = iterations >= options.bland_after
+        use_bland = force_bland or iterations >= options.bland_after
         entering = _choose_entering(tableau[-1], allowed, use_bland, options.tol)
         if entering is None:
             return SolveStatus.OPTIMAL, iterations
         leaving = _choose_leaving(tableau, basis, entering, options.tol)
         if leaving is None:
             return SolveStatus.UNBOUNDED, iterations
+        step = tableau[leaving, -1] / tableau[leaving, entering]
         _pivot(tableau, basis, leaving, entering)
+        if step <= options.tol:
+            degenerate_run += 1
+            force_bland = force_bland or degenerate_run >= run_limit
+        else:
+            degenerate_run = 0
         iterations += 1
         if iterations >= max_iterations:
             return SolveStatus.ITERATION_LIMIT, iterations
@@ -231,7 +262,8 @@ def solve_lp_simplex(
     Integer markers on variables are ignored (this solves the relaxation);
     use :func:`repro.solver.branch_and_bound.solve_ilp` for integral solves.
     """
-    sf = to_standard_form(lp)
+    # The tableau is inherently dense; skip the sparse detour.
+    sf = to_standard_form(lp, sparse=False)
     result = solve_standard_form(sf, options)
     if result.status is not SolveStatus.OPTIMAL:
         return LPSolution(status=result.status, iterations=result.iterations, backend="simplex")

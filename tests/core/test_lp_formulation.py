@@ -117,3 +117,38 @@ class TestLemma1:
         x[target_indices] = 1.0
         pairs = benchmark.pairs_from_solution(x)
         assert sorted(pairs) == [(1, 10), (1, 11), (3, 11)]
+
+
+def test_caller_supplied_set_with_repeated_event_id():
+    """Regression: a duplicated event inside an admissible set must not
+    desynchronize the primed COO cache from the constraint dicts."""
+    from repro.datagen import SyntheticConfig, generate_synthetic
+
+    instance = generate_synthetic(
+        SyntheticConfig(num_users=6, num_events=3), seed=0
+    )
+    user_id = instance.users[0].user_id
+    event_id = instance.events[0].event_id
+    benchmark = build_benchmark_lp(
+        instance, admissible={user_id: [(event_id, event_id)]}
+    )
+    assert benchmark.lp.num_variables == 1
+    rows, cols, vals = benchmark.lp.constraints_coo()
+    assert rows.size == sum(
+        len(c.coefficients) for c in benchmark.lp.constraints
+    )
+
+
+def test_coo_cache_is_primed_and_survives_presolve():
+    """The triplets emitted by build_benchmark_lp must reach the solver:
+    presolve's bound-only reduction keeps the cache alive."""
+    from repro.datagen import SyntheticConfig, generate_synthetic
+    from repro.solver.presolve import presolve
+
+    instance = generate_synthetic(
+        SyntheticConfig(num_users=20, num_events=5), seed=1
+    )
+    benchmark = build_benchmark_lp(instance)
+    assert benchmark.lp._coo is not None
+    reduced = presolve(benchmark.lp).lp
+    assert reduced._coo is not None

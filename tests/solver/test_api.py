@@ -13,9 +13,12 @@ from repro.solver import (
     solve_lp,
 )
 
-CONCRETE_BACKENDS = ["simplex", "revised-simplex"] + (
-    ["scipy"] if scipy_available() else []
-)
+CONCRETE_BACKENDS = [
+    "simplex",
+    "revised-simplex",
+    "revised-simplex-dense",
+    "revised-simplex-sparse",
+] + (["scipy"] if scipy_available() else [])
 
 
 def _sample_lp():

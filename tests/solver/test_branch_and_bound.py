@@ -94,6 +94,63 @@ class TestStatuses:
         assert solution.gap == 0.0
 
 
+class TestBestBoundTracksLiveFrontier:
+    """Regression: the NODE_LIMIT bound must cover only *open* subtrees.
+
+    The historical implementation appended every branched node's relaxation
+    bound to a list and never removed entries when subtrees were fully
+    explored, so the reported bound was always the root relaxation — too
+    loose whenever the high-bound subtrees had already been closed.
+    """
+
+    # Calibrated so that after 8 nodes the root's high-bound subtree is fully
+    # explored and the live frontier sits strictly below the root relaxation.
+    VALUES = [1.19, 3.8, 9.45, 5.85, 8.3]
+    WEIGHTS = [3.63, 3.44, 1.77, 3.3, 1.16]
+    CAPACITY = 6.65
+
+    def test_node_limited_bound_is_tighter_than_root_relaxation(self):
+        lp = _knapsack(self.VALUES, self.WEIGHTS, self.CAPACITY)
+        root_bound = solve_lp(lp).objective_value
+        optimum = solve_ilp(lp).objective_value
+        limited = solve_ilp(lp, BranchAndBoundOptions(max_nodes=8))
+        assert limited.status is SolveStatus.NODE_LIMIT
+        # Valid: still an upper bound on the true optimum ...
+        assert limited.best_bound >= optimum - 1e-9
+        # ... and tight: strictly inside the root relaxation, which is what
+        # the stale-open-list implementation could never report.
+        assert limited.best_bound < root_bound - 1e-6
+        assert limited.gap >= 0.0
+
+    def test_bound_never_spuriously_below_incumbent(self):
+        lp = _knapsack(self.VALUES, self.WEIGHTS, self.CAPACITY)
+        for max_nodes in (2, 4, 8, 16):
+            solution = solve_ilp(lp, BranchAndBoundOptions(max_nodes=max_nodes))
+            if solution.status is SolveStatus.NODE_LIMIT and solution.x.size:
+                sign = 1.0  # maximization knapsack
+                assert sign * solution.best_bound >= sign * solution.objective_value - 1e-9
+
+    def test_bound_tightens_as_the_search_progresses(self):
+        lp = _knapsack(self.VALUES, self.WEIGHTS, self.CAPACITY)
+        optimum = solve_ilp(lp).objective_value
+        bounds = []
+        for max_nodes in (4, 8, 64):
+            solution = solve_ilp(lp, BranchAndBoundOptions(max_nodes=max_nodes))
+            if solution.x.size == 0:
+                continue  # no incumbent yet: the bound is undefined (nan)
+            bound = (
+                solution.best_bound
+                if solution.status is SolveStatus.NODE_LIMIT
+                else solution.objective_value
+            )
+            assert bound >= optimum - 1e-9
+            bounds.append(bound)
+        assert len(bounds) >= 2
+        # Monotone under DFS with live-frontier tracking on this instance.
+        for earlier, later in zip(bounds, bounds[1:]):
+            assert earlier >= later - 1e-9
+
+
 class TestMixedInteger:
     def test_continuous_variables_stay_continuous(self):
         # max x + y, x integer <= 1.5 -> x = 1; y continuous <= 1.5 -> y = 1.5.

@@ -115,6 +115,17 @@ def test_input_program_is_not_mutated():
     assert lp.constraints[0].coefficients == {x: 1.0, y: 1.0}
 
 
+def test_sub_tolerance_bound_inversion_is_not_infeasible():
+    """A singleton row violating a bound by less than the 1e-7 feasibility
+    tolerance must not be declared infeasible (HiGHS solves it)."""
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", upper=1.0, objective=0.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, -5.960464477539063e-08)
+    result = presolve(lp)
+    assert result.status is PresolveStatus.REDUCED
+    assert result.fixed_values[x] == pytest.approx(0.0, abs=1e-7)
+
+
 def test_no_reductions_possible_is_identity():
     lp = LinearProgram(maximize=True)
     x = lp.add_variable("x", upper=4.0, objective=3.0)
