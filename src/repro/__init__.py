@@ -41,10 +41,14 @@ from repro.core.exact import ExactILP
 from repro.core.local_search import LocalSearch
 from repro.core.lp_packing import LPPacking
 from repro.core.online import OnlineGreedy, OnlineRandom, competitive_ratio
+from repro.core.repair import apply_with_repair, repair
 from repro.core.result import ArrangementResult
+from repro.datagen.churn import ChurnConfig, ChurnTrace, generate_churn_trace
 from repro.datagen.meetup import MeetupConfig, generate_meetup
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
+from repro.experiments.replay import ReplayReport, replay_trace
 from repro.model.arrangement import Arrangement
+from repro.model.delta import Delta, DeltaResult, apply_delta
 from repro.model.conflicts import (
     CompositeConflict,
     MatrixConflict,
@@ -83,6 +87,9 @@ __all__ = [
     "User",
     "IGEPAInstance",
     "Arrangement",
+    "Delta",
+    "DeltaResult",
+    "apply_delta",
     "MatrixConflict",
     "TimeIntervalConflict",
     "CompositeConflict",
@@ -97,4 +104,12 @@ __all__ = [
     "generate_synthetic",
     "MeetupConfig",
     "generate_meetup",
+    # churn engine
+    "repair",
+    "apply_with_repair",
+    "ChurnConfig",
+    "ChurnTrace",
+    "generate_churn_trace",
+    "ReplayReport",
+    "replay_trace",
 ]

@@ -6,19 +6,25 @@ Subcommands:
 * ``experiment ID`` — regenerate a paper figure/table and print the report.
 * ``generate {synthetic,meetup}`` — write a dataset to JSON.
 * ``solve INSTANCE.json`` — run one algorithm on a saved instance.
+* ``replay`` — churn a synthetic instance and compare incremental repair
+  against full recompute, batch by batch.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.baselines import GGGreedy, RandomU, RandomV
 from repro.core.exact import ExactILP
+from repro.core.local_search import LocalSearch
 from repro.core.lp_packing import LPPacking
+from repro.datagen.churn import ChurnConfig, generate_churn_trace
 from repro.datagen.meetup import MeetupConfig, generate_meetup
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.replay import format_replay_table, replay_trace
 from repro.model.instance import IGEPAInstance
 
 ALGORITHMS = {
@@ -81,6 +87,52 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+REPLAY_ALGORITHMS = {
+    "gg": lambda: GGGreedy(),
+    "gg+ls": lambda: LocalSearch(GGGreedy()),
+    "random-u": lambda: RandomU(),
+    "random-u+ls": lambda: LocalSearch(RandomU()),
+}
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    synthetic = SyntheticConfig(
+        num_events=args.events,
+        num_users=args.users,
+        conflict_probability=args.pcf,
+    )
+    instance = generate_synthetic(synthetic, seed=args.seed)
+    config = ChurnConfig(
+        num_batches=args.batches,
+        user_arrival_rate=args.arrival_rate,
+        user_departure_rate=args.departure_rate,
+        rebid_rate=args.rebid_rate,
+        event_open_rate=args.event_rate,
+        event_close_rate=args.event_rate,
+        burst_every=args.burst_every,
+        # Churned entities (new events' conflicts, new users' bid shapes)
+        # sample from the same config as the initial instance.
+        base=synthetic,
+    )
+    trace = generate_churn_trace(instance, config, seed=args.seed + 1)
+    report = replay_trace(
+        trace,
+        algorithm=REPLAY_ALGORITHMS[args.algorithm](),
+        seed=args.seed,
+        compare_full=not args.no_full,
+        check_parity=args.check_parity,
+    )
+    print(format_replay_table(report))
+    if args.check_parity:
+        print(f"index parity (bit-identical): {report.all_parity}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    # A failed parity check must fail the command, not just print False.
+    return 0 if (not args.check_parity or report.all_parity) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="igepa",
@@ -119,6 +171,50 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--alpha", type=float, default=1.0, help="LP-packing alpha")
     sub.set_defaults(func=_cmd_solve)
+
+    sub = subparsers.add_parser(
+        "replay",
+        help="churn a synthetic instance: incremental repair vs full recompute",
+    )
+    sub.add_argument("--users", type=int, default=2000, help="initial |U|")
+    sub.add_argument("--events", type=int, default=200, help="initial |V|")
+    sub.add_argument("--batches", type=int, default=10, help="churn batches")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--algorithm",
+        choices=sorted(REPLAY_ALGORITHMS),
+        default="gg+ls",
+        help="base solver (initial arrangement + full-recompute side)",
+    )
+    sub.add_argument(
+        "--arrival-rate", type=float, default=20.0, help="user arrivals/batch"
+    )
+    sub.add_argument(
+        "--departure-rate", type=float, default=20.0, help="user departures/batch"
+    )
+    sub.add_argument("--rebid-rate", type=float, default=40.0, help="re-bids/batch")
+    sub.add_argument(
+        "--event-rate", type=float, default=1.0, help="event opens and closes/batch"
+    )
+    sub.add_argument(
+        "--burst-every",
+        type=int,
+        default=0,
+        help="every k-th batch is an adversarial burst (0: never)",
+    )
+    sub.add_argument("--pcf", type=float, default=0.3, help="conflict probability")
+    sub.add_argument(
+        "--no-full",
+        action="store_true",
+        help="skip the full-recompute comparison side",
+    )
+    sub.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="verify the patched index equals a from-scratch build per batch",
+    )
+    sub.add_argument("--out", help="also write the report as JSON")
+    sub.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -6,6 +6,7 @@
 * :mod:`repro.core.baselines` — Random-U, Random-V, GG.
 * :mod:`repro.core.exact` — exact ILP solver (Lemma 1).
 * :mod:`repro.core.analysis` — LP bounds and empirical approximation ratios.
+* :mod:`repro.core.repair` — targeted arrangement repair after churn deltas.
 """
 
 from repro.core.admissible import (
@@ -36,6 +37,7 @@ from repro.core.metrics import (
     user_utilities,
 )
 from repro.core.online import OnlineGreedy, OnlineRandom, competitive_ratio
+from repro.core.repair import apply_with_repair, repair
 from repro.core.result import ArrangementResult
 
 __all__ = [
@@ -51,6 +53,8 @@ __all__ = [
     "ExactSolveError",
     "LocalSearch",
     "improve",
+    "repair",
+    "apply_with_repair",
     "OnlineGreedy",
     "OnlineRandom",
     "competitive_ratio",

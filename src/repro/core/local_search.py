@@ -27,6 +27,8 @@ first maximum feasible gain in bid order (upgrade) or bidder order (evict).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.core.base import ArrangementAlgorithm
@@ -37,9 +39,21 @@ _MIN_GAIN = 1e-9
 
 
 class _SearchState:
-    """Index data unpacked to Python lists plus live attendance/load mirrors."""
+    """Index data unpacked to Python lists plus live attendance/load mirrors.
 
-    def __init__(self, instance: IGEPAInstance, arrangement: Arrangement):
+    ``user_scope`` limits the per-user bid-list unpacking to the users the
+    caller will actually scan (targeted churn repair touches a handful of
+    users out of thousands); the remaining snapshots — ids, capacities, the
+    conflict rows — stay whole because move candidates (evict bidders,
+    upgrade targets) range over the full platform.
+    """
+
+    def __init__(
+        self,
+        instance: IGEPAInstance,
+        arrangement: Arrangement,
+        user_scope: Sequence[int] | None = None,
+    ):
         index = instance.index
         self.instance = instance
         self.arrangement = arrangement
@@ -48,15 +62,30 @@ class _SearchState:
         self.event_ids = index.event_ids.tolist()
         self.user_cap = index.user_capacity.tolist()
         self.event_cap = index.event_capacity.tolist()
-        indptr = index.bid_indptr.tolist()
-        positions = index.bid_indices.tolist()
-        weights = index.bid_weights.tolist()
-        self.user_bid_positions = [
-            positions[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
-        ]
-        self.user_bid_weights = [
-            weights[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
-        ]
+        # list when unpacking every user, dict when scoped — both are
+        # indexed as ``user_bid_positions[upos]`` by the move scans.  The
+        # scoped branch slices the CSR arrays per user so cost stays
+        # O(scope's bids), not O(total bids).
+        if user_scope is None:
+            indptr = index.bid_indptr.tolist()
+            positions = index.bid_indices.tolist()
+            weights = index.bid_weights.tolist()
+            self.user_bid_positions = [
+                positions[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
+            ]
+            self.user_bid_weights = [
+                weights[indptr[i] : indptr[i + 1]] for i in range(index.num_users)
+            ]
+        else:
+            indptr = index.bid_indptr
+            self.user_bid_positions = {
+                i: index.bid_indices[indptr[i] : indptr[i + 1]].tolist()
+                for i in user_scope
+            }
+            self.user_bid_weights = {
+                i: index.bid_weights[indptr[i] : indptr[i + 1]].tolist()
+                for i in user_scope
+            }
         self.conflict_rows = index.conflict_matrix.tolist()
         # Mirrors of the arrangement counters, updated at each accepted move.
         self.attendance = arrangement.attendance_counts.tolist()
@@ -89,14 +118,14 @@ class _SearchState:
         self.load[in_upos] += 1
 
 
-def _try_add_moves(state: _SearchState) -> int:
+def _try_add_moves(state: _SearchState, user_scan: Sequence[int]) -> int:
     arrangement = state.arrangement
     attendance = state.attendance
     load = state.load
     event_cap = state.event_cap
     conflict_rows = state.conflict_rows
     accepted = 0
-    for upos in range(state.index.num_users):
+    for upos in user_scan:
         capacity = state.user_cap[upos]
         if load[upos] >= capacity:
             continue
@@ -119,14 +148,54 @@ def _try_add_moves(state: _SearchState) -> int:
     return accepted
 
 
-def _try_upgrade_moves(state: _SearchState) -> int:
+def _try_refill_moves(state: _SearchState, event_scan: Sequence[int]) -> int:
+    """Event-major add moves: fill free seats from the event's bidder pool.
+
+    The user-major add scan only sees users in its scope; churn repair
+    scopes to *touched* users, so a seat freed on a touched event would
+    never be offered to its (untouched) bidders.  This scan closes that
+    gap; weights are nonnegative, so every accepted refill is a gain.
+    Disabled in the default full-scope search, where the user-major scan
+    already covers every candidate (keeping move order — and therefore
+    fixed-seed results — unchanged).
+    """
+    arrangement = state.arrangement
+    index = state.index
+    attendance = state.attendance
+    load = state.load
+    conflict_rows = state.conflict_rows
+    accepted = 0
+    for vpos in event_scan:
+        capacity = state.event_cap[vpos]
+        if attendance[vpos] >= capacity:
+            continue
+        assigned_column = arrangement.assignment_matrix[:, vpos]
+        weights = index.W[:, vpos]
+        row = conflict_rows[vpos]
+        for bidder in index.event_bidder_positions(vpos).tolist():
+            if attendance[vpos] >= capacity:
+                break
+            if assigned_column[bidder]:
+                continue
+            if weights[bidder] <= _MIN_GAIN:
+                continue
+            if load[bidder] >= state.user_cap[bidder]:
+                continue
+            if any(row[p] for p in arrangement.assigned_event_positions(bidder)):
+                continue
+            state.apply_add(bidder, vpos)
+            accepted += 1
+    return accepted
+
+
+def _try_upgrade_moves(state: _SearchState, user_scan: Sequence[int]) -> int:
     arrangement = state.arrangement
     attendance = state.attendance
     event_cap = state.event_cap
     conflict_rows = state.conflict_rows
     event_ids = state.event_ids
     accepted = 0
-    for upos in range(state.index.num_users):
+    for upos in user_scan:
         assigned = arrangement.assigned_event_positions(upos)  # live view
         if not assigned:
             continue
@@ -160,12 +229,72 @@ def _try_upgrade_moves(state: _SearchState) -> int:
     return accepted
 
 
-def _try_evict_moves(state: _SearchState) -> int:
+def _try_evict_moves(state: _SearchState, event_scan: Sequence[int]) -> int:
+    if state.arrangement.is_clean():
+        return _try_evict_moves_clean(state, event_scan)
+    return _try_evict_moves_scalar(state, event_scan)
+
+
+def _try_evict_moves_clean(state: _SearchState, event_scan: Sequence[int]) -> int:
+    """Vectorized evict scan for clean arrangements (every pair a bid pair).
+
+    Selects the same moves as the scalar scan: the lightest attendee by
+    ``(w(u, v), user_id)`` and the first bidder (in bidder order) carrying
+    the maximum feasible gain — realized here as a stable descending-gain
+    sort probed until the first conflict-feasible candidate.
+    """
+    arrangement = state.arrangement
+    index = state.index
+    conflict_rows = state.conflict_rows
+    assigned = arrangement.assignment_matrix
+    load = arrangement.load_counts
+    user_capacity = index.user_capacity
+    user_ids = index.user_ids
+    W = index.W
+    accepted = 0
+    for vpos in event_scan:
+        if state.attendance[vpos] < state.event_cap[vpos]:
+            continue  # not full: add moves already cover it
+        if state.attendance[vpos] - 1 >= state.event_cap[vpos]:
+            continue  # over capacity: even after an eviction the event is full
+        attendees = np.flatnonzero(assigned[:, vpos])
+        if not attendees.size:
+            continue
+        weights = W[attendees, vpos]
+        order = np.lexsort((user_ids[attendees], weights))
+        lightest = int(attendees[order[0]])
+        lightest_weight = float(weights[order[0]])
+
+        bidders = index.event_bidder_positions(vpos)
+        gains = W[bidders, vpos] - lightest_weight
+        mask = (
+            (gains > _MIN_GAIN)
+            & ~assigned[bidders, vpos]
+            & (load[bidders] < user_capacity[bidders])
+        )
+        candidates = bidders[mask]
+        if not candidates.size:
+            continue
+        row = conflict_rows[vpos]
+        # Stable descending-gain order: the first conflict-feasible probe is
+        # the first maximum-feasible-gain bidder of the scalar scan.
+        for k in np.argsort(-gains[mask], kind="stable").tolist():
+            bidder = int(candidates[k])
+            if any(row[p] for p in arrangement.assigned_event_positions(bidder)):
+                continue
+            state.apply_evict(vpos, lightest, bidder)
+            accepted += 1
+            break
+    return accepted
+
+
+def _try_evict_moves_scalar(state: _SearchState, event_scan: Sequence[int]) -> int:
+    """Reference evict scan; tolerates non-bid pairs via ``pair_weight``."""
     arrangement = state.arrangement
     index = state.index
     conflict_rows = state.conflict_rows
     accepted = 0
-    for vpos in range(index.num_events):
+    for vpos in event_scan:
         if state.attendance[vpos] < state.event_cap[vpos]:
             continue  # not full: add moves already cover it
         if state.attendance[vpos] - 1 >= state.event_cap[vpos]:
@@ -204,22 +333,55 @@ def improve(
     instance: IGEPAInstance,
     arrangement: Arrangement,
     max_passes: int = 20,
+    user_positions: Sequence[int] | None = None,
+    event_positions: Sequence[int] | None = None,
+    refill_events: bool = False,
 ) -> dict:
     """Run add/upgrade/evict passes in place until a local optimum.
 
+    Args:
+        instance: the instance the arrangement belongs to.
+        arrangement: improved in place.
+        max_passes: cap on improvement passes.
+        user_positions: restrict add/upgrade scans to these user positions
+            (default: all users).  Targeted churn repair passes the touched
+            users only.
+        event_positions: restrict evict scans to these event positions
+            (default: all events).
+        refill_events: additionally run the event-major refill scan over
+            ``event_positions`` (see :func:`_try_refill_moves`).  Needed by
+            scoped repair; redundant — and off — for full-scope searches.
+
     Returns:
-        Move counts: ``{"adds": ..., "upgrades": ..., "evictions": ...,
-        "passes": ...}``.
+        Move counts: ``{"adds": ..., "refills": ..., "upgrades": ...,
+        "evictions": ..., "passes": ...}``.
     """
-    state = _SearchState(instance, arrangement)
-    totals = {"adds": 0, "upgrades": 0, "evictions": 0, "passes": 0}
+    user_scan = (
+        range(instance.index.num_users)
+        if user_positions is None
+        else sorted(user_positions)
+    )
+    state = _SearchState(
+        instance,
+        arrangement,
+        user_scope=None if user_positions is None else user_scan,
+    )
+    event_scan = (
+        range(instance.index.num_events)
+        if event_positions is None
+        else sorted(event_positions)
+    )
+    totals = {"adds": 0, "refills": 0, "upgrades": 0, "evictions": 0, "passes": 0}
     for _ in range(max_passes):
-        moved = 0
-        adds = _try_add_moves(state)
-        upgrades = _try_upgrade_moves(state)
-        evictions = _try_evict_moves(state)
-        moved = adds + upgrades + evictions
+        adds = _try_add_moves(state, user_scan)
+        refills = (
+            _try_refill_moves(state, event_scan) if refill_events else 0
+        )
+        upgrades = _try_upgrade_moves(state, user_scan)
+        evictions = _try_evict_moves(state, event_scan)
+        moved = adds + refills + upgrades + evictions
         totals["adds"] += adds
+        totals["refills"] += refills
         totals["upgrades"] += upgrades
         totals["evictions"] += evictions
         totals["passes"] += 1

@@ -143,17 +143,40 @@ class OnlineRandom(_OnlineAlgorithm):
                 arrangement.add(event_id, user_id, check=False)
 
 
+#: Relative slack granted to ratios above 1.0 before they are treated as a
+#: broken bound rather than LP solver tolerance (the solver stack certifies
+#: primal feasibility to ~1e-7; see ``repro.solver``).
+BOUND_RTOL = 1e-6
+
+
 def competitive_ratio(
     instance: IGEPAInstance,
     algorithm: _OnlineAlgorithm,
     repetitions: int = 20,
     seed: int = 0,
+    bound_rtol: float = BOUND_RTOL,
 ) -> dict:
     """Empirical online-vs-offline comparison over random arrival orders.
 
+    The offline LP optimum is a true upper bound only up to the LP solver's
+    tolerance, so a run's raw ratio can land slightly above 1.0.  Ratios
+    within ``bound_rtol`` of 1.0 are clamped to 1.0 (the payload records the
+    raw maximum and how many runs were clamped); an overshoot beyond the
+    tolerance means the "bound" did not bound the algorithm and raises.
+
     Returns:
         ``{"mean_utility", "min_utility", "offline_bound", "mean_ratio",
-        "worst_ratio"}`` where ratios are against the offline LP bound.
+        "worst_ratio", "ratios", "utilities", "max_raw_ratio",
+        "clamped_runs", "zero_bound"}`` — ratios are against the offline LP
+        bound, clamped to ``[0, 1]``; ``ratios`` is per run, aligned with
+        ``utilities``.  When the bound is 0 and every run's utility is 0 the
+        comparison is vacuous: ratios are 1.0 and ``zero_bound`` is True.
+
+    Raises:
+        RuntimeError: when the bound is exceeded beyond ``bound_rtol``, or
+            when the bound is 0 while some run achieved positive utility —
+            both mean the LP bound is not actually an upper bound (a solver
+            or formulation bug), which ``1.0`` used to silently mask.
     """
     utilities = [
         algorithm.solve(instance, seed=seed + i).utility for i in range(repetitions)
@@ -161,10 +184,48 @@ def competitive_ratio(
     bound = lp_upper_bound(instance)
     mean = float(np.mean(utilities))
     worst = float(np.min(utilities))
+
+    if bound <= 0.0:
+        best = max(utilities, default=0.0)
+        if bound < 0.0 or best > 0.0:
+            # Utilities are nonnegative, so a negative "bound" cannot bound
+            # anything; only bound == 0 with all-zero utilities is vacuous.
+            raise RuntimeError(
+                f"offline LP bound is {bound} but the online algorithm "
+                f"achieved utility {best}: the bound is not an upper bound"
+            )
+        ratios = [1.0] * len(utilities)
+        return {
+            "mean_utility": mean,
+            "min_utility": worst,
+            "offline_bound": bound,
+            "mean_ratio": 1.0,
+            "worst_ratio": 1.0,
+            "ratios": ratios,
+            "utilities": utilities,
+            "max_raw_ratio": 1.0,
+            "clamped_runs": 0,
+            "zero_bound": True,
+        }
+
+    raw_ratios = [utility / bound for utility in utilities]
+    max_raw = max(raw_ratios, default=1.0)
+    if max_raw > 1.0 + bound_rtol:
+        raise RuntimeError(
+            f"online utility exceeds the offline LP bound by more than the "
+            f"solver tolerance (raw ratio {max_raw}, rtol {bound_rtol}): "
+            "the bound is not an upper bound"
+        )
+    ratios = [min(ratio, 1.0) for ratio in raw_ratios]
     return {
         "mean_utility": mean,
         "min_utility": worst,
         "offline_bound": bound,
-        "mean_ratio": mean / bound if bound > 0 else 1.0,
-        "worst_ratio": worst / bound if bound > 0 else 1.0,
+        "mean_ratio": float(np.mean(ratios)) if ratios else 1.0,
+        "worst_ratio": float(np.min(ratios)) if ratios else 1.0,
+        "ratios": ratios,
+        "utilities": utilities,
+        "max_raw_ratio": max_raw,
+        "clamped_runs": sum(1 for ratio in raw_ratios if ratio > 1.0),
+        "zero_bound": False,
     }

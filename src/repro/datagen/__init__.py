@@ -1,6 +1,7 @@
-"""Dataset generators: synthetic (Table I), Meetup-like (Table II), and
-adversarial stress workloads."""
+"""Dataset generators: synthetic (Table I), Meetup-like (Table II),
+adversarial stress workloads, and churn traces (sustained traffic)."""
 
+from repro.datagen.churn import ChurnConfig, ChurnTrace, generate_churn_trace
 from repro.datagen.adversarial import (
     INTEGRALITY_GAP_SEEDS,
     conflict_clique,
@@ -17,6 +18,9 @@ from repro.datagen.synthetic import (
 )
 
 __all__ = [
+    "ChurnConfig",
+    "ChurnTrace",
+    "generate_churn_trace",
     "SyntheticConfig",
     "generate_synthetic",
     "TABLE1_DEFAULTS",

@@ -1,4 +1,5 @@
-"""Experiment harness: repetition runner, Fig. 1 sweeps, registry, reports."""
+"""Experiment harness: repetition runner, Fig. 1 sweeps, registry, reports,
+and the churn replay driver."""
 
 from repro.experiments.persistence import (
     load_stats,
@@ -24,6 +25,14 @@ from repro.experiments.shapes import (
     ShapeExpectation,
     check_figure,
     check_sweep_shape,
+)
+from repro.experiments.replay import (
+    BatchRecord,
+    ReplayInfeasibleError,
+    ReplayReport,
+    format_replay_table,
+    index_parity_mismatches,
+    replay_trace,
 )
 from repro.experiments.runner import (
     AlgorithmStats,
@@ -64,4 +73,10 @@ __all__ = [
     "FIG1_EXPECTATIONS",
     "check_sweep_shape",
     "check_figure",
+    "BatchRecord",
+    "ReplayReport",
+    "ReplayInfeasibleError",
+    "replay_trace",
+    "format_replay_table",
+    "index_parity_mismatches",
 ]

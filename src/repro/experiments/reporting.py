@@ -45,29 +45,37 @@ def format_utility_table(
     title: str = "",
     order: list[str] | None = None,
 ) -> str:
-    """Render fixed-instance results in the paper's Table II layout."""
+    """Render fixed-instance results in the paper's Table II layout.
+
+    Header names and value cells share one column width (12, grown to fit
+    the longest algorithm name), so every value's right edge lines up under
+    its algorithm name.  (The cells used to render 11 wide under 12-wide
+    headers — a 10-char value plus one space — drifting the columns right
+    by one character per algorithm.)
+    """
     if order is None:
         order = [name for name in TABLE2_ORDER if name in stats]
         order += [name for name in stats if name not in order]
+    width = max([12, *(len(name) for name in order)])
     lines: list[str] = []
     if title:
         lines.append(title)
-    lines.append("Algorithm " + "".join(f"{name:>12s}" for name in order))
+    lines.append("Algorithm " + "".join(f"{name:>{width}s}" for name in order))
     lines.append(
         "Utility   "
-        + "".join(_format_value(stats[name].mean_utility) + " " for name in order)
+        + "".join(f"{stats[name].mean_utility:>{width}.2f}" for name in order)
     )
     lines.append(
         "Std       "
-        + "".join(_format_value(stats[name].std_utility) + " " for name in order)
+        + "".join(f"{stats[name].std_utility:>{width}.2f}" for name in order)
     )
     lines.append(
         "Pairs     "
-        + "".join(f"{stats[name].mean_pairs:10.1f} " for name in order)
+        + "".join(f"{stats[name].mean_pairs:>{width}.1f}" for name in order)
     )
     lines.append(
         "Time (s)  "
-        + "".join(f"{stats[name].mean_runtime:10.3f} " for name in order)
+        + "".join(f"{stats[name].mean_runtime:>{width}.3f}" for name in order)
     )
     return "\n".join(lines)
 

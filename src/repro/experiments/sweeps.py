@@ -75,7 +75,10 @@ def run_sweep(
         algorithm_factory: builds the algorithm list per grid point.
         repetitions: instance draws per grid point.
         base_seed: see :func:`run_repetitions`; grid point ``j`` shifts the
-            seed window by ``1000 * j`` to decorrelate points.
+            seed window by ``max(1000, repetitions) * j`` to decorrelate
+            points.  (A fixed stride of 1000 made windows overlap beyond
+            1000 repetitions, so later grid points silently reused earlier
+            points' instance draws.)
     """
     result = SweepResult(
         parameter=parameter,
@@ -83,13 +86,16 @@ def run_sweep(
         values=list(values),
         repetitions=repetitions,
     )
+    # Grid point j consumes seeds [base + stride*j, base + stride*j + reps);
+    # the stride must be at least the window width to keep points disjoint.
+    stride = max(1000, repetitions)
     for j, value in enumerate(values):
         config = base_config.with_overrides(**{parameter: value})
         stats = run_repetitions(
             lambda seed, cfg=config: generate_synthetic(cfg, seed=seed),
             algorithms=algorithm_factory(),
             repetitions=repetitions,
-            base_seed=base_seed + 1000 * j,
+            base_seed=base_seed + stride * j,
         )
         result.stats.append(stats)
     return result

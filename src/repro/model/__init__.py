@@ -14,6 +14,7 @@ Definitions 1-8 of the paper map to this package as follows:
 
 from repro.model.arrangement import Arrangement
 from repro.model.builders import InstanceBuilder
+from repro.model.delta import Delta, DeltaError, DeltaResult, apply_delta
 from repro.model.conflicts import (
     AlwaysConflict,
     CompositeConflict,
@@ -45,6 +46,9 @@ __all__ = [
     "InstanceIndex",
     "Arrangement",
     "InstanceBuilder",
+    "Delta",
+    "DeltaResult",
+    "apply_delta",
     "ConflictFunction",
     "MatrixConflict",
     "TimeIntervalConflict",
@@ -63,4 +67,5 @@ __all__ = [
     "ModelError",
     "InstanceValidationError",
     "ArrangementError",
+    "DeltaError",
 ]

@@ -141,6 +141,45 @@ class MatrixConflict(ConflictFunction):
     def num_conflicting_pairs(self) -> int:
         return len(self._pairs)
 
+    def pairs(self) -> list[tuple[int, int]]:
+        """All conflicting pairs as sorted ``(low_id, high_id)`` tuples.
+
+        Delta maintenance (:mod:`repro.model.delta`) derives a successor
+        relation from it when conflicts churn.
+        """
+        return sorted(tuple(sorted(pair)) for pair in self._pairs)
+
+    def with_edits(
+        self,
+        add: Iterable[tuple[int, int]] = (),
+        remove: Iterable[tuple[int, int]] = (),
+        drop_events: Iterable[int] = (),
+    ) -> "MatrixConflict":
+        """A successor relation with pairs added/removed and dangling pairs
+        referencing ``drop_events`` pruned.
+
+        The internal pair set is copied and edited directly — no per-pair
+        revalidation — so batch churn stays O(edits + pruned), not O(pairs).
+        Removing a pair that is not present is a silent no-op (``discard``
+        semantics); callers needing strictness validate first, as
+        :func:`repro.model.delta.apply_delta` does.
+        """
+        dropped = set(drop_events)
+        successor = MatrixConflict.__new__(MatrixConflict)
+        if dropped:
+            successor._pairs = {
+                pair for pair in self._pairs if not (dropped & pair)
+            }
+        else:
+            successor._pairs = set(self._pairs)
+        for u, v in remove:
+            successor._pairs.discard(frozenset((int(u), int(v))))
+        for u, v in add:
+            if u == v:
+                raise ValueError(f"event {u} cannot conflict with itself")
+            successor._pairs.add(frozenset((int(u), int(v))))
+        return successor
+
     def to_dict(self) -> dict:
         pairs = sorted(tuple(sorted(pair)) for pair in self._pairs)
         return {"kind": "matrix", "pairs": [list(p) for p in pairs]}

@@ -1,0 +1,874 @@
+"""Churn deltas: mutate an IGEPA instance without rebuilding its index.
+
+The paper solves a one-shot offline arrangement; a production EBSN platform
+instead sees *sustained traffic*: users register and cancel, re-bid their
+event lists, events open and close, and the conflict relation evolves.
+:class:`Delta` captures one batch of such changes, and :func:`apply_delta`
+produces the successor :class:`~repro.model.instance.IGEPAInstance` together
+with
+
+* an **incrementally maintained** :class:`~repro.model.index.InstanceIndex`
+  — ``W``/``SI``/CSR bid incidence/conflict matrix/capacity vectors are
+  patched from the predecessor's arrays instead of rebuilt, skipping the
+  per-bid interest loop, the conflict-relation materialization and the
+  degree pass for untouched entities; and
+* a **carried-over arrangement**: the predecessor's assignment with every
+  pair the delta invalidated dropped (removed users/events/bids, newly
+  conflicting event pairs), plus the touched user/event sets a targeted
+  repair (:func:`repro.core.repair.apply_with_repair`) should re-optimize.
+
+The patched index is *bit-identical* to a from-scratch
+``InstanceIndex(successor)`` build: surviving entries are copied (IEEE-754
+bit patterns preserved), new entries are computed by the exact expressions
+the from-scratch build uses, and every derived array goes through the shared
+:meth:`InstanceIndex._finalize`.  ``tests/model/test_delta.py`` and the
+churn property suite enforce this array by array.
+
+Application order within one delta is fixed and documented on
+:func:`apply_delta`; generators (:mod:`repro.datagen.churn`) rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.arrangement import Arrangement
+from repro.model.conflicts import MatrixConflict
+from repro.model.entities import Event, User
+from repro.model.errors import ModelError
+from repro.model.index import InstanceIndex, build_degrees, validated_interest
+from repro.model.instance import IGEPAInstance
+from repro.model.interest import TabulatedInterest
+
+
+class DeltaError(ModelError):
+    """A churn delta references unknown ids, duplicates existing ones, or
+    mixes operations the instance's conflict/interest functions cannot
+    absorb."""
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One batch of churn against an IGEPA instance.
+
+    Attributes:
+        add_users: new :class:`User` objects (fresh ids; their ``bids`` may
+            reference surviving *or* newly added events).
+        remove_users: ids of users leaving the platform.
+        add_events: new :class:`Event` objects (fresh ids).
+        remove_events: ids of events closing; surviving users' bids for them
+            are dropped implicitly.
+        add_bids: ``(user_id, event_id)`` bids for *surviving* users (bids of
+            new users belong on their :class:`User` objects).  Appended to
+            the user's bid list in the given order.
+        remove_bids: ``(user_id, event_id)`` bids withdrawn by surviving
+            users.  The event may be closing in the same delta.
+        add_conflicts: new conflicting event pairs (requires a
+            :class:`MatrixConflict` instance).
+        remove_conflicts: conflicting event pairs dissolved (requires a
+            :class:`MatrixConflict` instance).
+        interest: ``(event_id, user_id) -> SI`` values backing new bids
+            (requires a :class:`TabulatedInterest` instance; functional
+            interest needs none).
+        degrees: ``user_id -> D(G, u)`` overrides for new users on instances
+            built with degree overrides (sampled-marginal workloads).
+    """
+
+    add_users: tuple[User, ...] = ()
+    remove_users: tuple[int, ...] = ()
+    add_events: tuple[Event, ...] = ()
+    remove_events: tuple[int, ...] = ()
+    add_bids: tuple[tuple[int, int], ...] = ()
+    remove_bids: tuple[tuple[int, int], ...] = ()
+    add_conflicts: tuple[tuple[int, int], ...] = ()
+    remove_conflicts: tuple[tuple[int, int], ...] = ()
+    interest: tuple[tuple[int, int, float], ...] = ()
+    degrees: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "add_users", tuple(self.add_users))
+        object.__setattr__(self, "remove_users", tuple(self.remove_users))
+        object.__setattr__(self, "add_events", tuple(self.add_events))
+        object.__setattr__(self, "remove_events", tuple(self.remove_events))
+        for name in ("add_bids", "remove_bids", "add_conflicts", "remove_conflicts"):
+            object.__setattr__(
+                self,
+                name,
+                tuple((int(a), int(b)) for a, b in getattr(self, name)),
+            )
+        object.__setattr__(
+            self,
+            "interest",
+            tuple((int(e), int(u), float(v)) for e, u, v in self.interest),
+        )
+        object.__setattr__(
+            self,
+            "degrees",
+            tuple((int(u), float(v)) for u, v in self.degrees),
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the delta performs no operation at all — including pure
+        re-weightings (interest/degree updates), which change utilities
+        without touching the entity sets."""
+        return not (
+            self.add_users
+            or self.remove_users
+            or self.add_events
+            or self.remove_events
+            or self.add_bids
+            or self.remove_bids
+            or self.add_conflicts
+            or self.remove_conflicts
+            or self.interest
+            or self.degrees
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Operation counts, for reports and replay logs."""
+        return {
+            "add_users": len(self.add_users),
+            "remove_users": len(self.remove_users),
+            "add_events": len(self.add_events),
+            "remove_events": len(self.remove_events),
+            "add_bids": len(self.add_bids),
+            "remove_bids": len(self.remove_bids),
+            "add_conflicts": len(self.add_conflicts),
+            "remove_conflicts": len(self.remove_conflicts),
+            "interest_updates": len(self.interest),
+            "degree_updates": len(self.degrees),
+        }
+
+
+@dataclass
+class DeltaResult:
+    """Everything :func:`apply_delta` produces for one batch.
+
+    Attributes:
+        instance: the successor instance (patched index attached when the
+            incremental path ran).
+        arrangement: the carried-over arrangement with invalid pairs
+            dropped, or None when no arrangement was passed in.  Feasible by
+            construction but typically improvable — run the targeted repair.
+        dropped_pairs: ``(event_id, user_id)`` pairs the delta invalidated.
+        touched_users: ids of users whose options changed (lost pairs, new
+            or changed bids, re-weighted pairs, dissolved conflicts) — the
+            add/upgrade scope of a targeted repair.
+        touched_events: ids of events whose attendance or bidder pool
+            changed — the evict scope of a targeted repair.
+        incremental: whether the index was delta-patched (False: the
+            successor builds its index from scratch on first use).
+    """
+
+    instance: IGEPAInstance
+    arrangement: Arrangement | None
+    dropped_pairs: list[tuple[int, int]] = field(default_factory=list)
+    touched_users: set[int] = field(default_factory=set)
+    touched_events: set[int] = field(default_factory=set)
+    incremental: bool = True
+
+
+def _check_delta(instance: IGEPAInstance, delta: Delta) -> None:
+    """Validate every operation against the predecessor instance."""
+    index = instance.index
+    user_pos = index.user_pos
+    event_pos = index.event_pos
+    removed_users = set(delta.remove_users)
+    removed_events = set(delta.remove_events)
+
+    for user_id in removed_users:
+        if user_id not in user_pos:
+            raise DeltaError(f"cannot remove unknown user {user_id}")
+    for event_id in removed_events:
+        if event_id not in event_pos:
+            raise DeltaError(f"cannot remove unknown event {event_id}")
+    if len(removed_users) != len(delta.remove_users):
+        raise DeltaError("duplicate user removals")
+    if len(removed_events) != len(delta.remove_events):
+        raise DeltaError("duplicate event removals")
+
+    new_user_ids = [user.user_id for user in delta.add_users]
+    if len(set(new_user_ids)) != len(new_user_ids):
+        raise DeltaError("duplicate ids among added users")
+    for user_id in new_user_ids:
+        if user_id in user_pos:
+            raise DeltaError(f"added user {user_id} already exists")
+    new_event_ids = [event.event_id for event in delta.add_events]
+    if len(set(new_event_ids)) != len(new_event_ids):
+        raise DeltaError("duplicate ids among added events")
+    for event_id in new_event_ids:
+        if event_id in event_pos:
+            raise DeltaError(f"added event {event_id} already exists")
+
+    surviving_events = (set(event_pos) - removed_events) | set(new_event_ids)
+    for user in delta.add_users:
+        dangling = set(user.bids) - surviving_events
+        if dangling:
+            raise DeltaError(
+                f"added user {user.user_id} bids for events {sorted(dangling)} "
+                "that do not survive the delta"
+            )
+
+    seen_bid_removals: set[tuple[int, int]] = set()
+    for user_id, event_id in delta.remove_bids:
+        upos = user_pos.get(user_id)
+        if upos is None or user_id in removed_users:
+            raise DeltaError(
+                f"remove_bids targets user {user_id}, which is not a "
+                "surviving user of the delta"
+            )
+        vpos = event_pos.get(event_id)
+        if vpos is None or not index.bid_mask[upos, vpos]:
+            raise DeltaError(
+                f"remove_bids: user {user_id} has no bid for event {event_id}"
+            )
+        if (user_id, event_id) in seen_bid_removals:
+            raise DeltaError(f"duplicate bid removal ({user_id}, {event_id})")
+        seen_bid_removals.add((user_id, event_id))
+
+    seen_bid_additions: set[tuple[int, int]] = set()
+    for user_id, event_id in delta.add_bids:
+        upos = user_pos.get(user_id)
+        if upos is None or user_id in removed_users:
+            raise DeltaError(
+                f"add_bids targets user {user_id}, which is not a surviving "
+                "user of the delta (bids of new users belong on their User)"
+            )
+        if event_id not in surviving_events:
+            raise DeltaError(
+                f"add_bids: event {event_id} does not survive the delta"
+            )
+        vpos = event_pos.get(event_id)
+        already = (
+            vpos is not None
+            and bool(index.bid_mask[upos, vpos])
+            and (user_id, event_id) not in seen_bid_removals
+        )
+        if already or (user_id, event_id) in seen_bid_additions:
+            raise DeltaError(
+                f"add_bids: user {user_id} already bids for event {event_id}"
+            )
+        seen_bid_additions.add((user_id, event_id))
+
+    if delta.add_conflicts or delta.remove_conflicts:
+        if not isinstance(instance.conflict, MatrixConflict):
+            raise DeltaError(
+                "conflict additions/removals require a MatrixConflict "
+                f"instance, got {type(instance.conflict).__name__}"
+            )
+        for first, second in (*delta.add_conflicts, *delta.remove_conflicts):
+            if first == second:
+                raise DeltaError(f"event {first} cannot conflict with itself")
+            for event_id in (first, second):
+                if event_id not in surviving_events:
+                    raise DeltaError(
+                        f"conflict edit references event {event_id}, which "
+                        "does not survive the delta"
+                    )
+        conflict: MatrixConflict = instance.conflict
+        for first, second in delta.add_conflicts:
+            both_old = first in event_pos and second in event_pos
+            if both_old and conflict.conflicts_ids(first, second):
+                raise DeltaError(
+                    f"conflict ({first}, {second}) already present"
+                )
+        for first, second in delta.remove_conflicts:
+            if not conflict.conflicts_ids(first, second):
+                raise DeltaError(
+                    f"conflict ({first}, {second}) not present"
+                )
+
+    if delta.interest:
+        if not isinstance(instance.interest, TabulatedInterest):
+            raise DeltaError(
+                "interest updates require a TabulatedInterest instance, got "
+                f"{type(instance.interest).__name__}"
+            )
+        for event_id, user_id, value in delta.interest:
+            if not 0.0 <= value <= 1.0:
+                raise DeltaError(
+                    f"interest for event {event_id}, user {user_id} is "
+                    f"{value}, expected a value in [0, 1]"
+                )
+    if delta.degrees and instance.degrees_override is None:
+        raise DeltaError(
+            "degree overrides require an instance built with degree "
+            "overrides (degrees_override is None)"
+        )
+    if delta.degrees:
+        surviving_users = (
+            set(user_pos) - removed_users
+        ) | set(new_user_ids)
+        for user_id, value in delta.degrees:
+            if user_id not in surviving_users:
+                raise DeltaError(
+                    f"degree override for user {user_id}, which does not "
+                    "survive the delta"
+                )
+            if not 0.0 <= value <= 1.0:
+                raise DeltaError(
+                    f"degree override for user {user_id} is {value}, "
+                    "expected a value in [0, 1]"
+                )
+
+
+def _successor_users(instance: IGEPAInstance, delta: Delta) -> list[User]:
+    """Surviving users (bid lists rewritten where they churned) + additions.
+
+    A rewritten bid tuple keeps surviving bids in the old order and appends
+    added bids in delta order — the exact order the CSR patcher splices, so
+    a from-scratch index build over the successor users agrees entry for
+    entry.
+    """
+    removed_users = set(delta.remove_users)
+    removed_events = set(delta.remove_events)
+    drops: dict[int, set[int]] = {}
+    for user_id, event_id in delta.remove_bids:
+        drops.setdefault(user_id, set()).add(event_id)
+    adds: dict[int, list[int]] = {}
+    for user_id, event_id in delta.add_bids:
+        adds.setdefault(user_id, []).append(event_id)
+
+    # Only users whose bid list actually changes need a rewrite; everyone
+    # else carries their (immutable) User object over untouched.
+    affected: set[int] = set(drops) | set(adds)
+    if removed_events:
+        index = instance.index
+        for event_id in removed_events:
+            vpos = index.event_pos[event_id]
+            affected.update(
+                int(u) for u in index.user_ids[index.event_bidder_positions(vpos)]
+            )
+
+    users: list[User] = []
+    for user in instance.users:
+        if user.user_id in removed_users:
+            continue
+        if user.user_id in affected:
+            dropped = drops.get(user.user_id, set())
+            new_bids = tuple(
+                event_id
+                for event_id in user.bids
+                if event_id not in dropped and event_id not in removed_events
+            ) + tuple(adds.get(user.user_id, ()))
+            user = User(
+                user_id=user.user_id,
+                capacity=user.capacity,
+                attributes=user.attributes,
+                bids=new_bids,
+                categories=user.categories,
+            )
+        users.append(user)
+    users.extend(delta.add_users)
+    return users
+
+
+def _successor_conflict(instance: IGEPAInstance, delta: Delta):
+    """The successor conflict function (a new MatrixConflict when edited).
+
+    Besides applying the explicit edits, pairs referencing removed events
+    are pruned so successor serialization stays free of dangling ids.
+    """
+    edited = bool(delta.add_conflicts or delta.remove_conflicts)
+    if not isinstance(instance.conflict, MatrixConflict):
+        return instance.conflict
+    if not edited and not delta.remove_events:
+        return instance.conflict
+    return instance.conflict.with_edits(
+        add=delta.add_conflicts,
+        remove=delta.remove_conflicts,
+        drop_events=delta.remove_events,
+    )
+
+
+def _successor_interest(instance: IGEPAInstance, delta: Delta):
+    """The successor interest function (TabulatedInterest merged).
+
+    New entries (already range-checked by ``_check_delta``) are merged over
+    a copy of the table — a single C-level dict copy (milliseconds at 10⁵
+    entries).  Entries of removed users/events are *not* pruned: they are
+    never read (SI is only consulted on bid pairs), and pruning would turn
+    the flat copy into a per-entry filtered rebuild on every batch.
+    Callers that re-use an id after removing it therefore resurrect its
+    stale values; the churn generator never re-uses ids.
+    """
+    interest = instance.interest
+    if not delta.interest or not isinstance(interest, TabulatedInterest):
+        return interest
+    values = interest.items()
+    values.update(
+        ((event_id, user_id), value)
+        for event_id, user_id, value in delta.interest
+    )
+    return TabulatedInterest._from_trusted(values, interest.default)
+
+
+def _successor_social(instance: IGEPAInstance, delta: Delta):
+    """The successor social graph (copied only when the user set changes)."""
+    if not delta.add_users and not delta.remove_users:
+        return instance.social
+    social = instance.social.copy()
+    for user_id in delta.remove_users:
+        if social.has_node(user_id):
+            social.remove_node(user_id)
+    for user in delta.add_users:
+        social.add_node(user.user_id)
+    return social
+
+
+@dataclass
+class _PositionMaps:
+    """Old-to-successor position bookkeeping shared by patch and carryover.
+
+    ``user_map`` / ``event_map`` send old positions to successor positions
+    (-1 for removed entities); survivors keep their relative order, so the
+    first ``keep_users.sum()`` successor positions are exactly the old
+    survivors.
+    """
+
+    keep_users: np.ndarray
+    keep_events: np.ndarray
+    user_map: np.ndarray
+    event_map: np.ndarray
+
+
+def _position_maps(old: InstanceIndex, delta: Delta) -> _PositionMaps:
+    keep_users = np.ones(old.num_users, dtype=bool)
+    for user_id in delta.remove_users:
+        keep_users[old.user_pos[user_id]] = False
+    keep_events = np.ones(old.num_events, dtype=bool)
+    for event_id in delta.remove_events:
+        keep_events[old.event_pos[event_id]] = False
+    user_map = np.full(old.num_users, -1, dtype=np.int64)
+    user_map[keep_users] = np.arange(int(keep_users.sum()), dtype=np.int64)
+    event_map = np.full(old.num_events, -1, dtype=np.int64)
+    event_map[keep_events] = np.arange(int(keep_events.sum()), dtype=np.int64)
+    return _PositionMaps(keep_users, keep_events, user_map, event_map)
+
+
+def _patch_index(
+    instance: IGEPAInstance,
+    successor: IGEPAInstance,
+    delta: Delta,
+    maps: _PositionMaps,
+) -> InstanceIndex:
+    """Derive the successor's index from the predecessor's by array patching.
+
+    Every surviving entry is copied bit for bit; new entries run the same
+    expressions the from-scratch build would (``validated_interest`` for SI,
+    the conflict function for new rows, the override/graph formula for
+    degrees).  Derived arrays are produced by the shared
+    ``InstanceIndex._finalize``.
+    """
+    old = instance.index
+    keep_users = maps.keep_users
+    keep_events = maps.keep_events
+    user_map = maps.user_map
+    event_map = maps.event_map
+
+    users = successor.users
+    events = successor.events
+    n_users = len(users)
+    n_events = len(events)
+    n_survivor_users = int(keep_users.sum())
+    n_survivor_events = int(keep_events.sum())
+
+    user_ids = np.concatenate(
+        [
+            old.user_ids[keep_users],
+            np.fromiter(
+                (u.user_id for u in delta.add_users),
+                dtype=np.int64,
+                count=len(delta.add_users),
+            ),
+        ]
+    )
+    event_ids = np.concatenate(
+        [
+            old.event_ids[keep_events],
+            np.fromiter(
+                (e.event_id for e in delta.add_events),
+                dtype=np.int64,
+                count=len(delta.add_events),
+            ),
+        ]
+    )
+    user_capacity = np.concatenate(
+        [
+            old.user_capacity[keep_users],
+            np.fromiter(
+                (u.capacity for u in delta.add_users),
+                dtype=np.int64,
+                count=len(delta.add_users),
+            ),
+        ]
+    )
+    event_capacity = np.concatenate(
+        [
+            old.event_capacity[keep_events],
+            np.fromiter(
+                (e.capacity for e in delta.add_events),
+                dtype=np.int64,
+                count=len(delta.add_events),
+            ),
+        ]
+    )
+    event_pos = {int(e): j for j, e in enumerate(event_ids.tolist())}
+    user_pos = (
+        {int(u): i for i, u in enumerate(user_ids.tolist())}
+        if delta.interest
+        else None
+    )
+
+    # Degrees: when the user set or the overrides change, run the
+    # constructor's own builder on the successor (O(|U|) lookups, no
+    # interest/conflict work) — one shared implementation, so the patched
+    # vector cannot drift from a from-scratch build.  Otherwise copy.
+    if delta.add_users or delta.remove_users or delta.degrees:
+        degrees = build_degrees(successor)
+    else:
+        degrees = old.degrees.copy()
+
+    # Conflict matrix: slice survivors, evaluate new events' rows with the
+    # successor conflict function, then toggle edited survivor pairs.
+    conflict_matrix = np.zeros((n_events, n_events), dtype=bool)
+    conflict_matrix[:n_survivor_events, :n_survivor_events] = old.conflict_matrix[
+        np.ix_(keep_events, keep_events)
+    ]
+    conflict_fn = successor.conflict
+    for offset, event in enumerate(delta.add_events):
+        j = n_survivor_events + offset
+        for i, other in enumerate(events):
+            if i == j:
+                continue
+            if conflict_fn.conflicts(other, event):
+                conflict_matrix[i, j] = True
+                conflict_matrix[j, i] = True
+    for first, second in delta.remove_conflicts:
+        i, j = event_pos[first], event_pos[second]
+        conflict_matrix[i, j] = False
+        conflict_matrix[j, i] = False
+    for first, second in delta.add_conflicts:
+        i, j = event_pos[first], event_pos[second]
+        conflict_matrix[i, j] = True
+        conflict_matrix[j, i] = True
+
+    # SI / bid mask: slice survivors into the grown matrices, clear removed
+    # bids, fill added bids with freshly validated interest values.
+    si = np.zeros((n_users, n_events), dtype=np.float64)
+    bid_mask = np.zeros((n_users, n_events), dtype=bool)
+    si[:n_survivor_users, :n_survivor_events] = old.SI[np.ix_(keep_users, keep_events)]
+    bid_mask[:n_survivor_users, :n_survivor_events] = old.bid_mask[
+        np.ix_(keep_users, keep_events)
+    ]
+    for user_id, event_id in delta.remove_bids:
+        new_upos = int(user_map[old.user_pos[user_id]])
+        old_vpos = old.event_pos[event_id]
+        if not keep_events[old_vpos]:
+            continue  # the event's column was dropped wholesale
+        new_vpos = int(event_map[old_vpos])
+        si[new_upos, new_vpos] = 0.0
+        bid_mask[new_upos, new_vpos] = False
+
+    # CSR bid incidence: keep surviving entries (preserving each user's bid
+    # order), splice appended bids of rewritten users, then append the new
+    # users' rows.
+    interest_fn = successor.interest.interest
+    event_by_id = successor.event_by_id
+    user_by_id = successor.user_by_id
+
+    old_entry_user = old.bid_user_positions
+    old_entry_event = old.bid_indices
+    keep_entries = keep_users[old_entry_user] & keep_events[old_entry_event]
+    if delta.remove_bids:
+        for user_id, event_id in delta.remove_bids:
+            upos = old.user_pos[user_id]
+            vpos = old.event_pos[event_id]
+            start, stop = old.bid_indptr[upos], old.bid_indptr[upos + 1]
+            offsets = np.flatnonzero(old_entry_event[start:stop] == vpos)
+            keep_entries[start + int(offsets[0])] = False
+
+    kept_users_new = user_map[old_entry_user[keep_entries]]
+    kept_events_new = event_map[old_entry_event[keep_entries]]
+    counts = np.bincount(kept_users_new, minlength=n_users).astype(np.int64)
+
+    adds_by_upos: dict[int, list[int]] = {}
+    for user_id, event_id in delta.add_bids:
+        new_upos = int(user_map[old.user_pos[user_id]])
+        adds_by_upos.setdefault(new_upos, []).append(event_pos[event_id])
+    for offset, user in enumerate(delta.add_users):
+        new_upos = n_survivor_users + offset
+        adds_by_upos[new_upos] = [event_pos[event_id] for event_id in user.bids]
+
+    if adds_by_upos:
+        kept_indptr = np.zeros(n_users + 1, dtype=np.int64)
+        np.cumsum(counts, out=kept_indptr[1:])
+        insert_at: list[int] = []
+        insert_values: list[int] = []
+        for new_upos in sorted(adds_by_upos):
+            row_end = int(kept_indptr[new_upos + 1])
+            for vpos in adds_by_upos[new_upos]:
+                insert_at.append(row_end)
+                insert_values.append(vpos)
+            counts[new_upos] += len(adds_by_upos[new_upos])
+        bid_indices = np.insert(kept_events_new, insert_at, insert_values)
+    else:
+        bid_indices = kept_events_new
+    bid_indptr = np.zeros(n_users + 1, dtype=np.int64)
+    np.cumsum(counts, out=bid_indptr[1:])
+
+    # Fill SI/bid_mask for every added bid pair with the constructor's own
+    # validated interest evaluation.
+    for new_upos, positions in adds_by_upos.items():
+        user = user_by_id[int(user_ids[new_upos])]
+        for vpos in positions:
+            event = event_by_id[int(event_ids[vpos])]
+            si[new_upos, vpos] = validated_interest(interest_fn, event, user)
+            bid_mask[new_upos, vpos] = True
+
+    # Interest updates may also re-weight *existing* bid pairs; write those
+    # through so the patched SI matches the successor's merged table.  (A
+    # from-scratch build reads the merged table for every bid pair; entries
+    # on non-bid pairs only back the interest_of fallback and stay out of
+    # SI either way.)
+    if delta.interest:
+        for event_id, user_id, value in delta.interest:
+            upos = user_pos.get(user_id)
+            vpos = event_pos.get(event_id)
+            if upos is not None and vpos is not None and bid_mask[upos, vpos]:
+                si[upos, vpos] = value
+
+    return InstanceIndex.from_components(
+        successor,
+        user_ids=user_ids,
+        event_ids=event_ids,
+        user_capacity=user_capacity,
+        event_capacity=event_capacity,
+        degrees=degrees,
+        conflict_matrix=conflict_matrix,
+        bid_indptr=bid_indptr,
+        bid_indices=bid_indices,
+        SI=si,
+        bid_mask=bid_mask,
+    )
+
+
+def _carry_arrangement(
+    instance: IGEPAInstance,
+    successor: IGEPAInstance,
+    arrangement: Arrangement,
+    delta: Delta,
+    maps: _PositionMaps,
+) -> tuple[Arrangement, list[tuple[int, int]], set[int], set[int]]:
+    """Carry the predecessor's pairs over, dropping whatever turned invalid.
+
+    Invalidation sources: removed users/events, withdrawn bids, and newly
+    conflicting event pairs (for each affected user, the lighter pair of the
+    two is dropped; ties drop the higher event id).  The result is feasible
+    by construction — constraints only tighten through those sources, since
+    deltas do not change capacities.
+
+    The survivor transfer is pure array work on the assignment matrix: old
+    pair positions are remapped through ``maps`` and invalidated against the
+    successor's ``bid_mask``, so carry cost scales with the pair count, not
+    with re-running per-pair feasibility checks.
+    """
+    if not arrangement.is_clean():
+        raise DeltaError(
+            "cannot carry over an arrangement with unknown or non-bid pairs"
+        )
+    old_index = instance.index
+    index = successor.index
+
+    old_upos, old_vpos = np.nonzero(arrangement.assignment_matrix)
+    new_upos = maps.user_map[old_upos]
+    new_vpos = maps.event_map[old_vpos]
+    keep = (new_upos >= 0) & (new_vpos >= 0)
+    # Withdrawn bids invalidate surviving-entity pairs.
+    keep[keep] = index.bid_mask[new_upos[keep], new_vpos[keep]]
+
+    dropped = list(
+        zip(
+            old_index.event_ids[old_vpos[~keep]].tolist(),
+            old_index.user_ids[old_upos[~keep]].tolist(),
+        )
+    )
+
+    carried = Arrangement(successor)
+    assigned = carried.assignment_matrix  # live view
+    assigned[new_upos[keep], new_vpos[keep]] = True
+
+    if delta.add_conflicts:
+        event_pos = index.event_pos
+        for first, second in delta.add_conflicts:
+            pa, pb = event_pos[first], event_pos[second]
+            both = np.flatnonzero(assigned[:, pa] & assigned[:, pb])
+            for upos in both.tolist():
+                w_first = float(index.W[upos, pa])
+                w_second = float(index.W[upos, pb])
+                if w_first < w_second or (
+                    w_first == w_second and first > second
+                ):
+                    victim_id, victim_pos = first, pa
+                else:
+                    victim_id, victim_pos = second, pb
+                assigned[upos, victim_pos] = False
+                dropped.append((victim_id, int(index.user_ids[upos])))
+
+    carried.attendance_counts[:] = assigned.sum(axis=0)
+    carried.load_counts[:] = assigned.sum(axis=1)
+    rows, cols = np.nonzero(assigned)
+    if rows.size:
+        boundaries = np.searchsorted(rows, np.arange(index.num_users + 1))
+        cols_list = cols.tolist()
+        user_events = carried._user_events
+        for upos in range(index.num_users):
+            start, stop = boundaries[upos], boundaries[upos + 1]
+            if stop > start:
+                user_events[upos] = cols_list[start:stop]
+        carried._pairs = set(
+            zip(index.event_ids[cols].tolist(), index.user_ids[rows].tolist())
+        )
+
+    touched_users = {user_id for _event_id, user_id in dropped}
+    touched_events = {event_id for event_id, _user_id in dropped}
+    return carried, dropped, touched_users, touched_events
+
+
+def apply_delta(
+    instance: IGEPAInstance,
+    delta: Delta,
+    arrangement: Arrangement | None = None,
+    *,
+    incremental: bool = True,
+) -> DeltaResult:
+    """Apply one churn batch, patching the index and carrying the arrangement.
+
+    Operations apply in a fixed order: bid removals, user removals, event
+    removals (dropping surviving users' bids on them), event additions, user
+    additions, bid additions, conflict edits, interest/degree merges.  A bid
+    removal may therefore target an event closing in the same delta, and bid
+    additions (including new users' bid lists) may reference newly opened
+    events.
+
+    Args:
+        instance: the predecessor instance (not mutated).
+        delta: the churn batch; validated against the predecessor.
+        arrangement: optional current arrangement to carry over; must belong
+            to ``instance`` and be clean (all pairs known bid pairs).
+        incremental: patch the predecessor's index arrays (the default).
+            When False the successor instance is returned without an index —
+            its first use builds one from scratch (the "full rebuild"
+            comparison path of the replay driver and churn bench).
+
+    Returns:
+        A :class:`DeltaResult`; see its attribute docs.
+
+    Raises:
+        DeltaError: on invalid operations (unknown/duplicate ids, bids on
+            non-surviving events, conflict edits on non-matrix conflict
+            functions, ...).
+    """
+    if arrangement is not None and arrangement.instance is not instance:
+        raise DeltaError("arrangement belongs to a different instance")
+    _check_delta(instance, delta)
+
+    users = _successor_users(instance, delta)
+    removed_events = set(delta.remove_events)
+    events = [
+        event for event in instance.events if event.event_id not in removed_events
+    ]
+    events.extend(delta.add_events)
+
+    degrees_override = None
+    if instance.degrees_override is not None:
+        if delta.remove_users:
+            removed_users = set(delta.remove_users)
+            degrees_override = {
+                user_id: value
+                for user_id, value in instance.degrees_override.items()
+                if user_id not in removed_users
+            }
+        else:
+            degrees_override = dict(instance.degrees_override)
+        degrees_override.update(delta.degrees)
+
+    # _check_delta already validated every operation incrementally, so the
+    # successor skips the full structural re-validation.
+    successor = IGEPAInstance(
+        events=events,
+        users=users,
+        conflict=_successor_conflict(instance, delta),
+        interest=_successor_interest(instance, delta),
+        social=_successor_social(instance, delta),
+        beta=instance.beta,
+        name=instance.name,
+        degrees=degrees_override,
+        validate=False,
+    )
+    # The maps feed the index patch and the carryover; the plain
+    # content-rebuild path (incremental=False, no arrangement) skips them.
+    maps = (
+        _position_maps(instance.index, delta)
+        if incremental or arrangement is not None
+        else None
+    )
+    if incremental:
+        successor._index = _patch_index(instance, successor, delta, maps)
+
+    result = DeltaResult(
+        instance=successor, arrangement=None, incremental=incremental
+    )
+    # Touched sets: entities whose local neighbourhood changed, independent
+    # of the arrangement — repair scans these even when nothing was dropped.
+    result.touched_users.update(user.user_id for user in delta.add_users)
+    result.touched_users.update(user_id for user_id, _e in delta.add_bids)
+    result.touched_events.update(event.event_id for event in delta.add_events)
+    result.touched_events.update(event_id for _u, event_id in delta.add_bids)
+    for user in delta.add_users:
+        # A new user joins the bidder pool of every event they bid on —
+        # those events must be rescanned (evict/refill) even when the delta
+        # carries no interest entries for the pairs.
+        result.touched_events.update(user.bids)
+    old_index = instance.index
+    for first, second in delta.remove_conflicts:
+        for event_id in (first, second):
+            result.touched_events.add(event_id)
+            vpos = old_index.event_pos.get(event_id)
+            if vpos is not None:
+                result.touched_users.update(
+                    int(u)
+                    for u in old_index.user_ids[
+                        old_index.event_bidder_positions(vpos)
+                    ]
+                )
+    # Re-weightings change which moves are improving without changing the
+    # entity sets: the affected users (and, for evict consideration, the
+    # affected events) must be rescanned.
+    for event_id, user_id, _value in delta.interest:
+        result.touched_users.add(user_id)
+        result.touched_events.add(event_id)
+    for user_id, _value in delta.degrees:
+        result.touched_users.add(user_id)
+        upos = old_index.user_pos.get(user_id)
+        if upos is not None:  # a degree change re-weights every bid pair
+            result.touched_events.update(
+                int(e)
+                for e in old_index.event_ids[old_index.user_bid_positions(upos)]
+            )
+
+    if arrangement is not None:
+        carried, dropped, drop_users, drop_events = _carry_arrangement(
+            instance, successor, arrangement, delta, maps
+        )
+        result.arrangement = carried
+        result.dropped_pairs = dropped
+        result.touched_users |= drop_users
+        result.touched_events |= drop_events
+
+    # Clamp to entities that exist in the successor.
+    result.touched_users &= successor.user_by_id.keys()
+    result.touched_events &= successor.event_by_id.keys()
+    return result

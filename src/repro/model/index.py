@@ -21,7 +21,13 @@ construction) can batch their hot paths:
 
 The index is *read-only by convention*: instances are immutable, so the index
 is built lazily once (``IGEPAInstance.index``) and shared by every
-arrangement and algorithm run on the instance.
+arrangement and algorithm run on the instance.  The one sanctioned way to
+produce a *different* index is :func:`repro.model.delta.apply_delta`, which
+derives the successor instance's index from this one by patching the arrays
+(delta maintenance) instead of rebuilding; :meth:`InstanceIndex.from_components`
+is the constructor it uses, and :meth:`_finalize` keeps the derived arrays
+(``W``, ``bid_weights``, bidder incidence) bit-identical between the
+from-scratch and the patched build because both run the same expressions.
 
 Values are bit-identical to the scalar accessors they back: the same interest
 function calls, the same degree normalisation, the same IEEE-754 double
@@ -43,7 +49,47 @@ import numpy as np
 from repro.model.errors import InstanceValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.model.entities import Event, User
     from repro.model.instance import IGEPAInstance
+
+
+def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
+    """``D(G, u)`` per user position (Definition 6).
+
+    The single implementation of the degree vector — used by the
+    from-scratch index build and by delta maintenance
+    (:mod:`repro.model.delta`) whenever a churn batch changes the user set
+    or the overrides, so the two can never drift apart.
+    """
+    num_users = len(instance.users)
+    degrees = np.zeros(num_users, dtype=np.float64)
+    if instance.degrees_override is not None:
+        override = instance.degrees_override
+        for i, user in enumerate(instance.users):
+            degrees[i] = override.get(user.user_id, 0.0)
+    elif num_users > 1:
+        social = instance.social
+        norm = num_users - 1
+        for i, user in enumerate(instance.users):
+            if social.has_node(user.user_id):
+                degrees[i] = social.degree(user.user_id) / norm
+    return degrees
+
+
+def validated_interest(interest_fn, event: "Event", user: "User") -> float:
+    """Evaluate SI on one pair, enforcing Definition 5's ``[0, 1]`` range.
+
+    The single range check used by the index build and by delta maintenance,
+    so both paths reject bad interest functions with the same error.
+    """
+    value = interest_fn(event, user)
+    if not 0.0 <= value <= 1.0:
+        raise InstanceValidationError(
+            f"interest function returned {value} for event "
+            f"{event.event_id}, user {user.user_id}; Definition 5 "
+            "requires [0, 1]"
+        )
+    return value
 
 
 class InstanceIndex:
@@ -78,8 +124,6 @@ class InstanceIndex:
 
         self.degrees = self._build_degrees()
         self.conflict_matrix = instance.conflict.matrix(events)
-        # float32 copy for the BLAS-backed bulk conflict audit.
-        self.conflict_f32 = self.conflict_matrix.astype(np.float32)
 
         (
             self.bid_indptr,
@@ -88,7 +132,62 @@ class InstanceIndex:
             self.bid_mask,
         ) = self._build_bid_incidence()
 
-        beta = instance.beta
+        self._finalize()
+
+    @classmethod
+    def from_components(
+        cls,
+        instance: "IGEPAInstance",
+        *,
+        user_ids: np.ndarray,
+        event_ids: np.ndarray,
+        user_capacity: np.ndarray,
+        event_capacity: np.ndarray,
+        degrees: np.ndarray,
+        conflict_matrix: np.ndarray,
+        bid_indptr: np.ndarray,
+        bid_indices: np.ndarray,
+        SI: np.ndarray,
+        bid_mask: np.ndarray,
+    ) -> "InstanceIndex":
+        """Assemble an index from already-built primary arrays.
+
+        Used by :func:`repro.model.delta.apply_delta` to attach a
+        delta-patched index to a successor instance without the from-scratch
+        interest/conflict/degree loops.  The caller must supply arrays whose
+        values equal what ``InstanceIndex(instance)`` would compute; every
+        *derived* array is then produced by the same :meth:`_finalize` code
+        path the regular constructor runs, so they match bit for bit.
+        """
+        index = cls.__new__(cls)
+        index.instance = instance
+        index.user_ids = user_ids
+        index.event_ids = event_ids
+        index.user_pos = {int(u): i for i, u in enumerate(user_ids.tolist())}
+        index.event_pos = {int(e): j for j, e in enumerate(event_ids.tolist())}
+        index.user_capacity = user_capacity
+        index.event_capacity = event_capacity
+        index.degrees = degrees
+        index.conflict_matrix = conflict_matrix
+        index.bid_indptr = bid_indptr
+        index.bid_indices = bid_indices
+        index.SI = SI
+        index.bid_mask = bid_mask
+        index._finalize()
+        return index
+
+    def _finalize(self) -> None:
+        """Derive the secondary arrays from the primary ones.
+
+        Shared by the from-scratch constructor and :meth:`from_components`;
+        the expressions here define the bit patterns of ``W``,
+        ``bid_weights`` and the bidder incidence, so any two indexes with
+        equal primary arrays have equal derived arrays.
+        """
+        num_users = self.user_ids.size
+        # float32 copy for the BLAS-backed bulk conflict audit.
+        self.conflict_f32 = self.conflict_matrix.astype(np.float32)
+        beta = self.instance.beta
         self.W = np.where(
             self.bid_mask, beta * self.SI + (1.0 - beta) * self.degrees[:, None], 0.0
         )
@@ -111,20 +210,7 @@ class InstanceIndex:
     # ------------------------------------------------------------------
     def _build_degrees(self) -> np.ndarray:
         """``D(G, u)`` per user position (Definition 6)."""
-        instance = self.instance
-        num_users = len(instance.users)
-        degrees = np.zeros(num_users, dtype=np.float64)
-        if instance.degrees_override is not None:
-            override = instance.degrees_override
-            for i, user in enumerate(instance.users):
-                degrees[i] = override.get(user.user_id, 0.0)
-        elif num_users > 1:
-            social = instance.social
-            norm = num_users - 1
-            for i, user in enumerate(instance.users):
-                if social.has_node(user.user_id):
-                    degrees[i] = social.degree(user.user_id) / norm
-        return degrees
+        return build_degrees(self.instance)
 
     def _build_bid_incidence(
         self,
@@ -148,14 +234,7 @@ class InstanceIndex:
         for i, user in enumerate(instance.users):
             for event_id in user.bids:
                 j = event_pos[event_id]
-                value = interest(events_by_pos[j], user)
-                if not 0.0 <= value <= 1.0:
-                    raise InstanceValidationError(
-                        f"interest function returned {value} for event "
-                        f"{event_id}, user {user.user_id}; Definition 5 "
-                        "requires [0, 1]"
-                    )
-                si[i, j] = value
+                si[i, j] = validated_interest(interest, events_by_pos[j], user)
                 bid_mask[i, j] = True
                 indices.append(j)
             indptr[i + 1] = len(indices)

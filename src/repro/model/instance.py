@@ -49,6 +49,11 @@ class IGEPAInstance:
             degrees from the exact Binomial marginal instead of materializing
             a multi-million-edge graph (see DESIGN.md §5); the utility only
             depends on degrees, so the substitution is lossless.
+        validate: run the structural validation (the default).  Delta
+            maintenance (:mod:`repro.model.delta`) passes False because every
+            operation was already validated incrementally against the
+            predecessor — re-validating the whole successor would put an
+            O(|U| + bids) pass on the churn hot path.
 
     Raises:
         InstanceValidationError: on duplicate ids, dangling bids, an invalid
@@ -66,6 +71,7 @@ class IGEPAInstance:
         beta: float = 0.5,
         name: str = "",
         degrees: dict[int, float] | None = None,
+        validate: bool = True,
     ):
         self.events = list(events)
         self.users = list(users)
@@ -76,7 +82,8 @@ class IGEPAInstance:
         self.name = name
         self.degrees_override = dict(degrees) if degrees is not None else None
 
-        self._validate()
+        if validate:
+            self._validate()
 
         self.event_by_id: dict[int, Event] = {e.event_id: e for e in self.events}
         self.user_by_id: dict[int, User] = {u.user_id: u for u in self.users}

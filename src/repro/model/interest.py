@@ -100,8 +100,31 @@ class TabulatedInterest(InterestFunction):
             raise ValueError(f"default interest {default} outside [0, 1]")
         self.default = float(default)
 
+    @classmethod
+    def _from_trusted(
+        cls, values: dict[tuple[int, int], float], default: float
+    ) -> "TabulatedInterest":
+        """Internal: wrap an already-validated table without re-checking.
+
+        Delta maintenance merges thousands of validated entries per batch;
+        re-running the range check on every carry-over would dominate the
+        merge.  Callers must pass int-keyed, float-valued, in-range data.
+        """
+        interest = cls.__new__(cls)
+        interest._values = values
+        interest.default = default
+        return interest
+
     def interest(self, event: Event, user: User) -> float:
         return self._values.get((event.event_id, user.user_id), self.default)
+
+    def items(self) -> dict[tuple[int, int], float]:
+        """A copy of the stored ``(event_id, user_id) -> value`` table.
+
+        Delta maintenance (:mod:`repro.model.delta`) derives a successor
+        table from it when bids churn.
+        """
+        return dict(self._values)
 
     def __len__(self) -> int:
         return len(self._values)

@@ -123,3 +123,88 @@ class TestOnlineVsOffline:
         assert report["offline_bound"] >= report["mean_utility"] - 1e-9
         optimum = ExactILP().solve(instance).utility
         assert report["offline_bound"] >= optimum - 1e-7
+
+
+class TestCompetitiveRatioBounds:
+    """Regression tests for tolerance overshoot and the zero-bound case.
+
+    The old implementation reported ratios above 1.0 when the LP bound was
+    tight to solver tolerance, and returned a perfect 1.0 whenever the
+    bound was 0 — even if the online algorithm earned positive utility
+    (i.e. the "bound" was infeasible).
+    """
+
+    @staticmethod
+    def _patch_bound(monkeypatch, value):
+        import repro.core.online as online_module
+
+        monkeypatch.setattr(online_module, "lp_upper_bound", lambda _: value)
+
+    def test_per_run_ratios_in_payload(self):
+        instance = random_instance(seed=7, num_events=5, num_users=10)
+        report = competitive_ratio(instance, OnlineGreedy(), repetitions=5, seed=0)
+        assert len(report["ratios"]) == 5
+        assert len(report["utilities"]) == 5
+        for ratio, utility in zip(report["ratios"], report["utilities"]):
+            assert ratio == pytest.approx(
+                min(utility / report["offline_bound"], 1.0)
+            )
+        assert report["zero_bound"] is False
+        assert report["clamped_runs"] == 0
+
+    def test_tolerance_overshoot_is_clamped_and_flagged(self, monkeypatch):
+        instance = tiny_instance()
+        true_utility = OnlineGreedy().solve(instance, seed=0).utility
+        # A bound one part in 10^8 below the achieved utility: within the
+        # solver tolerance, so ratios clamp to 1.0 instead of exceeding it.
+        self._patch_bound(monkeypatch, true_utility * (1.0 - 1e-8))
+        report = competitive_ratio(instance, OnlineGreedy(), repetitions=3, seed=0)
+        assert report["mean_ratio"] <= 1.0
+        assert report["worst_ratio"] <= 1.0
+        assert all(ratio <= 1.0 for ratio in report["ratios"])
+        assert report["max_raw_ratio"] > 1.0
+        assert report["clamped_runs"] >= 1
+
+    def test_overshoot_beyond_tolerance_raises(self, monkeypatch):
+        instance = tiny_instance()
+        true_utility = OnlineGreedy().solve(instance, seed=0).utility
+        self._patch_bound(monkeypatch, true_utility * 0.5)
+        with pytest.raises(RuntimeError, match="not an upper bound"):
+            competitive_ratio(instance, OnlineGreedy(), repetitions=3, seed=0)
+
+    def test_zero_bound_with_positive_utility_raises(self, monkeypatch):
+        """The old code returned mean_ratio == 1.0 here, silently declaring
+        an infeasible bound a perfect score."""
+        instance = tiny_instance()
+        self._patch_bound(monkeypatch, 0.0)
+        with pytest.raises(RuntimeError, match="not an upper bound"):
+            competitive_ratio(instance, OnlineGreedy(), repetitions=3, seed=0)
+
+    def test_zero_bound_with_zero_utility_is_vacuous(self):
+        """No bids -> no assignments and a 0 bound: flagged, ratio 1.0."""
+        instance = IGEPAInstance(
+            events=[Event(event_id=1, capacity=2)],
+            users=[User(user_id=10, capacity=1, bids=())],
+            conflict=MatrixConflict([]),
+            interest=TabulatedInterest({}),
+            social=Graph(nodes=[10]),
+        )
+        report = competitive_ratio(instance, OnlineGreedy(), repetitions=3, seed=0)
+        assert report["zero_bound"] is True
+        assert report["mean_ratio"] == 1.0
+        assert report["ratios"] == [1.0, 1.0, 1.0]
+        assert report["offline_bound"] == 0.0
+
+    def test_negative_bound_raises_even_with_zero_utility(self, monkeypatch):
+        """A negative 'bound' cannot bound anything — it must not be
+        reported as the vacuous zero-bound case."""
+        instance = IGEPAInstance(
+            events=[Event(event_id=1, capacity=2)],
+            users=[User(user_id=10, capacity=1, bids=())],
+            conflict=MatrixConflict([]),
+            interest=TabulatedInterest({}),
+            social=Graph(nodes=[10]),
+        )
+        self._patch_bound(monkeypatch, -1e-3)
+        with pytest.raises(RuntimeError, match="not an upper bound"):
+            competitive_ratio(instance, OnlineGreedy(), repetitions=2, seed=0)

@@ -1,0 +1,115 @@
+"""Unit tests for the churn trace generator."""
+
+import pytest
+
+from repro.datagen import (
+    ChurnConfig,
+    SyntheticConfig,
+    generate_churn_trace,
+    generate_synthetic,
+)
+from repro.model import CosineInterest, apply_delta
+from tests.util import random_instance
+
+SMALL = SyntheticConfig(num_events=15, num_users=60)
+RATES = dict(
+    user_arrival_rate=4.0,
+    user_departure_rate=4.0,
+    rebid_rate=6.0,
+    event_open_rate=1.0,
+    event_close_rate=1.0,
+    conflict_toggle_rate=1.5,
+)
+
+
+def small_trace(seed=0, **overrides):
+    instance = generate_synthetic(SMALL, seed=seed)
+    config = ChurnConfig(num_batches=8, **{**RATES, **overrides})
+    return generate_churn_trace(instance, config, seed=seed + 100)
+
+
+class TestConfig:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rebid_rate"):
+            ChurnConfig(rebid_rate=-1.0)
+
+    def test_bad_burst_fraction_rejected(self):
+        with pytest.raises(ValueError, match="burst_event_close_fraction"):
+            ChurnConfig(burst_event_close_fraction=1.5)
+
+    def test_with_overrides(self):
+        config = ChurnConfig().with_overrides(num_batches=3)
+        assert config.num_batches == 3
+
+
+class TestGeneration:
+    def test_batch_count_and_summary(self):
+        trace = small_trace()
+        assert len(trace.deltas) == 8
+        summary = trace.summary()
+        assert summary["batches"] == 8
+        assert summary["add_users"] > 0
+        assert summary["remove_users"] > 0
+        assert summary["add_bids"] > 0
+
+    def test_deterministic_under_seed(self):
+        first = small_trace(seed=7)
+        second = small_trace(seed=7)
+        assert first.deltas == second.deltas
+
+    def test_different_seeds_differ(self):
+        assert small_trace(seed=1).deltas != small_trace(seed=2).deltas
+
+    def test_every_delta_applies_cleanly(self):
+        """The mirror state must stay consistent with the real instance:
+        every generated delta validates and applies against the chain."""
+        trace = small_trace(seed=3)
+        instance = trace.initial
+        for delta in trace.deltas:
+            instance = apply_delta(instance, delta).instance
+        assert instance.num_users >= 1
+        assert instance.num_events >= 1
+
+    def test_ids_are_never_reused(self):
+        trace = small_trace(seed=4)
+        seen_users = {u.user_id for u in trace.initial.users}
+        seen_events = {e.event_id for e in trace.initial.events}
+        for delta in trace.deltas:
+            for user in delta.add_users:
+                assert user.user_id not in seen_users
+                seen_users.add(user.user_id)
+            for event in delta.add_events:
+                assert event.event_id not in seen_events
+                seen_events.add(event.event_id)
+
+    def test_burst_batches_are_larger(self):
+        steady = small_trace(seed=5, burst_every=0)
+        bursty = small_trace(
+            seed=5,
+            burst_every=4,
+            burst_user_multiplier=10.0,
+            burst_event_close_fraction=0.4,
+        )
+        burst_arrivals = [
+            len(d.add_users) for i, d in enumerate(bursty.deltas) if (i + 1) % 4 == 0
+        ]
+        steady_arrivals = [len(d.add_users) for d in steady.deltas]
+        assert max(burst_arrivals) > max(steady_arrivals)
+
+    def test_requires_tabulated_interest(self):
+        instance = random_instance(seed=0)
+        instance.interest = CosineInterest()
+        with pytest.raises(TypeError, match="TabulatedInterest"):
+            generate_churn_trace(instance, ChurnConfig(num_batches=1), seed=0)
+
+    def test_graph_backed_instance_supported(self):
+        """random_instance has no degree overrides; arrivals then carry no
+        degree entries and the deltas still apply."""
+        instance = random_instance(seed=6, num_users=20, num_events=8)
+        trace = generate_churn_trace(
+            instance, ChurnConfig(num_batches=3, **RATES), seed=1
+        )
+        current = instance
+        for delta in trace.deltas:
+            assert delta.degrees == ()
+            current = apply_delta(current, delta).instance

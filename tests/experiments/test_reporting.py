@@ -79,6 +79,62 @@ class TestUtilityTable:
         assert "Pairs" in text
         assert "Time (s)" in text
 
+    def test_golden_output(self):
+        """Exact render: header and value cells both 12 chars wide."""
+        stats = {
+            "lp-packing": _stats("lp-packing", [7.0, 8.0]),
+            "gg": _stats("gg", [5.0]),
+        }
+        text = format_utility_table(stats, title="Table II")
+        assert text == "\n".join(
+            [
+                "Table II",
+                "Algorithm   lp-packing          gg",
+                "Utility           7.50        5.00",
+                "Std               0.50        0.00",
+                "Pairs              3.0         3.0",
+                "Time (s)         0.010       0.010",
+            ]
+        )
+
+    def test_columns_do_not_drift(self):
+        """Regression: value cells rendered 11 wide under 12-wide headers,
+        so each successive column drifted one char further right.  Every
+        value's right edge must sit exactly under its header name's."""
+        stats = {
+            name: _stats(name, [float(i)])
+            for i, name in enumerate(
+                ["lp-packing", "random-u", "random-v", "gg", "extra-algo"]
+            )
+        }
+        lines = format_utility_table(stats).splitlines()
+        header, value_rows = lines[0], lines[1:]
+        label_width = len("Algorithm ")
+        edges = [
+            label_width + 12 * (i + 1) for i in range(len(stats))
+        ]
+        assert [len(row) for row in [header, *value_rows]] == [edges[-1]] * 5
+        for row in value_rows:
+            cells = [row[label_width:][12 * i : 12 * (i + 1)] for i in range(5)]
+            for cell in cells:
+                assert cell == cell.rstrip(), f"cell {cell!r} not right-aligned"
+
+    def test_long_names_widen_every_column_uniformly(self):
+        """Names beyond 12 chars (e.g. 'lp-packing+ls') must widen value
+        cells with the header, not just the header cell."""
+        stats = {
+            "lp-packing+ls": _stats("lp-packing+ls", [7.0]),
+            "gg": _stats("gg", [5.0]),
+        }
+        lines = format_utility_table(stats).splitlines()
+        width = len("lp-packing+ls")
+        label_width = len("Algorithm ")
+        for row in lines:
+            assert len(row) == label_width + 2 * width
+        # gg sits first (Table II order); the +ls entry is appended after.
+        assert lines[0] == "Algorithm " + f"{'gg':>13s}" + f"{'lp-packing+ls':>13s}"
+        assert lines[1] == "Utility   " + f"{5.0:>13.2f}" + f"{7.0:>13.2f}"
+
 
 class TestRanking:
     def test_sorted_by_mean_utility(self):

@@ -92,35 +92,56 @@ class TestRunSweep:
                 repetitions=1,
             )
 
-    def test_seed_decorrelation_across_points(self):
-        """Grid points must not reuse the same instance seeds."""
-        seen_per_point = []
-
-        def tracking_factory():
-            return [GGGreedy()]
-
+    @staticmethod
+    def _spy_base_seeds(monkeypatch, repetitions, values, base_seed=0):
+        """Record the base seed each grid point hands to run_repetitions,
+        without actually running repetitions."""
         import repro.experiments.sweeps as sweeps_module
 
-        original = sweeps_module.run_repetitions
+        seen_per_point = []
 
         def spy(factory, algorithms, repetitions, base_seed):
             seen_per_point.append(base_seed)
-            return original(factory, algorithms=algorithms,
-                            repetitions=repetitions, base_seed=base_seed)
+            return {"gg": None}
 
-        sweeps_module.run_repetitions = spy
-        try:
-            run_sweep(
-                "num_events",
-                [5, 10, 15],
-                base_config=SMALL_BASE,
-                algorithm_factory=tracking_factory,
-                repetitions=2,
-                base_seed=7,
+        monkeypatch.setattr(sweeps_module, "run_repetitions", spy)
+        run_sweep(
+            "num_events",
+            values,
+            base_config=SMALL_BASE,
+            algorithm_factory=lambda: [GGGreedy()],
+            repetitions=repetitions,
+            base_seed=base_seed,
+        )
+        return seen_per_point
+
+    def test_seed_decorrelation_across_points(self, monkeypatch):
+        """Grid points must not reuse the same instance seeds (and the
+        stride stays 1000 for the usual small repetition counts)."""
+        seen = self._spy_base_seeds(
+            monkeypatch, repetitions=2, values=[5, 10, 15], base_seed=7
+        )
+        assert seen == [7, 1007, 2007]
+
+    @pytest.mark.parametrize("repetitions", [1000, 1001, 2500])
+    def test_seed_windows_disjoint_at_stride_boundary(
+        self, monkeypatch, repetitions
+    ):
+        """Regression: the stride was fixed at 1000, so with more than 1000
+        repetitions grid point j+1's seed window started inside point j's
+        and re-used its instance draws.  The stride must grow with the
+        window width."""
+        seen = self._spy_base_seeds(
+            monkeypatch, repetitions=repetitions, values=[5, 10, 15]
+        )
+        windows = [
+            range(base, base + repetitions) for base in seen
+        ]
+        for earlier, later in zip(windows, windows[1:]):
+            assert earlier.stop <= later.start, (
+                f"seed windows overlap at repetitions={repetitions}: "
+                f"{earlier} vs {later}"
             )
-        finally:
-            sweeps_module.run_repetitions = original
-        assert seen_per_point == [7, 1007, 2007]
 
 
 class TestRunFigure:
