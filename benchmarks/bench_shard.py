@@ -1,0 +1,305 @@
+"""Sharded-index benchmark: |U| = 50k end-to-end under a dense-impossible gate.
+
+Three gates, all on fixed seeds:
+
+1. **Scale + memory** — stream-generate a |U| = 50_000, |V| = 500 instance,
+   build its :class:`~repro.model.sharded_index.ShardedInstanceIndex` and
+   run the full pipeline (GG+LS, then LP-packing on HiGHS) end to end.
+   The dense index cannot even build at this shape (2.5·10⁷ cells is past
+   its hard cap — asserted), and the whole run's peak RSS above the
+   interpreter baseline must stay under the gate
+   ``instance footprint + 17·|U|·|V| bytes`` — i.e. under what a
+   dense-index pipeline would occupy the moment its ``W``/``SI``/
+   ``bid_mask`` matrices exist, before solving anything.
+2. **Parity** — at a dense-buildable size, GG / GG+LS / LP-packing must
+   produce bit-identical arrangements on the sharded and the dense index
+   (hard gate; the property suite covers more shard sizes).
+3. **Shard-parallel replay** — replay a churn trace over the 50k instance
+   with the shard-parallel repair engine at 1 worker and at
+   ``max(4, ...)`` workers; on machines with 4+ cores the per-batch
+   wall-clock speedup must reach ``--min-speedup`` (default 2x; CI passes
+   a looser floor because shared runners add noise — the measured ratio
+   lands in the JSON artifact either way).  On smaller machines the ratio
+   is recorded but not gated.
+
+Results land in ``benchmarks/output/BENCH_shard.json`` so the scaling
+trajectory accumulates across PRs, like the LP and churn benches.
+
+Run as a script (CI does)::
+
+    python benchmarks/bench_shard.py --out benchmarks/output/BENCH_shard.json
+
+or through pytest-benchmark with the rest of the bench suite::
+
+    python -m pytest benchmarks/bench_shard.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import numpy as np
+
+from repro.core import GGGreedy, LPPacking, LocalSearch
+from repro.datagen import (
+    ChurnConfig,
+    SyntheticConfig,
+    generate_churn_trace,
+    generate_synthetic,
+    generate_synthetic_stream,
+)
+from repro.experiments.replay import replay_trace
+from repro.model import IndexCapacityError, InstanceIndex, ShardedInstanceIndex
+from repro.solver.scipy_backend import scipy_available
+
+NUM_USERS = 50_000
+NUM_EVENTS = 500
+#: Bytes per user-by-event cell of the dense index's matrices (W + SI as
+#: float64 plus bid_mask as bool) — 425 MB at the bench shape.  The memory
+#: gate is ``measured instance footprint + this``: a dense-index pipeline
+#: exceeds that the moment its matrices are allocated, before any solve.
+DENSE_BYTES_PER_CELL = 17.0
+MIN_PARALLEL_SPEEDUP = 2.0
+PARALLEL_WORKERS = 4
+
+
+def _rss_mb() -> float:
+    """Peak RSS of this process in MB (ru_maxrss is KB on Linux)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_scale_gate(seed: int) -> dict:
+    """Build + GG+LS + LP-packing at 50k users under the memory gate."""
+    baseline_mb = _rss_mb()
+    config = SyntheticConfig(
+        num_users=NUM_USERS,
+        num_events=NUM_EVENTS,
+        max_bids=3,
+        max_user_capacity=2,
+    )
+    started = time.perf_counter()
+    instance = generate_synthetic_stream(config, seed=seed)
+    generate_seconds = time.perf_counter() - started
+    instance_mb = _rss_mb() - baseline_mb
+
+    # The dense index cannot represent this shape at all.
+    try:
+        InstanceIndex(instance)
+        raise AssertionError(
+            "dense InstanceIndex unexpectedly accepted a "
+            f"{NUM_USERS}x{NUM_EVENTS} instance"
+        )
+    except IndexCapacityError:
+        pass
+
+    started = time.perf_counter()
+    index = instance.index
+    index_seconds = time.perf_counter() - started
+    assert isinstance(index, ShardedInstanceIndex), type(index).__name__
+
+    started = time.perf_counter()
+    gg_ls = LocalSearch(GGGreedy()).solve(instance, seed=seed)
+    gg_ls_seconds = time.perf_counter() - started
+    assert gg_ls.arrangement.is_feasible()
+
+    lp_row = None
+    if scipy_available():
+        started = time.perf_counter()
+        lp = LPPacking(
+            alpha=1.0, lp_backend="scipy", lp_presolve=False, cache_lp=False
+        ).solve(instance, seed=seed)
+        lp_seconds = time.perf_counter() - started
+        assert lp.arrangement.is_feasible()
+        lp_row = {
+            "seconds": lp_seconds,
+            "utility": lp.utility,
+            "lp_variables": lp.details["num_variables"],
+            "lp_backend": lp.details["lp_backend"],
+        }
+
+    peak_mb = _rss_mb()
+    dense_matrix_mb = DENSE_BYTES_PER_CELL * NUM_USERS * NUM_EVENTS / 1e6
+    gate_delta_mb = instance_mb + dense_matrix_mb
+    peak_delta_mb = peak_mb - baseline_mb
+    row = {
+        "num_users": NUM_USERS,
+        "num_events": NUM_EVENTS,
+        "num_bids": index.num_bids,
+        "num_shards": index.num_shards,
+        "shard_size": index.shard_size,
+        "generate_seconds": generate_seconds,
+        "index_seconds": index_seconds,
+        "gg_ls_seconds": gg_ls_seconds,
+        "gg_ls_utility": gg_ls.utility,
+        "lp_packing": lp_row,
+        "baseline_mb": baseline_mb,
+        "instance_mb": instance_mb,
+        "peak_mb": peak_mb,
+        "peak_delta_mb": peak_delta_mb,
+        "dense_matrix_mb": dense_matrix_mb,
+        "memory_gate_delta_mb": gate_delta_mb,
+    }
+    print(
+        f"scale: |U|={NUM_USERS} |V|={NUM_EVENTS} shards="
+        f"{index.num_shards}x{index.shard_size} gg+ls={gg_ls_seconds:.1f}s "
+        f"lp={'skipped' if lp_row is None else format(lp_row['seconds'], '.1f') + 's'} "
+        f"peak delta {peak_delta_mb:.0f}MB < gate {gate_delta_mb:.0f}MB "
+        f"(instance {instance_mb:.0f}MB + dense matrices {dense_matrix_mb:.0f}MB)"
+    )
+    assert peak_delta_mb < gate_delta_mb, (
+        f"sharded 50k run peaked {peak_delta_mb:.0f}MB over baseline — not "
+        f"below the dense-index floor of {gate_delta_mb:.0f}MB (instance "
+        f"{instance_mb:.0f}MB + dense matrices {dense_matrix_mb:.0f}MB)"
+    )
+    return row
+
+
+def run_parity_gate(seed: int) -> dict:
+    """Fixed-seed arrangement parity between the sharded and dense paths."""
+    config = SyntheticConfig(num_users=3000, num_events=200)
+    algorithms = {
+        "gg": lambda: GGGreedy(),
+        "gg+ls": lambda: LocalSearch(GGGreedy()),
+        "lp-packing": lambda: LPPacking(alpha=1.0),
+    }
+    rows = {}
+    for name, factory in algorithms.items():
+        dense_instance = generate_synthetic(config, seed=seed)
+        dense_instance.configure_index(sharded=False)
+        sharded_instance = generate_synthetic(config, seed=seed)
+        sharded_instance.configure_index(sharded=True, shard_size=256)
+        dense = factory().solve(dense_instance, seed=seed)
+        sharded = factory().solve(sharded_instance, seed=seed)
+        identical = dense.arrangement.pairs == sharded.arrangement.pairs
+        rows[name] = {
+            "utility": dense.utility,
+            "identical_pairs": identical,
+        }
+        assert identical, f"{name}: sharded and dense arrangements differ"
+        assert dense.utility == sharded.utility
+    print(f"parity: {', '.join(rows)} bit-identical across index implementations")
+    return rows
+
+
+def run_parallel_gate(seed: int, min_speedup: float, workers: int) -> dict:
+    """Shard-parallel replay speedup over the single-worker baseline."""
+    config = SyntheticConfig(num_users=NUM_USERS, num_events=NUM_EVENTS)
+    instance = generate_synthetic_stream(config, seed=seed)
+    churn = ChurnConfig(
+        num_batches=3,
+        user_arrival_rate=NUM_USERS / 1000,
+        user_departure_rate=NUM_USERS / 1000,
+        rebid_rate=NUM_USERS / 25,
+        event_open_rate=1.0,
+        event_close_rate=1.0,
+        base=config,
+    )
+    trace = generate_churn_trace(instance, churn, seed=seed + 1)
+
+    single = replay_trace(trace, seed=seed, compare_full=False, workers=1)
+    assert single.all_feasible
+    parallel = replay_trace(trace, seed=seed, compare_full=False, workers=workers)
+    assert parallel.all_feasible
+
+    speedup = (
+        single.mean_incremental_seconds / parallel.mean_incremental_seconds
+        if parallel.mean_incremental_seconds > 0
+        else None
+    )
+    cores = os.cpu_count() or 1
+    gated = cores >= 4
+    row = {
+        "workers": workers,
+        "cpu_cores": cores,
+        "single_mean_batch_seconds": single.mean_incremental_seconds,
+        "parallel_mean_batch_seconds": parallel.mean_incremental_seconds,
+        "speedup": speedup,
+        "gated": gated,
+        "min_required_speedup": min_speedup if gated else None,
+        "single_utilities": [r.incremental_utility for r in single.records],
+        "parallel_utilities": [r.incremental_utility for r in parallel.records],
+    }
+    print(
+        f"parallel replay: 1 worker {single.mean_incremental_seconds:.2f}s/batch, "
+        f"{workers} workers {parallel.mean_incremental_seconds:.2f}s/batch -> "
+        f"{speedup:.2f}x ({'gated' if gated else f'not gated, {cores} core(s)'})"
+    )
+    if gated:
+        assert speedup is not None and speedup >= min_speedup, (
+            f"shard-parallel replay reached only {speedup:.2f}x over the "
+            f"single-worker baseline at {workers} workers "
+            f"(required: {min_speedup}x on {cores} cores)"
+        )
+    return row
+
+
+def run_bench(
+    seed: int = 0,
+    min_speedup: float = MIN_PARALLEL_SPEEDUP,
+    workers: int = PARALLEL_WORKERS,
+    skip_parallel: bool = False,
+) -> dict:
+    report = {
+        "seed": seed,
+        "scale": run_scale_gate(seed),
+        "parity": run_parity_gate(seed),
+    }
+    if not skip_parallel:
+        report["parallel_replay"] = run_parallel_gate(seed, min_speedup, workers)
+    return report
+
+
+def bench_shard_scale(bench_once):
+    """pytest-benchmark entry: scale + parity gates (parallel gate is
+    hardware-dependent and runs in the script/CI path)."""
+    report = bench_once(run_bench, seed=0, skip_parallel=True)
+    scale = report["scale"]
+    assert scale["peak_delta_mb"] < scale["memory_gate_delta_mb"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=MIN_PARALLEL_SPEEDUP,
+        help="floor on the shard-parallel replay speedup (4+ core machines)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=PARALLEL_WORKERS, help="parallel worker count"
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="skip the shard-parallel replay measurement",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "output" / "BENCH_shard.json",
+    )
+    args = parser.parse_args()
+    report = run_bench(
+        seed=args.seed,
+        min_speedup=args.min_speedup,
+        workers=args.workers,
+        skip_parallel=args.skip_parallel,
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

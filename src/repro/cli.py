@@ -74,8 +74,16 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_shards(instance: IGEPAInstance, shards: int) -> None:
+    """Apply a ``--shards N`` request: N user shards (0 = size heuristic)."""
+    if shards > 0:
+        shard_size = max(1, -(-instance.num_users // shards))
+        instance.configure_index(sharded=True, shard_size=shard_size)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = IGEPAInstance.load(args.instance)
+    _configure_shards(instance, args.shards)
     algorithm = ALGORITHMS[args.algorithm](args)
     result = algorithm.solve(instance, seed=args.seed)
     print(f"algorithm : {result.algorithm}")
@@ -92,6 +100,12 @@ REPLAY_ALGORITHMS = {
     "gg+ls": lambda: LocalSearch(GGGreedy()),
     "random-u": lambda: RandomU(),
     "random-u+ls": lambda: LocalSearch(RandomU()),
+    # LP-packing as the full re-solve baseline; the warm variant threads
+    # each batch's final simplex basis into the next re-solve.
+    "lp-packing": lambda: LPPacking(alpha=1.0),
+    "lp-packing-warm": lambda: LPPacking(
+        alpha=1.0, lp_backend="revised-simplex", warm_start=True
+    ),
 }
 
 
@@ -102,6 +116,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         conflict_probability=args.pcf,
     )
     instance = generate_synthetic(synthetic, seed=args.seed)
+    _configure_shards(instance, args.shards)
     config = ChurnConfig(
         num_batches=args.batches,
         user_arrival_rate=args.arrival_rate,
@@ -121,6 +136,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         seed=args.seed,
         compare_full=not args.no_full,
         check_parity=args.check_parity,
+        workers=args.workers,
     )
     print(format_replay_table(report))
     if args.check_parity:
@@ -170,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--seed", type=int, default=0)
     sub.add_argument("--alpha", type=float, default=1.0, help="LP-packing alpha")
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition users into N index shards (0: size heuristic)",
+    )
     sub.set_defaults(func=_cmd_solve)
 
     sub = subparsers.add_parser(
@@ -203,6 +225,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="every k-th batch is an adversarial burst (0: never)",
     )
     sub.add_argument("--pcf", type=float, default=0.3, help="conflict probability")
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition users into N index shards (0: size heuristic)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard-parallel repair across N worker processes (0: serial)",
+    )
     sub.add_argument(
         "--no-full",
         action="store_true",

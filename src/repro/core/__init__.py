@@ -7,6 +7,8 @@
 * :mod:`repro.core.exact` — exact ILP solver (Lemma 1).
 * :mod:`repro.core.analysis` — LP bounds and empirical approximation ratios.
 * :mod:`repro.core.repair` — targeted arrangement repair after churn deltas.
+* :mod:`repro.core.parallel` — shard-parallel repair (propose in workers,
+  commit serially at the event-side sync).
 """
 
 from repro.core.admissible import (
@@ -37,6 +39,7 @@ from repro.core.metrics import (
     user_utilities,
 )
 from repro.core.online import OnlineGreedy, OnlineRandom, competitive_ratio
+from repro.core.parallel import parallel_repair
 from repro.core.repair import apply_with_repair, repair
 from repro.core.result import ArrangementResult
 
@@ -55,6 +58,7 @@ __all__ = [
     "improve",
     "repair",
     "apply_with_repair",
+    "parallel_repair",
     "OnlineGreedy",
     "OnlineRandom",
     "competitive_ratio",

@@ -94,8 +94,8 @@ class _SearchState:
     def pair_weight(self, upos: int, vpos: int) -> float:
         """``w(u, v)`` of an *assigned* pair, tolerating non-bid assignments."""
         index = self.index
-        if index.bid_mask[upos, vpos]:
-            return float(index.W[upos, vpos])
+        if index.is_bid_pair(upos, vpos):
+            return index.weight_at(upos, vpos)
         return self.instance.weight(self.user_ids[upos], self.event_ids[vpos])
 
     def apply_add(self, upos: int, vpos: int) -> None:
@@ -170,14 +170,14 @@ def _try_refill_moves(state: _SearchState, event_scan: Sequence[int]) -> int:
         if attendance[vpos] >= capacity:
             continue
         assigned_column = arrangement.assignment_matrix[:, vpos]
-        weights = index.W[:, vpos]
+        bidder_weights = index.event_bidder_weights(vpos).tolist()
         row = conflict_rows[vpos]
-        for bidder in index.event_bidder_positions(vpos).tolist():
+        for offset, bidder in enumerate(index.event_bidder_positions(vpos).tolist()):
             if attendance[vpos] >= capacity:
                 break
             if assigned_column[bidder]:
                 continue
-            if weights[bidder] <= _MIN_GAIN:
+            if bidder_weights[offset] <= _MIN_GAIN:
                 continue
             if load[bidder] >= state.user_cap[bidder]:
                 continue
@@ -250,23 +250,31 @@ def _try_evict_moves_clean(state: _SearchState, event_scan: Sequence[int]) -> in
     load = arrangement.load_counts
     user_capacity = index.user_capacity
     user_ids = index.user_ids
-    W = index.W
+    # Per-event attendee groups from one nonzero pass: column slices of the
+    # big assignment matrix are strided reads, so gathering them per event
+    # costs O(|U|) each — grouping once is O(pairs).  An eviction only
+    # rewrites its own event's column, and no event repeats within a pass,
+    # so the snapshot stays exact for every event still to scan.
+    pair_rows, pair_cols = np.nonzero(assigned)
+    order = np.argsort(pair_cols, kind="stable")
+    grouped_rows = pair_rows[order]
+    boundaries = np.searchsorted(pair_cols[order], np.arange(index.num_events + 1))
     accepted = 0
     for vpos in event_scan:
         if state.attendance[vpos] < state.event_cap[vpos]:
             continue  # not full: add moves already cover it
         if state.attendance[vpos] - 1 >= state.event_cap[vpos]:
             continue  # over capacity: even after an eviction the event is full
-        attendees = np.flatnonzero(assigned[:, vpos])
+        attendees = grouped_rows[boundaries[vpos] : boundaries[vpos + 1]]
         if not attendees.size:
             continue
-        weights = W[attendees, vpos]
+        weights = index.pair_weights(attendees, vpos)
         order = np.lexsort((user_ids[attendees], weights))
         lightest = int(attendees[order[0]])
         lightest_weight = float(weights[order[0]])
 
         bidders = index.event_bidder_positions(vpos)
-        gains = W[bidders, vpos] - lightest_weight
+        gains = index.event_bidder_weights(vpos) - lightest_weight
         mask = (
             (gains > _MIN_GAIN)
             & ~assigned[bidders, vpos]
@@ -307,7 +315,7 @@ def _try_evict_moves_scalar(state: _SearchState, event_scan: Sequence[int]) -> i
             ((u, state.pair_weight(u, vpos)) for u in attendees),
             key=lambda item: (item[1], state.user_ids[item[0]]),
         )
-        column = index.W[:, vpos]
+        column = index.weight_column(vpos)
         best = None
         best_gain = _MIN_GAIN
         for bidder in index.event_bidder_positions(vpos).tolist():

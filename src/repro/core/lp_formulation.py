@@ -86,58 +86,87 @@ def build_benchmark_lp(
         admissible = enumerate_all_admissible_sets(instance, max_sets_per_user)
 
     instance_index = instance.index
+    users = instance.users
     lp = LinearProgram(name=f"benchmark-lp[{instance.name}]", maximize=True)
     assignments: list[tuple[int, tuple[int, ...]]] = []
     by_user: dict[int, list[int]] = {}
     # Constraint rows are accumulated as sparse column-index lists and turned
-    # into COO triplets at the end — the wide LP's matrix never exists in any
-    # denser form than (rows, cols, vals) arrays.  (3) needs, per event, the
-    # variables whose set contains it.
-    user_rows: list[list[int]] = []  # variable indices per user row (2)
+    # into COO triplets — the wide LP's matrix never exists in any denser
+    # form than (rows, cols, vals) arrays.  Assembly is shard-major over the
+    # index's user shards: each shard converts its (2)-row column lists into
+    # one triplet chunk as soon as its users are done (rows numbered
+    # globally in creation order, so the emitted triplets are identical to a
+    # single flat emission), and the chunks plus the trailing event-row
+    # chunk are concatenated once at the end.  (3) needs, per event, the
+    # variables whose set contains it — a shared accumulator across shards,
+    # the event-side sync point.
     event_cols: dict[int, list[int]] = {e.event_id: [] for e in instance.events}
+    chunk_rows: list[np.ndarray] = []
+    chunk_cols: list[np.ndarray] = []
+    num_rows = 0
 
-    for upos, user in enumerate(instance.users):
-        indices: list[int] = []
-        user_sets = admissible.get(user.user_id, [])
-        if not user_sets:
+    def emit_chunk(rows: list[list[int]]) -> None:
+        nonlocal num_rows
+        if not rows:
+            return
+        lengths = np.fromiter((len(r) for r in rows), dtype=np.int64, count=len(rows))
+        chunk_rows.append(
+            np.repeat(
+                np.arange(num_rows, num_rows + len(rows), dtype=np.int64), lengths
+            )
+        )
+        chunk_cols.append(
+            np.concatenate([np.asarray(r, dtype=np.int64) for r in rows])
+        )
+        num_rows += len(rows)
+
+    for shard in instance_index.iter_shards():
+        shard_rows: list[list[int]] = []
+        for upos in shard.positions:
+            user = users[upos]
+            indices: list[int] = []
+            user_sets = admissible.get(user.user_id, [])
+            if not user_sets:
+                by_user[user.user_id] = indices
+                continue
+            # CSR-backed weight row: w(u, S) sums the same doubles the scalar
+            # accessor returns, without per-pair lookups through the instance.
+            # Caller-supplied admissible sets may reach outside the bid list;
+            # those pairs fall back to the scalar accessor.
+            weight_of = instance_index.user_weight_by_event_id(upos)
+            for events in user_sets:
+                weight = sum(
+                    weight_of[event_id]
+                    if event_id in weight_of
+                    else instance.weight(user.user_id, event_id)
+                    for event_id in events
+                )
+                index = lp.add_variable(
+                    f"x[{user.user_id},{','.join(map(str, events))}]",
+                    lower=0.0,
+                    upper=1.0,
+                    objective=weight,
+                    is_integer=integer,
+                )
+                assignments.append((user.user_id, events))
+                indices.append(index)
+                # dict.fromkeys dedupes (caller-supplied sets may repeat an
+                # event) while keeping the order deterministic, so membership
+                # matches the constraint dicts the COO cache is checked
+                # against.
+                for event_id in dict.fromkeys(events):
+                    event_cols[event_id].append(index)
             by_user[user.user_id] = indices
-            continue
-        # CSR-backed weight row: w(u, S) sums the same doubles the scalar
-        # accessor returns, without per-pair lookups through the instance.
-        # Caller-supplied admissible sets may reach outside the bid list;
-        # those pairs fall back to the scalar accessor.
-        weight_of = instance_index.user_weight_by_event_id(upos)
-        for events in user_sets:
-            weight = sum(
-                weight_of[event_id]
-                if event_id in weight_of
-                else instance.weight(user.user_id, event_id)
-                for event_id in events
-            )
-            index = lp.add_variable(
-                f"x[{user.user_id},{','.join(map(str, events))}]",
-                lower=0.0,
-                upper=1.0,
-                objective=weight,
-                is_integer=integer,
-            )
-            assignments.append((user.user_id, events))
-            indices.append(index)
-            # dict.fromkeys dedupes (caller-supplied sets may repeat an
-            # event) while keeping the order deterministic, so membership
-            # matches the constraint dicts the COO cache is checked against.
-            for event_id in dict.fromkeys(events):
-                event_cols[event_id].append(index)
-        by_user[user.user_id] = indices
-        if indices:
-            # (2): at most one admissible set per user.
-            lp.add_constraint(
-                dict.fromkeys(indices, 1.0),
-                Sense.LE,
-                1.0,
-                name=f"user[{user.user_id}]",
-            )
-            user_rows.append(indices)
+            if indices:
+                # (2): at most one admissible set per user.
+                lp.add_constraint(
+                    dict.fromkeys(indices, 1.0),
+                    Sense.LE,
+                    1.0,
+                    name=f"user[{user.user_id}]",
+                )
+                shard_rows.append(indices)
+        emit_chunk(shard_rows)
 
     event_rows: list[list[int]] = []
     for event in instance.events:
@@ -151,16 +180,14 @@ def build_benchmark_lp(
                 name=f"event[{event.event_id}]",
             )
             event_rows.append(cols)
+    emit_chunk(event_rows)
 
-    # Emit the COO triplets (every coefficient of (2)-(3) is 1.0) and prime
-    # the LP's cache so to_standard_form never re-walks the row dicts.
-    all_rows = user_rows + event_rows
-    lengths = np.fromiter((len(r) for r in all_rows), dtype=np.int64, count=len(all_rows))
-    if lengths.size:
-        coo_rows = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
-        coo_cols = np.concatenate(
-            [np.asarray(r, dtype=np.int64) for r in all_rows]
-        )
+    # Concatenate the per-shard chunks (every coefficient of (2)-(3) is 1.0)
+    # and prime the LP's cache so to_standard_form never re-walks the row
+    # dicts.
+    if chunk_cols:
+        coo_rows = np.concatenate(chunk_rows)
+        coo_cols = np.concatenate(chunk_cols)
         lp.set_constraints_coo(coo_rows, coo_cols, np.ones(coo_cols.size))
 
     return BenchmarkLP(

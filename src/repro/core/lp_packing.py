@@ -68,6 +68,16 @@ class LPPacking(ArrangementAlgorithm):
             deterministic per instance; only sampling and repair (lines 3-7)
             depend on the seed, so repeated-run experiments — the paper
             averages 50 repetitions — only pay the solve once.
+        warm_start: thread each solve's final basis (``basis_labels``) into
+            the next solve on a *different* instance as a crash-basis hint
+            — the churn replay's full re-solve baseline, where successive
+            instances differ by one small delta and most of the basis
+            carries over.  Only the revised-simplex backends consume the
+            hint; it never changes the optimum, only the pivot count.
+        lp_presolve: run this library's presolve before the backend (the
+            default).  HiGHS presolves internally, so large scipy-backed
+            solves can skip the duplicate pass — and its O(nnz) program
+            rebuild — by passing False.
 
     Raises:
         ValueError: on out-of-range ``alpha`` or unknown ``repair_order``.
@@ -83,6 +93,8 @@ class LPPacking(ArrangementAlgorithm):
         repair_order: str = "user",
         max_sets_per_user: int = DEFAULT_MAX_SETS_PER_USER,
         cache_lp: bool = True,
+        warm_start: bool = False,
+        lp_presolve: bool = True,
     ):
         super().__init__(seed=seed)
         if not 0.0 < alpha <= 1.0:
@@ -96,6 +108,9 @@ class LPPacking(ArrangementAlgorithm):
         self.repair_order = repair_order
         self.max_sets_per_user = max_sets_per_user
         self.cache_lp = cache_lp
+        self.warm_start = warm_start
+        self.lp_presolve = lp_presolve
+        self._warm_labels: tuple[str, ...] | None = None
         # Keyed by the live instance object (identity semantics).  A weak
         # mapping — not id() — because CPython reuses the ids of collected
         # objects, which would silently serve one instance another
@@ -174,11 +189,12 @@ class LPPacking(ArrangementAlgorithm):
                 vpos = np.fromiter(
                     (index.event_pos[e] for e in event_ids), dtype=np.int64
                 )
-                weights = index.W[upos, vpos]
+                weights = np.array(index.pair_weights(upos, vpos), dtype=np.float64)
                 # Sampled sets are admissible, hence bid pairs — but caller-
                 # supplied admissible sets may reach outside the bid list,
-                # where the masked W is 0; patch those from the scalar path.
-                off_bid = ~index.bid_mask[upos, vpos]
+                # where the masked weight is 0; patch those from the scalar
+                # path.
+                off_bid = ~index.pair_bid_mask(upos, vpos)
                 for k in np.flatnonzero(off_bid).tolist():
                     weights[k] = instance.weight(pairs[k][1], pairs[k][0])
                 order = np.lexsort((event_ids, upos, -weights))
@@ -213,7 +229,12 @@ class LPPacking(ArrangementAlgorithm):
             iterations = 0
             backend = "none"
         else:
-            solution = solve_lp(benchmark.lp, backend=self.lp_backend)
+            solution = solve_lp(
+                benchmark.lp,
+                backend=self.lp_backend,
+                presolve=self.lp_presolve,
+                warm_start=self._warm_labels if self.warm_start else None,
+            )
             if not solution.is_optimal:
                 raise LPPackingError(
                     f"benchmark LP solve failed with status {solution.status.value}"
@@ -222,6 +243,8 @@ class LPPacking(ArrangementAlgorithm):
             objective = solution.objective_value
             iterations = solution.iterations
             backend = solution.backend
+            if self.warm_start:
+                self._warm_labels = solution.basis_labels
         if self.cache_lp:
             self._lp_cache[instance] = (benchmark, x_star, objective, iterations)
         return benchmark, x_star, objective, iterations, backend

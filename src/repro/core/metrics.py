@@ -65,7 +65,12 @@ def user_utilities(
     """Per user: the utility contributed by that user's assignments."""
     index = instance.index
     if arrangement.is_clean():
-        totals = (index.W * arrangement.assignment_matrix).sum(axis=1)
+        assigned = arrangement.assignment_matrix
+        totals = np.zeros(index.num_users, dtype=np.float64)
+        for shard in index.iter_shards():
+            totals[shard.start : shard.stop] = (
+                shard.W * assigned[shard.start : shard.stop]
+            ).sum(axis=1)
         return dict(zip(index.user_ids.tolist(), totals.tolist()))
     totals = {user.user_id: 0.0 for user in instance.users}
     for event_id, user_id in arrangement.pairs:

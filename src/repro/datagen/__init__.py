@@ -15,6 +15,7 @@ from repro.datagen.synthetic import (
     TABLE1_DEFAULTS,
     SyntheticConfig,
     generate_synthetic,
+    generate_synthetic_stream,
 )
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "generate_churn_trace",
     "SyntheticConfig",
     "generate_synthetic",
+    "generate_synthetic_stream",
     "TABLE1_DEFAULTS",
     "MeetupConfig",
     "generate_meetup",

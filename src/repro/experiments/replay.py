@@ -31,7 +31,8 @@ from repro.core.local_search import LocalSearch
 from repro.core.repair import repair
 from repro.datagen.churn import ChurnTrace
 from repro.model.delta import apply_delta
-from repro.model.index import InstanceIndex
+from repro.model.index import BaseInstanceIndex, InstanceIndex
+from repro.model.sharded_index import ShardedInstanceIndex
 
 class ReplayInfeasibleError(RuntimeError):
     """A repaired arrangement failed its feasibility audit during replay.
@@ -46,36 +47,29 @@ class ReplayInfeasibleError(RuntimeError):
         self.report = report
 
 
-#: Index arrays compared by the per-batch parity check.
-INDEX_ARRAYS = (
-    "user_ids",
-    "event_ids",
-    "user_capacity",
-    "event_capacity",
-    "degrees",
-    "conflict_matrix",
-    "bid_indptr",
-    "bid_indices",
-    "SI",
-    "bid_mask",
-    "W",
-    "bid_user_positions",
-    "bid_weights",
-    "bidder_indptr",
-    "bidder_indices",
-)
+def fresh_index_like(index: BaseInstanceIndex, instance) -> BaseInstanceIndex:
+    """A from-scratch index of the same implementation (and shard size)."""
+    if isinstance(index, ShardedInstanceIndex):
+        return ShardedInstanceIndex(instance, shard_size=index.shard_size)
+    return InstanceIndex(instance)
 
 
-def index_parity_mismatches(patched: InstanceIndex, fresh: InstanceIndex) -> list[str]:
+def index_parity_mismatches(
+    patched: BaseInstanceIndex, fresh: BaseInstanceIndex
+) -> list[str]:
     """Names of index arrays where a patched and a fresh build disagree.
 
+    The arrays compared are the implementation's ``PARITY_ARRAYS`` (the
+    dense index adds ``SI``/``bid_mask``/``W`` to the common CSR set).
     Bit-identity is checked with ``np.array_equal`` on equal dtypes — for
     float arrays that is IEEE-754 equality, which the delta layer guarantees
     by copying surviving entries and recomputing new ones with the
     constructor's own expressions.
     """
+    if type(patched) is not type(fresh):
+        return ["__class__"]
     mismatches = []
-    for name in INDEX_ARRAYS:
+    for name in type(patched).PARITY_ARRAYS:
         a = getattr(patched, name)
         b = getattr(fresh, name)
         if a.dtype != b.dtype or a.shape != b.shape or not np.array_equal(a, b):
@@ -258,6 +252,7 @@ def replay_trace(
     compare_full: bool = True,
     check_parity: bool = False,
     max_passes: int = 20,
+    workers: int | None = None,
 ) -> ReplayReport:
     """Replay a churn trace, timing incremental repair against full recompute.
 
@@ -273,6 +268,11 @@ def replay_trace(
             against the patched one (adds the fresh build's cost — leave off
             when timing, on when verifying).
         max_passes: local-search pass cap for the targeted repair.
+        workers: run the per-batch repair shard-parallel across this many
+            worker processes (:func:`repro.core.parallel.parallel_repair`);
+            None/0 keeps the serial targeted repair.  ``workers=1`` runs
+            the identical propose/commit path on a single-process pool —
+            the baseline the shard bench measures speedup against.
 
     Returns:
         A :class:`ReplayReport` with per-batch records.
@@ -284,6 +284,38 @@ def replay_trace(
     """
     if algorithm is None:
         algorithm = LocalSearch(GGGreedy())
+    executor = None
+    if workers:
+        from concurrent.futures import ProcessPoolExecutor
+
+        executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        return _replay_trace(
+            trace,
+            algorithm,
+            seed=seed,
+            compare_full=compare_full,
+            check_parity=check_parity,
+            max_passes=max_passes,
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+
+def _replay_trace(
+    trace: ChurnTrace,
+    algorithm: ArrangementAlgorithm,
+    *,
+    seed: int,
+    compare_full: bool,
+    check_parity: bool,
+    max_passes: int,
+    executor,
+) -> ReplayReport:
+    if executor is not None:
+        from repro.core.parallel import parallel_repair
     started = time.perf_counter()
     initial = algorithm.solve(trace.initial, seed=seed)
     initial_seconds = time.perf_counter() - started
@@ -298,7 +330,10 @@ def replay_trace(
     for batch, delta in enumerate(trace.deltas):
         started = time.perf_counter()
         result = apply_delta(instance, delta, arrangement)
-        moves = repair(result, max_passes=max_passes)
+        if executor is not None:
+            moves = parallel_repair(result, executor, max_passes=max_passes)
+        else:
+            moves = repair(result, max_passes=max_passes)
         incremental_seconds = time.perf_counter() - started
 
         full_seconds = None
@@ -314,7 +349,8 @@ def replay_trace(
         parity: list[str] | None = None
         if check_parity:
             parity = index_parity_mismatches(
-                result.instance.index, InstanceIndex(result.instance)
+                result.instance.index,
+                fresh_index_like(result.instance.index, result.instance),
             )
 
         feasible = result.arrangement.is_feasible()

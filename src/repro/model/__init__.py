@@ -27,9 +27,15 @@ from repro.model.conflicts import (
     validate_symmetry,
 )
 from repro.model.entities import Event, User
-from repro.model.errors import ArrangementError, InstanceValidationError, ModelError
-from repro.model.index import InstanceIndex
+from repro.model.errors import (
+    ArrangementError,
+    IndexCapacityError,
+    InstanceValidationError,
+    ModelError,
+)
+from repro.model.index import BaseInstanceIndex, IndexShard, InstanceIndex
 from repro.model.instance import IGEPAInstance
+from repro.model.sharded_index import ShardedInstanceIndex
 from repro.model.interest import (
     CosineInterest,
     InterestFunction,
@@ -43,7 +49,10 @@ __all__ = [
     "Event",
     "User",
     "IGEPAInstance",
+    "BaseInstanceIndex",
     "InstanceIndex",
+    "ShardedInstanceIndex",
+    "IndexShard",
     "Arrangement",
     "InstanceBuilder",
     "Delta",
@@ -67,5 +76,6 @@ __all__ = [
     "ModelError",
     "InstanceValidationError",
     "ArrangementError",
+    "IndexCapacityError",
     "DeltaError",
 ]

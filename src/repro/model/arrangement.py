@@ -162,7 +162,7 @@ class Arrangement:
             return (
                 f"pair ({event_id}, {user_id}) already present" if explain else ""
             )
-        if not index.bid_mask[upos, vpos]:
+        if not index.is_bid_pair(upos, vpos):
             return (
                 f"bid constraint: user {user_id} did not bid for event {event_id}"
                 if explain
@@ -224,7 +224,7 @@ class Arrangement:
         self._attendance[vpos] += 1
         self._load[upos] += 1
         self._user_events[upos].append(vpos)
-        if not index.bid_mask[upos, vpos]:
+        if not index.is_bid_pair(upos, vpos):
             self._nonbid_count += 1
 
     def remove(self, event_id: int, user_id: int) -> None:
@@ -246,7 +246,7 @@ class Arrangement:
         self._attendance[vpos] -= 1
         self._load[upos] -= 1
         self._user_events[upos].remove(vpos)
-        if not index.bid_mask[upos, vpos]:
+        if not index.is_bid_pair(upos, vpos):
             self._nonbid_count -= 1
 
     @classmethod
@@ -274,11 +274,15 @@ class Arrangement:
             return True
         if np.any(self._load > index.user_capacity):
             return True
-        if np.any(self._load >= 2):
+        multi = np.flatnonzero(self._load >= 2)
+        if multi.size:
             # A user attends conflicting events iff their assignment row hits
-            # the conflict matrix: (B C) ∘ B has a positive entry.
-            hits = self._assigned.astype(np.float32) @ index.conflict_f32
-            if bool(np.any(hits[self._assigned] > 0.0)):
+            # the conflict matrix: (B C) ∘ B has a positive entry.  Only rows
+            # with two or more events can hit, so the product is restricted
+            # to them — O(multi · |V|²) instead of O(|U| · |V|²).
+            rows = self._assigned[multi]
+            hits = rows.astype(np.float32) @ index.conflict_f32
+            if bool(np.any(hits[rows] > 0.0)):
                 return True
         return False
 
@@ -346,7 +350,7 @@ class Arrangement:
         if not self._pairs:
             return 0.0
         if self.is_clean():
-            return math.fsum(self._idx.W[self._assigned].tolist())
+            return math.fsum(self._idx.assigned_weight_total(self._assigned))
         return sum(
             self.instance.weight(user_id, event_id)
             for event_id, user_id in self._pairs
@@ -357,7 +361,7 @@ class Arrangement:
         if not self._pairs:
             return 0.0
         if self.is_clean():
-            return math.fsum(self._idx.SI[self._assigned].tolist())
+            return math.fsum(self._idx.assigned_si_total(self._assigned))
         return sum(
             self.instance.interest_of(event_id, user_id)
             for event_id, user_id in self._pairs

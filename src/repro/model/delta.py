@@ -38,9 +38,16 @@ from repro.model.arrangement import Arrangement
 from repro.model.conflicts import MatrixConflict
 from repro.model.entities import Event, User
 from repro.model.errors import ModelError
-from repro.model.index import InstanceIndex, build_degrees, validated_interest
+from repro.model.index import (
+    DENSE_CELL_CAP,
+    BaseInstanceIndex,
+    InstanceIndex,
+    build_degrees,
+    validated_interest,
+)
 from repro.model.instance import IGEPAInstance
 from repro.model.interest import TabulatedInterest
+from repro.model.sharded_index import ShardedInstanceIndex
 
 
 class DeltaError(ModelError):
@@ -220,7 +227,7 @@ def _check_delta(instance: IGEPAInstance, delta: Delta) -> None:
                 "surviving user of the delta"
             )
         vpos = event_pos.get(event_id)
-        if vpos is None or not index.bid_mask[upos, vpos]:
+        if vpos is None or not index.is_bid_pair(upos, vpos):
             raise DeltaError(
                 f"remove_bids: user {user_id} has no bid for event {event_id}"
             )
@@ -243,7 +250,7 @@ def _check_delta(instance: IGEPAInstance, delta: Delta) -> None:
         vpos = event_pos.get(event_id)
         already = (
             vpos is not None
-            and bool(index.bid_mask[upos, vpos])
+            and index.is_bid_pair(upos, vpos)
             and (user_id, event_id) not in seen_bid_removals
         )
         if already or (user_id, event_id) in seen_bid_additions:
@@ -453,14 +460,23 @@ def _patch_index(
     successor: IGEPAInstance,
     delta: Delta,
     maps: _PositionMaps,
-) -> InstanceIndex:
+) -> BaseInstanceIndex:
     """Derive the successor's index from the predecessor's by array patching.
 
     Every surviving entry is copied bit for bit; new entries run the same
     expressions the from-scratch build would (``validated_interest`` for SI,
     the conflict function for new rows, the override/graph formula for
     degrees).  Derived arrays are produced by the shared
-    ``InstanceIndex._finalize``.
+    ``BaseInstanceIndex._finalize``.
+
+    The patch is expressed at the CSR-entry level (``bid_indices`` /
+    ``bid_si`` splicing), so its cost is O(bids + delta + |V|²) regardless
+    of the index implementation: on a :class:`ShardedInstanceIndex` no
+    O(cells) work happens at all — churn effectively routes to the touched
+    shards only, since untouched shards' slabs are never materialized and
+    their CSR segments are copied wholesale by the vectorized splice.  The
+    successor index keeps the predecessor's implementation (and shard
+    size).
     """
     old = instance.index
     keep_users = maps.keep_users
@@ -555,26 +571,11 @@ def _patch_index(
         conflict_matrix[i, j] = True
         conflict_matrix[j, i] = True
 
-    # SI / bid mask: slice survivors into the grown matrices, clear removed
-    # bids, fill added bids with freshly validated interest values.
-    si = np.zeros((n_users, n_events), dtype=np.float64)
-    bid_mask = np.zeros((n_users, n_events), dtype=bool)
-    si[:n_survivor_users, :n_survivor_events] = old.SI[np.ix_(keep_users, keep_events)]
-    bid_mask[:n_survivor_users, :n_survivor_events] = old.bid_mask[
-        np.ix_(keep_users, keep_events)
-    ]
-    for user_id, event_id in delta.remove_bids:
-        new_upos = int(user_map[old.user_pos[user_id]])
-        old_vpos = old.event_pos[event_id]
-        if not keep_events[old_vpos]:
-            continue  # the event's column was dropped wholesale
-        new_vpos = int(event_map[old_vpos])
-        si[new_upos, new_vpos] = 0.0
-        bid_mask[new_upos, new_vpos] = False
-
     # CSR bid incidence: keep surviving entries (preserving each user's bid
     # order), splice appended bids of rewritten users, then append the new
-    # users' rows.
+    # users' rows.  SI values ride along entry for entry: survivors are
+    # copied bit for bit, added bids run the constructor's own validated
+    # interest evaluation.
     interest_fn = successor.interest.interest
     event_by_id = successor.event_by_id
     user_by_id = successor.user_by_id
@@ -592,6 +593,7 @@ def _patch_index(
 
     kept_users_new = user_map[old_entry_user[keep_entries]]
     kept_events_new = event_map[old_entry_event[keep_entries]]
+    kept_si = old.bid_si[keep_entries]
     counts = np.bincount(kept_users_new, minlength=n_users).astype(np.int64)
 
     adds_by_upos: dict[int, list[int]] = {}
@@ -607,41 +609,44 @@ def _patch_index(
         np.cumsum(counts, out=kept_indptr[1:])
         insert_at: list[int] = []
         insert_values: list[int] = []
+        insert_si: list[float] = []
         for new_upos in sorted(adds_by_upos):
             row_end = int(kept_indptr[new_upos + 1])
+            user = user_by_id[int(user_ids[new_upos])]
             for vpos in adds_by_upos[new_upos]:
                 insert_at.append(row_end)
                 insert_values.append(vpos)
+                insert_si.append(
+                    validated_interest(
+                        interest_fn, event_by_id[int(event_ids[vpos])], user
+                    )
+                )
             counts[new_upos] += len(adds_by_upos[new_upos])
         bid_indices = np.insert(kept_events_new, insert_at, insert_values)
+        bid_si = np.insert(kept_si, insert_at, insert_si)
     else:
         bid_indices = kept_events_new
+        bid_si = kept_si
     bid_indptr = np.zeros(n_users + 1, dtype=np.int64)
     np.cumsum(counts, out=bid_indptr[1:])
-
-    # Fill SI/bid_mask for every added bid pair with the constructor's own
-    # validated interest evaluation.
-    for new_upos, positions in adds_by_upos.items():
-        user = user_by_id[int(user_ids[new_upos])]
-        for vpos in positions:
-            event = event_by_id[int(event_ids[vpos])]
-            si[new_upos, vpos] = validated_interest(interest_fn, event, user)
-            bid_mask[new_upos, vpos] = True
 
     # Interest updates may also re-weight *existing* bid pairs; write those
     # through so the patched SI matches the successor's merged table.  (A
     # from-scratch build reads the merged table for every bid pair; entries
-    # on non-bid pairs only back the interest_of fallback and stay out of
-    # SI either way.)
+    # on non-bid pairs only back the interest_of fallback and never reach
+    # the index either way.)
     if delta.interest:
         for event_id, user_id, value in delta.interest:
             upos = user_pos.get(user_id)
             vpos = event_pos.get(event_id)
-            if upos is not None and vpos is not None and bid_mask[upos, vpos]:
-                si[upos, vpos] = value
+            if upos is None or vpos is None:
+                continue
+            start, stop = int(bid_indptr[upos]), int(bid_indptr[upos + 1])
+            offsets = np.flatnonzero(bid_indices[start:stop] == vpos)
+            if offsets.size:
+                bid_si[start + int(offsets[0])] = value
 
-    return InstanceIndex.from_components(
-        successor,
+    components = dict(
         user_ids=user_ids,
         event_ids=event_ids,
         user_capacity=user_capacity,
@@ -650,9 +655,18 @@ def _patch_index(
         conflict_matrix=conflict_matrix,
         bid_indptr=bid_indptr,
         bid_indices=bid_indices,
-        SI=si,
-        bid_mask=bid_mask,
+        bid_si=bid_si,
     )
+    if isinstance(old, ShardedInstanceIndex):
+        return ShardedInstanceIndex.from_components(
+            successor, shard_size=old.shard_size, **components
+        )
+    if n_users * n_events > DENSE_CELL_CAP:
+        # Churn grew a dense-indexed instance past the dense cap: switch the
+        # successor to the sharded implementation instead of allocating
+        # matrices the from-scratch constructor would refuse.
+        return ShardedInstanceIndex.from_components(successor, **components)
+    return InstanceIndex.from_components(successor, **components)
 
 
 def _carry_arrangement(
@@ -687,7 +701,7 @@ def _carry_arrangement(
     new_vpos = maps.event_map[old_vpos]
     keep = (new_upos >= 0) & (new_vpos >= 0)
     # Withdrawn bids invalidate surviving-entity pairs.
-    keep[keep] = index.bid_mask[new_upos[keep], new_vpos[keep]]
+    keep[keep] = index.pair_bid_mask(new_upos[keep], new_vpos[keep])
 
     dropped = list(
         zip(
@@ -706,8 +720,8 @@ def _carry_arrangement(
             pa, pb = event_pos[first], event_pos[second]
             both = np.flatnonzero(assigned[:, pa] & assigned[:, pb])
             for upos in both.tolist():
-                w_first = float(index.W[upos, pa])
-                w_second = float(index.W[upos, pb])
+                w_first = index.weight_at(upos, pa)
+                w_second = index.weight_at(upos, pb)
                 if w_first < w_second or (
                     w_first == w_second and first > second
                 ):
@@ -808,6 +822,10 @@ def apply_delta(
         degrees=degrees_override,
         validate=False,
     )
+    # The successor inherits the index configuration (sharded/dense, shard
+    # size), so the full-rebuild comparison path builds the same kind of
+    # index the predecessor used.
+    successor._index_config = instance._index_config
     # The maps feed the index patch and the carryover; the plain
     # content-rebuild path (incremental=False, no arrangement) skips them.
     maps = (

@@ -15,3 +15,8 @@ class InstanceValidationError(ModelError):
 class ArrangementError(ModelError):
     """An arrangement operation would violate the bid, capacity or conflict
     constraint of Definition 4."""
+
+
+class IndexCapacityError(ModelError):
+    """A dense ``(num_users, num_events)`` index was requested beyond the
+    dense cell cap; the instance needs the sharded index."""

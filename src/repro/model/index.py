@@ -1,56 +1,75 @@
-"""Array-backed instance index: the vectorized view of an IGEPA instance.
+"""Array-backed instance indexes: the vectorized view of an IGEPA instance.
 
 Every derived quantity of Definitions 6-8 — ``D(G, u)``, ``SI``, ``w(u, v)``,
 σ, bidder sets — used to live in per-pair dict caches, which forces nested
-Python loops onto every algorithm.  :class:`InstanceIndex` materializes them
-once per :class:`~repro.model.instance.IGEPAInstance` as contiguous NumPy
-arrays so the layers above (arrangements, baselines, local search, LP
-construction) can batch their hot paths:
+Python loops onto every algorithm.  The index classes materialize them once
+per :class:`~repro.model.instance.IGEPAInstance` as contiguous NumPy arrays
+so the layers above (arrangements, baselines, local search, LP construction)
+can batch their hot paths.
+
+Two interchangeable implementations share the :class:`BaseInstanceIndex`
+protocol:
+
+* :class:`InstanceIndex` — the dense index: ``W``/``SI``/``bid_mask`` as
+  ``(num_users, num_events)`` matrices.  Fastest at benchmark scales, but
+  memory is ``O(|U|·|V|)``; construction refuses instances beyond
+  :data:`DENSE_CELL_CAP` cells (~10⁷).
+* :class:`~repro.model.sharded_index.ShardedInstanceIndex` — the sharded
+  index: no dense user-by-event matrices at all.  Pair data lives in the
+  CSR arrays (``O(bids)``); contiguous user shards materialize dense slabs
+  on demand, each under ~10⁶ cells.  This is what unlocks |U| ≥ 50k.
+
+Everything position-based is common to both:
 
 * ``user_ids`` / ``event_ids`` and the inverse ``user_pos`` / ``event_pos``
   maps — the contiguous coordinate system everything else is expressed in;
-* ``W`` — the dense ``(num_users, num_events)`` weight matrix
-  ``β·SI + (1-β)·D`` on bid pairs (0 elsewhere, see ``bid_mask``);
-* ``SI`` — the matching interest matrix (0 off the bid pairs);
-* ``bid_indptr`` / ``bid_indices`` / ``bid_weights`` — a CSR-style incidence
-  of the bid relation by user, in each user's bid-list order;
-* ``bidder_indptr`` / ``bidder_indices`` — the transposed incidence by event,
-  in instance user order (matching ``IGEPAInstance.bidders``);
+* ``bid_indptr`` / ``bid_indices`` / ``bid_si`` / ``bid_weights`` — a
+  CSR-style incidence of the bid relation by user, in each user's bid-list
+  order, carrying the SI and ``w(u, v)`` value of every bid pair;
+* ``bidder_indptr`` / ``bidder_indices`` / ``bidder_weights`` — the
+  transposed incidence by event, in instance user order (matching
+  ``IGEPAInstance.bidders``);
 * ``conflict_matrix`` — boolean σ over event positions (zero diagonal);
-* ``degrees``, ``user_capacity``, ``event_capacity`` — per-entity vectors.
+* ``degrees``, ``user_capacity``, ``event_capacity`` — per-entity vectors;
+* the pair accessors (:meth:`BaseInstanceIndex.is_bid_pair`,
+  :meth:`~BaseInstanceIndex.pair_weights`, ...) and the shard iterator
+  (:meth:`BaseInstanceIndex.iter_shards`), which algorithms use instead of
+  touching ``W``/``SI``/``bid_mask`` directly.
 
-The index is *read-only by convention*: instances are immutable, so the index
+Indexes are *read-only by convention*: instances are immutable, so the index
 is built lazily once (``IGEPAInstance.index``) and shared by every
 arrangement and algorithm run on the instance.  The one sanctioned way to
 produce a *different* index is :func:`repro.model.delta.apply_delta`, which
 derives the successor instance's index from this one by patching the arrays
-(delta maintenance) instead of rebuilding; :meth:`InstanceIndex.from_components`
-is the constructor it uses, and :meth:`_finalize` keeps the derived arrays
-(``W``, ``bid_weights``, bidder incidence) bit-identical between the
-from-scratch and the patched build because both run the same expressions.
+(delta maintenance) instead of rebuilding; ``from_components`` is the
+constructor it uses, and :meth:`BaseInstanceIndex._finalize` keeps the
+derived arrays bit-identical between the from-scratch and the patched build
+because both run the same expressions.
 
-Values are bit-identical to the scalar accessors they back: the same interest
+Values are bit-identical to the scalar accessors they back — and bit
+identical *between the two index implementations*: the same interest
 function calls, the same degree normalisation, the same IEEE-754 double
-arithmetic — so routing an algorithm through the index cannot change its
-decisions under a fixed seed.
-
-Memory is ``O(|U|·|V|)`` for the dense matrices — a few megabytes at the
-benchmark scales (4000 × 200).  Workloads beyond ~10⁷ cells should shard the
-user dimension before indexing; the CSR arrays stay proportional to the bid
-count either way.
+arithmetic — so routing an algorithm through either index cannot change its
+decisions under a fixed seed (``tests/integration/test_sharded_parity.py``
+enforces this end to end).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
-from repro.model.errors import InstanceValidationError
+from repro.model.errors import IndexCapacityError, InstanceValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.model.entities import Event, User
     from repro.model.instance import IGEPAInstance
+
+#: Hard cap on dense ``(num_users, num_events)`` matrices: above this many
+#: cells :class:`InstanceIndex` refuses to build (the three dense matrices
+#: alone would exceed ~170 MB) and callers must use the sharded index.
+DENSE_CELL_CAP = 10_000_000
 
 
 def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
@@ -60,20 +79,34 @@ def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
     from-scratch index build and by delta maintenance
     (:mod:`repro.model.delta`) whenever a churn batch changes the user set
     or the overrides, so the two can never drift apart.
+
+    Batched via ``np.fromiter`` over array lookups: one C-level fill per
+    branch instead of a per-user Python assignment loop — the values are
+    bit-identical to the scalar loop (same dict lookups, same ``int / int``
+    IEEE-754 division).
     """
     num_users = len(instance.users)
-    degrees = np.zeros(num_users, dtype=np.float64)
     if instance.degrees_override is not None:
-        override = instance.degrees_override
-        for i, user in enumerate(instance.users):
-            degrees[i] = override.get(user.user_id, 0.0)
-    elif num_users > 1:
+        override_get = instance.degrees_override.get
+        return np.fromiter(
+            (override_get(user.user_id, 0.0) for user in instance.users),
+            dtype=np.float64,
+            count=num_users,
+        )
+    if num_users > 1:
         social = instance.social
-        norm = num_users - 1
-        for i, user in enumerate(instance.users):
-            if social.has_node(user.user_id):
-                degrees[i] = social.degree(user.user_id) / norm
-    return degrees
+        has_node = social.has_node
+        degree = social.degree
+        raw = np.fromiter(
+            (
+                degree(user.user_id) if has_node(user.user_id) else 0
+                for user in instance.users
+            ),
+            dtype=np.int64,
+            count=num_users,
+        )
+        return raw / (num_users - 1)
+    return np.zeros(num_users, dtype=np.float64)
 
 
 def validated_interest(interest_fn, event: "Event", user: "User") -> float:
@@ -92,10 +125,111 @@ def validated_interest(interest_fn, event: "Event", user: "User") -> float:
     return value
 
 
-class InstanceIndex:
-    """Contiguous array views over one :class:`IGEPAInstance` (see module doc)."""
+class IndexShard:
+    """A contiguous user-position range of an index, with dense slabs.
 
-    def __init__(self, instance: "IGEPAInstance"):
+    ``W`` / ``SI`` / ``bid_mask`` are ``(stop - start, num_events)`` arrays
+    whose row ``i`` describes user position ``start + i``.  On the dense
+    index they are views into the full matrices (zero copy); on the sharded
+    index they are materialized from the CSR arrays on demand and not
+    retained — peak memory per visit stays at one slab.
+    """
+
+    __slots__ = ("index", "shard_id", "start", "stop")
+
+    def __init__(self, index: "BaseInstanceIndex", shard_id: int, start: int, stop: int):
+        self.index = index
+        self.shard_id = shard_id
+        self.start = start
+        self.stop = stop
+
+    @property
+    def num_users(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def positions(self) -> range:
+        """Global user positions covered by the shard."""
+        return range(self.start, self.stop)
+
+    @property
+    def W(self) -> np.ndarray:
+        return self.index._shard_weight_slab(self.start, self.stop)
+
+    @property
+    def SI(self) -> np.ndarray:
+        return self.index._shard_si_slab(self.start, self.stop)
+
+    @property
+    def bid_mask(self) -> np.ndarray:
+        return self.index._shard_mask_slab(self.start, self.stop)
+
+    @property
+    def bid_indptr(self) -> np.ndarray:
+        """Local CSR offsets (``self.num_users + 1`` entries, 0-based)."""
+        indptr = self.index.bid_indptr
+        return indptr[self.start : self.stop + 1] - indptr[self.start]
+
+    @property
+    def entry_slice(self) -> slice:
+        """Slice of the global CSR entry arrays covered by the shard."""
+        indptr = self.index.bid_indptr
+        return slice(int(indptr[self.start]), int(indptr[self.stop]))
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexShard({self.shard_id}, users=[{self.start}, {self.stop}), "
+            f"events={self.index.num_events})"
+        )
+
+
+class BaseInstanceIndex:
+    """The indexing protocol shared by the dense and sharded indexes.
+
+    Subclasses build the *primary* arrays (ids, capacities, degrees,
+    conflict matrix, CSR bid incidence with per-entry SI values) and call
+    :meth:`_finalize`; everything else — derived arrays, pair accessors,
+    shard iteration — lives here and is therefore bit-identical across
+    implementations.
+    """
+
+    #: Primary + derived arrays compared by parity checks (delta-patched vs
+    #: from-scratch builds).  Subclasses extend with their own storage.
+    PARITY_ARRAYS: tuple[str, ...] = (
+        "user_ids",
+        "event_ids",
+        "user_capacity",
+        "event_capacity",
+        "degrees",
+        "conflict_matrix",
+        "bid_indptr",
+        "bid_indices",
+        "bid_si",
+        "bid_user_positions",
+        "bid_weights",
+        "bidder_indptr",
+        "bidder_indices",
+        "bidder_weights",
+    )
+
+    instance: "IGEPAInstance"
+    user_ids: np.ndarray
+    event_ids: np.ndarray
+    user_pos: dict[int, int]
+    event_pos: dict[int, int]
+    user_capacity: np.ndarray
+    event_capacity: np.ndarray
+    degrees: np.ndarray
+    conflict_matrix: np.ndarray
+    bid_indptr: np.ndarray
+    bid_indices: np.ndarray
+    bid_si: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Shared construction
+    # ------------------------------------------------------------------
+    def _build_primary(self, instance: "IGEPAInstance") -> None:
+        """Fill the primary arrays common to both implementations."""
         self.instance = instance
         users = instance.users
         events = instance.events
@@ -108,12 +242,8 @@ class InstanceIndex:
         self.event_ids = np.fromiter(
             (e.event_id for e in events), dtype=np.int64, count=num_events
         )
-        self.user_pos: dict[int, int] = {
-            u.user_id: i for i, u in enumerate(users)
-        }
-        self.event_pos: dict[int, int] = {
-            e.event_id: j for j, e in enumerate(events)
-        }
+        self.user_pos = {u.user_id: i for i, u in enumerate(users)}
+        self.event_pos = {e.event_id: j for j, e in enumerate(events)}
 
         self.user_capacity = np.fromiter(
             (u.capacity for u in users), dtype=np.int64, count=num_users
@@ -122,150 +252,101 @@ class InstanceIndex:
             (e.capacity for e in events), dtype=np.int64, count=num_events
         )
 
-        self.degrees = self._build_degrees()
+        self.degrees = build_degrees(instance)
         self.conflict_matrix = instance.conflict.matrix(events)
 
-        (
-            self.bid_indptr,
-            self.bid_indices,
-            self.SI,
-            self.bid_mask,
-        ) = self._build_bid_incidence()
-
-        self._finalize()
-
-    @classmethod
-    def from_components(
-        cls,
-        instance: "IGEPAInstance",
-        *,
-        user_ids: np.ndarray,
-        event_ids: np.ndarray,
-        user_capacity: np.ndarray,
-        event_capacity: np.ndarray,
-        degrees: np.ndarray,
-        conflict_matrix: np.ndarray,
-        bid_indptr: np.ndarray,
-        bid_indices: np.ndarray,
-        SI: np.ndarray,
-        bid_mask: np.ndarray,
-    ) -> "InstanceIndex":
-        """Assemble an index from already-built primary arrays.
-
-        Used by :func:`repro.model.delta.apply_delta` to attach a
-        delta-patched index to a successor instance without the from-scratch
-        interest/conflict/degree loops.  The caller must supply arrays whose
-        values equal what ``InstanceIndex(instance)`` would compute; every
-        *derived* array is then produced by the same :meth:`_finalize` code
-        path the regular constructor runs, so they match bit for bit.
-        """
-        index = cls.__new__(cls)
-        index.instance = instance
-        index.user_ids = user_ids
-        index.event_ids = event_ids
-        index.user_pos = {int(u): i for i, u in enumerate(user_ids.tolist())}
-        index.event_pos = {int(e): j for j, e in enumerate(event_ids.tolist())}
-        index.user_capacity = user_capacity
-        index.event_capacity = event_capacity
-        index.degrees = degrees
-        index.conflict_matrix = conflict_matrix
-        index.bid_indptr = bid_indptr
-        index.bid_indices = bid_indices
-        index.SI = SI
-        index.bid_mask = bid_mask
-        index._finalize()
-        return index
-
-    def _finalize(self) -> None:
-        """Derive the secondary arrays from the primary ones.
-
-        Shared by the from-scratch constructor and :meth:`from_components`;
-        the expressions here define the bit patterns of ``W``,
-        ``bid_weights`` and the bidder incidence, so any two indexes with
-        equal primary arrays have equal derived arrays.
-        """
-        num_users = self.user_ids.size
-        # float32 copy for the BLAS-backed bulk conflict audit.
-        self.conflict_f32 = self.conflict_matrix.astype(np.float32)
-        beta = self.instance.beta
-        self.W = np.where(
-            self.bid_mask, beta * self.SI + (1.0 - beta) * self.degrees[:, None], 0.0
-        )
-        #: Row expansion of the CSR: the user position of each bid pair,
-        #: aligned with ``bid_indices``.
-        self.bid_user_positions = np.repeat(
-            np.arange(num_users, dtype=np.int64), np.diff(self.bid_indptr)
-        )
-        #: CSR values aligned with ``bid_indices``: ``w(u, v)`` per bid pair.
-        self.bid_weights = (
-            self.W[self.bid_user_positions, self.bid_indices]
-            if self.bid_indices.size
-            else np.empty(0, dtype=np.float64)
-        )
-
-        self.bidder_indptr, self.bidder_indices = self._build_bidder_incidence()
-
-    # ------------------------------------------------------------------
-    # Construction helpers
-    # ------------------------------------------------------------------
-    def _build_degrees(self) -> np.ndarray:
-        """``D(G, u)`` per user position (Definition 6)."""
-        return build_degrees(self.instance)
-
-    def _build_bid_incidence(
-        self,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """CSR bid incidence plus the dense SI matrix over bid pairs.
+    def _build_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR bid incidence with per-entry SI values.
 
         Interest values are validated against Definition 5 exactly as the
-        scalar ``IGEPAInstance.interest_of`` does.
+        scalar ``IGEPAInstance.interest_of`` does, user by user in bid-list
+        order — the same evaluation order on both index implementations.
         """
         instance = self.instance
         num_users = len(instance.users)
-        num_events = len(instance.events)
         interest = instance.interest.interest
         event_pos = self.event_pos
         events_by_pos = instance.events
 
         indptr = np.zeros(num_users + 1, dtype=np.int64)
         indices: list[int] = []
-        si = np.zeros((num_users, num_events), dtype=np.float64)
-        bid_mask = np.zeros((num_users, num_events), dtype=bool)
+        si_values: list[float] = []
         for i, user in enumerate(instance.users):
             for event_id in user.bids:
                 j = event_pos[event_id]
-                si[i, j] = validated_interest(interest, events_by_pos[j], user)
-                bid_mask[i, j] = True
+                si_values.append(
+                    validated_interest(interest, events_by_pos[j], user)
+                )
                 indices.append(j)
             indptr[i + 1] = len(indices)
         return (
             indptr,
             np.asarray(indices, dtype=np.int64),
-            si,
-            bid_mask,
+            np.asarray(si_values, dtype=np.float64),
         )
 
-    def _build_bidder_incidence(self) -> tuple[np.ndarray, np.ndarray]:
+    def _finalize(self) -> None:
+        """Derive the secondary arrays from the primary ones.
+
+        Shared by the from-scratch constructors and the ``from_components``
+        delta path of both implementations; the expressions here define the
+        bit patterns of ``bid_weights`` and the bidder incidence, so any two
+        indexes with equal primary arrays have equal derived arrays.
+        """
+        num_users = self.user_ids.size
+        # float32 copy for the BLAS-backed bulk conflict audit.
+        self.conflict_f32 = self.conflict_matrix.astype(np.float32)
+        beta = self.instance.beta
+        #: Row expansion of the CSR: the user position of each bid pair,
+        #: aligned with ``bid_indices``.
+        self.bid_user_positions = np.repeat(
+            np.arange(num_users, dtype=np.int64), np.diff(self.bid_indptr)
+        )
+        #: CSR values aligned with ``bid_indices``: ``w(u, v)`` per bid pair
+        #: — the same ``β·SI + (1-β)·D`` doubles the dense ``W`` holds.
+        self.bid_weights = (
+            beta * self.bid_si
+            + (1.0 - beta) * self.degrees[self.bid_user_positions]
+            if self.bid_indices.size
+            else np.empty(0, dtype=np.float64)
+        )
+
+        (
+            self.bidder_indptr,
+            self.bidder_indices,
+            self._bidder_order,
+        ) = self._build_bidder_incidence()
+        #: ``w(u, v)`` aligned with ``bidder_indices``.
+        self.bidder_weights = self.bid_weights[self._bidder_order]
+
+        # Sorted (upos, vpos) keys over the CSR entries — the binary-search
+        # backbone of the O(log bids) pair accessors — built lazily on first
+        # use: the dense index overrides every accessor that needs it, so it
+        # should never pay the O(bids log bids) sort.
+        self._pair_sorted_keys: np.ndarray | None = None
+        self._pair_sorted_entries: np.ndarray | None = None
+
+    def _build_bidder_incidence(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Transpose of the bid incidence: user positions per event.
 
         Users appear in instance order within each event — the same order
-        ``IGEPAInstance.bidders`` has always returned.
+        ``IGEPAInstance.bidders`` has always returned.  Also returns the
+        bid-entry permutation that realizes the transpose, so per-entry
+        values (weights, SI) can be carried over without lookups.
         """
-        num_events = len(self.instance.events)
+        num_events = self.num_events
         if self.bid_indices.size == 0:
-            return np.zeros(num_events + 1, dtype=np.int64), np.empty(
-                0, dtype=np.int64
+            return (
+                np.zeros(num_events + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
             )
         counts = np.bincount(self.bid_indices, minlength=num_events)
         indptr = np.zeros(num_events + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        user_of_bid = np.repeat(
-            np.arange(len(self.instance.users), dtype=np.int64),
-            np.diff(self.bid_indptr),
-        )
         # Stable sort by event position keeps users in instance order.
         order = np.argsort(self.bid_indices, kind="stable")
-        return indptr, user_of_bid[order]
+        return indptr, self.bid_user_positions[order], order
 
     # ------------------------------------------------------------------
     # Sizes
@@ -283,6 +364,96 @@ class InstanceIndex:
         return self.bid_indices.size
 
     # ------------------------------------------------------------------
+    # Pair accessors (CSR binary search; overridden by the dense index)
+    # ------------------------------------------------------------------
+    def _pair_entries(
+        self, upos: np.ndarray, vpos: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR entry index per (upos, vpos) pair plus the found mask.
+
+        Entries of absent pairs are 0 and must be ignored via the mask.
+        """
+        if self._pair_sorted_keys is None:
+            keys = self.bid_user_positions * np.int64(max(1, self.num_events))
+            keys = keys + self.bid_indices
+            order = np.argsort(keys, kind="stable")
+            self._pair_sorted_keys = keys[order]
+            self._pair_sorted_entries = order
+        upos = np.asarray(upos, dtype=np.int64)
+        vpos = np.asarray(vpos, dtype=np.int64)
+        keys = upos * np.int64(max(1, self.num_events)) + vpos
+        sorted_keys = self._pair_sorted_keys
+        slots = np.searchsorted(sorted_keys, keys)
+        slots_clipped = np.minimum(slots, max(0, sorted_keys.size - 1))
+        if sorted_keys.size:
+            found = sorted_keys[slots_clipped] == keys
+        else:
+            found = np.zeros(keys.shape, dtype=bool)
+        entries = np.where(found, self._pair_sorted_entries[slots_clipped], 0)
+        return entries, found
+
+    def is_bid_pair(self, upos: int, vpos: int) -> bool:
+        """Whether (user position, event position) is a bid pair."""
+        _entries, found = self._pair_entries(
+            np.asarray([upos]), np.asarray([vpos])
+        )
+        return bool(found[0])
+
+    def weight_at(self, upos: int, vpos: int) -> float:
+        """``w(u, v)`` of a pair — 0.0 off the bid relation (as dense W)."""
+        entries, found = self._pair_entries(np.asarray([upos]), np.asarray([vpos]))
+        return float(self.bid_weights[entries[0]]) if found[0] else 0.0
+
+    def si_at(self, upos: int, vpos: int) -> float:
+        """``SI`` of a pair — 0.0 off the bid relation (as dense SI)."""
+        entries, found = self._pair_entries(np.asarray([upos]), np.asarray([vpos]))
+        return float(self.bid_si[entries[0]]) if found[0] else 0.0
+
+    def pair_bid_mask(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        """Vectorized bid-pair membership for parallel position arrays."""
+        _entries, found = self._pair_entries(upos, vpos)
+        return found
+
+    def pair_weights(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        """Vectorized ``w(u, v)`` gather (0.0 off the bid relation)."""
+        entries, found = self._pair_entries(upos, vpos)
+        if not self.bid_weights.size:
+            return np.zeros(entries.shape, dtype=np.float64)
+        return np.where(found, self.bid_weights[entries], 0.0)
+
+    def pair_si(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        """Vectorized ``SI`` gather (0.0 off the bid relation)."""
+        entries, found = self._pair_entries(upos, vpos)
+        if not self.bid_si.size:
+            return np.zeros(entries.shape, dtype=np.float64)
+        return np.where(found, self.bid_si[entries], 0.0)
+
+    def weight_column(self, vpos: int) -> np.ndarray:
+        """``w(·, v)`` over all user positions (0.0 for non-bidders).
+
+        Same values as a dense ``W[:, vpos]`` column — assembled from the
+        bidder incidence, so cost is O(|U| + bidders), not O(cells).
+        """
+        column = np.zeros(self.num_users, dtype=np.float64)
+        start, stop = self.bidder_indptr[vpos], self.bidder_indptr[vpos + 1]
+        column[self.bidder_indices[start:stop]] = self.bidder_weights[start:stop]
+        return column
+
+    def assigned_weight_total(self, assigned: np.ndarray) -> list[float]:
+        """``w(u, v)`` of every True cell of a boolean assignment matrix.
+
+        Only valid when every assigned cell is a bid pair (clean
+        arrangements); the dense index overrides this with a masked gather.
+        """
+        rows, cols = np.nonzero(assigned)
+        return self.pair_weights(rows, cols).tolist()
+
+    def assigned_si_total(self, assigned: np.ndarray) -> list[float]:
+        """``SI`` of every True cell of a boolean assignment matrix."""
+        rows, cols = np.nonzero(assigned)
+        return self.pair_si(rows, cols).tolist()
+
+    # ------------------------------------------------------------------
     # Row / slice accessors
     # ------------------------------------------------------------------
     def user_bid_positions(self, upos: int) -> np.ndarray:
@@ -296,6 +467,12 @@ class InstanceIndex:
     def event_bidder_positions(self, vpos: int) -> np.ndarray:
         """User positions of the event's bidders, in instance user order."""
         return self.bidder_indices[
+            self.bidder_indptr[vpos] : self.bidder_indptr[vpos + 1]
+        ]
+
+    def event_bidder_weights(self, vpos: int) -> np.ndarray:
+        """``w(u, v)`` aligned with :meth:`event_bidder_positions`."""
+        return self.bidder_weights[
             self.bidder_indptr[vpos] : self.bidder_indptr[vpos + 1]
         ]
 
@@ -317,8 +494,201 @@ class InstanceIndex:
             return 0
         return int(np.count_nonzero(np.triu(self.conflict_matrix, k=1)))
 
+    # ------------------------------------------------------------------
+    # Shards
+    # ------------------------------------------------------------------
+    @property
+    def shard_size(self) -> int:
+        """Users per shard (the dense index is one all-covering shard)."""
+        return max(1, self.num_users)
+
+    @property
+    def num_shards(self) -> int:
+        size = self.shard_size
+        return max(1, -(-self.num_users // size)) if self.num_users else 1
+
+    def shard_of(self, upos: int) -> int:
+        """Shard id of a user position."""
+        return upos // self.shard_size
+
+    def touched_shards(self, user_positions) -> list[int]:
+        """Sorted shard ids containing any of the given user positions.
+
+        Delta maintenance and the shard-parallel replay use this to route
+        work to the shards a churn batch actually touched (on the dense
+        index — one all-covering shard — any touched user yields shard 0).
+        """
+        size = self.shard_size
+        return sorted({int(p) // size for p in user_positions})
+
+    def shard_bounds(self, shard_id: int) -> tuple[int, int]:
+        """``[start, stop)`` user positions of a shard."""
+        size = self.shard_size
+        start = shard_id * size
+        return start, min(start + size, self.num_users)
+
+    def shard(self, shard_id: int) -> IndexShard:
+        start, stop = self.shard_bounds(shard_id)
+        return IndexShard(self, shard_id, start, stop)
+
+    def iter_shards(self) -> Iterator[IndexShard]:
+        """Iterate the user dimension shard by shard.
+
+        Dense slabs (``shard.W`` etc.) stay under the per-shard cell budget,
+        so shard-major algorithm loops never materialize O(|U|·|V|) state.
+        """
+        for shard_id in range(self.num_shards):
+            yield self.shard(shard_id)
+
+    # Slab builders (overridden by the dense index with zero-copy views).
+    def _scatter_slab(
+        self, start: int, stop: int, values: np.ndarray | None, dtype
+    ) -> np.ndarray:
+        slab = np.zeros((stop - start, self.num_events), dtype=dtype)
+        lo, hi = int(self.bid_indptr[start]), int(self.bid_indptr[stop])
+        rows = self.bid_user_positions[lo:hi] - start
+        cols = self.bid_indices[lo:hi]
+        slab[rows, cols] = True if values is None else values[lo:hi]
+        return slab
+
+    def _shard_weight_slab(self, start: int, stop: int) -> np.ndarray:
+        return self._scatter_slab(start, stop, self.bid_weights, np.float64)
+
+    def _shard_si_slab(self, start: int, stop: int) -> np.ndarray:
+        return self._scatter_slab(start, stop, self.bid_si, np.float64)
+
+    def _shard_mask_slab(self, start: int, stop: int) -> np.ndarray:
+        return self._scatter_slab(start, stop, None, bool)
+
     def __repr__(self) -> str:
         return (
-            f"InstanceIndex(users={self.num_users}, events={self.num_events}, "
-            f"bids={self.num_bids})"
+            f"{type(self).__name__}(users={self.num_users}, "
+            f"events={self.num_events}, bids={self.num_bids})"
         )
+
+
+class InstanceIndex(BaseInstanceIndex):
+    """The dense index: contiguous matrices over one :class:`IGEPAInstance`.
+
+    ``W`` / ``SI`` / ``bid_mask`` are full ``(num_users, num_events)``
+    matrices; the protocol accessors resolve against them directly, so
+    per-pair queries are O(1) array lookups.  Refuses to build beyond
+    :data:`DENSE_CELL_CAP` cells — use
+    :class:`~repro.model.sharded_index.ShardedInstanceIndex` there.
+    """
+
+    PARITY_ARRAYS = BaseInstanceIndex.PARITY_ARRAYS + ("SI", "bid_mask", "W")
+
+    def __init__(self, instance: "IGEPAInstance"):
+        cells = len(instance.users) * len(instance.events)
+        if cells > DENSE_CELL_CAP:
+            raise IndexCapacityError(
+                f"instance has {len(instance.users)} users x "
+                f"{len(instance.events)} events = {cells} cells, beyond the "
+                f"dense index cap of {DENSE_CELL_CAP}; build a "
+                "ShardedInstanceIndex instead (IGEPAInstance.configure_index)"
+            )
+        self._build_primary(instance)
+        self.bid_indptr, self.bid_indices, self.bid_si = self._build_csr()
+        self._finalize()
+
+    @classmethod
+    def from_components(
+        cls,
+        instance: "IGEPAInstance",
+        *,
+        user_ids: np.ndarray,
+        event_ids: np.ndarray,
+        user_capacity: np.ndarray,
+        event_capacity: np.ndarray,
+        degrees: np.ndarray,
+        conflict_matrix: np.ndarray,
+        bid_indptr: np.ndarray,
+        bid_indices: np.ndarray,
+        bid_si: np.ndarray,
+    ) -> "InstanceIndex":
+        """Assemble an index from already-built primary arrays.
+
+        Used by :func:`repro.model.delta.apply_delta` to attach a
+        delta-patched index to a successor instance without the from-scratch
+        interest/conflict/degree loops.  The caller must supply arrays whose
+        values equal what ``InstanceIndex(instance)`` would compute; every
+        *derived* array is then produced by the same :meth:`_finalize` code
+        path the regular constructor runs, so they match bit for bit.
+        """
+        cells = user_ids.size * event_ids.size
+        if cells > DENSE_CELL_CAP:
+            raise IndexCapacityError(
+                f"patched dense index would hold {cells} cells, beyond the "
+                f"cap of {DENSE_CELL_CAP}; the delta layer must switch to a "
+                "ShardedInstanceIndex at this size"
+            )
+        index = cls.__new__(cls)
+        index.instance = instance
+        index.user_ids = user_ids
+        index.event_ids = event_ids
+        index.user_pos = {int(u): i for i, u in enumerate(user_ids.tolist())}
+        index.event_pos = {int(e): j for j, e in enumerate(event_ids.tolist())}
+        index.user_capacity = user_capacity
+        index.event_capacity = event_capacity
+        index.degrees = degrees
+        index.conflict_matrix = conflict_matrix
+        index.bid_indptr = bid_indptr
+        index.bid_indices = bid_indices
+        index.bid_si = bid_si
+        index._finalize()
+        return index
+
+    def _finalize(self) -> None:
+        super()._finalize()
+        num_users = self.num_users
+        num_events = self.num_events
+        self.SI = np.zeros((num_users, num_events), dtype=np.float64)
+        self.bid_mask = np.zeros((num_users, num_events), dtype=bool)
+        if self.bid_indices.size:
+            self.SI[self.bid_user_positions, self.bid_indices] = self.bid_si
+            self.bid_mask[self.bid_user_positions, self.bid_indices] = True
+        beta = self.instance.beta
+        self.W = np.where(
+            self.bid_mask, beta * self.SI + (1.0 - beta) * self.degrees[:, None], 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Dense overrides of the pair accessors (O(1) matrix lookups)
+    # ------------------------------------------------------------------
+    def is_bid_pair(self, upos: int, vpos: int) -> bool:
+        return bool(self.bid_mask[upos, vpos])
+
+    def weight_at(self, upos: int, vpos: int) -> float:
+        return float(self.W[upos, vpos])
+
+    def si_at(self, upos: int, vpos: int) -> float:
+        return float(self.SI[upos, vpos])
+
+    def pair_bid_mask(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        return self.bid_mask[upos, vpos]
+
+    def pair_weights(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        return self.W[upos, vpos]
+
+    def pair_si(self, upos: np.ndarray, vpos: np.ndarray) -> np.ndarray:
+        return self.SI[upos, vpos]
+
+    def weight_column(self, vpos: int) -> np.ndarray:
+        return self.W[:, vpos]
+
+    def assigned_weight_total(self, assigned: np.ndarray) -> list[float]:
+        return self.W[assigned].tolist()
+
+    def assigned_si_total(self, assigned: np.ndarray) -> list[float]:
+        return self.SI[assigned].tolist()
+
+    # Zero-copy slabs: the dense matrices are their own shard storage.
+    def _shard_weight_slab(self, start: int, stop: int) -> np.ndarray:
+        return self.W[start:stop]
+
+    def _shard_si_slab(self, start: int, stop: int) -> np.ndarray:
+        return self.SI[start:stop]
+
+    def _shard_mask_slab(self, start: int, stop: int) -> np.ndarray:
+        return self.bid_mask[start:stop]

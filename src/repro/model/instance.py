@@ -26,10 +26,16 @@ import numpy as np
 from repro.model.conflicts import ConflictFunction, conflict_from_dict
 from repro.model.entities import Event, User
 from repro.model.errors import InstanceValidationError
-from repro.model.index import InstanceIndex
+from repro.model.index import BaseInstanceIndex, DENSE_CELL_CAP, InstanceIndex
 from repro.model.interest import InterestFunction, interest_from_dict
+from repro.model.sharded_index import ShardedInstanceIndex
 from repro.social.graph import Graph
 from repro.social.metrics import degree_of_potential_interaction
+
+#: Above this many ``(num_users, num_events)`` cells the lazy ``index``
+#: property builds a :class:`ShardedInstanceIndex` instead of the dense
+#: :class:`InstanceIndex` (which refuses to build past the cap anyway).
+AUTO_SHARD_CELLS = DENSE_CELL_CAP
 
 
 class IGEPAInstance:
@@ -91,9 +97,12 @@ class IGEPAInstance:
             e.event_id: i for i, e in enumerate(self.events)
         }
         # Fallback cache for SI on non-bid pairs only; bid pairs live in the
-        # index's dense SI matrix.
+        # index's SI storage.
         self._interest_cache: dict[tuple[int, int], float] = {}
-        self._index: InstanceIndex | None = None
+        self._index: BaseInstanceIndex | None = None
+        # (sharded, shard_size) as set by configure_index; None = size
+        # heuristic (dense below AUTO_SHARD_CELLS, sharded at or above).
+        self._index_config: tuple[bool, int | None] | None = None
 
     # ------------------------------------------------------------------
     # Validation
@@ -151,15 +160,47 @@ class IGEPAInstance:
     # Derived quantities (thin views over the array-backed index)
     # ------------------------------------------------------------------
     @property
-    def index(self) -> InstanceIndex:
-        """The array-backed :class:`InstanceIndex`, built lazily once.
+    def index(self) -> BaseInstanceIndex:
+        """The array-backed index, built lazily once.
 
         Single source of truth for weights, interest, degrees, conflicts and
-        bid incidence; the scalar accessors below are views over it.
+        bid incidence; the scalar accessors below are views over it.  The
+        implementation is the dense :class:`InstanceIndex` below
+        :data:`AUTO_SHARD_CELLS` user-by-event cells and the
+        :class:`~repro.model.sharded_index.ShardedInstanceIndex` at or above
+        — override with :meth:`configure_index`.
         """
         if self._index is None:
-            self._index = InstanceIndex(self)
+            if self._index_config is not None:
+                sharded, shard_size = self._index_config
+            else:
+                sharded = self.num_users * self.num_events > AUTO_SHARD_CELLS
+                shard_size = None
+            self._index = (
+                ShardedInstanceIndex(self, shard_size=shard_size)
+                if sharded
+                else InstanceIndex(self)
+            )
         return self._index
+
+    def configure_index(
+        self, *, sharded: bool = True, shard_size: int | None = None
+    ) -> None:
+        """Choose the index implementation ahead of the lazy build.
+
+        Args:
+            sharded: build a
+                :class:`~repro.model.sharded_index.ShardedInstanceIndex`
+                (True) or force the dense :class:`InstanceIndex` (False —
+                still subject to the dense cell cap).
+            shard_size: users per shard (None: the per-shard cell budget
+                heuristic).
+
+        Any already-built index is discarded; arrangements bound to it keep
+        working against the old index object.
+        """
+        self._index_config = (sharded, shard_size)
+        self._index = None
 
     def degree(self, user_id: int) -> float:
         """``D(G, u)`` (Definition 6) for the given user.
@@ -187,8 +228,8 @@ class IGEPAInstance:
         index = self.index
         upos = index.user_pos.get(user_id)
         vpos = index.event_pos.get(event_id)
-        if upos is not None and vpos is not None and index.bid_mask[upos, vpos]:
-            return float(index.SI[upos, vpos])
+        if upos is not None and vpos is not None and index.is_bid_pair(upos, vpos):
+            return index.si_at(upos, vpos)
         key = (event_id, user_id)
         cached = self._interest_cache.get(key)
         if cached is not None:
@@ -209,8 +250,8 @@ class IGEPAInstance:
         index = self.index
         upos = index.user_pos.get(user_id)
         vpos = index.event_pos.get(event_id)
-        if upos is not None and vpos is not None and index.bid_mask[upos, vpos]:
-            return float(index.W[upos, vpos])
+        if upos is not None and vpos is not None and index.is_bid_pair(upos, vpos):
+            return index.weight_at(upos, vpos)
         return self.beta * self.interest_of(event_id, user_id) + (
             1.0 - self.beta
         ) * self.degree(user_id)

@@ -55,19 +55,23 @@ def resolve_backend(backend: str) -> str:
     return backend
 
 
-def _solver_for(backend: str) -> Callable[[LinearProgram], LPSolution]:
+def _solver_for(
+    backend: str, warm_start: tuple[str, ...] | None = None
+) -> Callable[[LinearProgram], LPSolution]:
     name = resolve_backend(backend)
     if name == "simplex":
         return lambda lp: solve_lp_simplex(lp, SimplexOptions())
     if name == "revised-simplex":
-        return lambda lp: solve_lp_revised_simplex(lp, RevisedSimplexOptions())
+        return lambda lp: solve_lp_revised_simplex(
+            lp, RevisedSimplexOptions(), warm_start=warm_start
+        )
     if name == "revised-simplex-dense":
         return lambda lp: solve_lp_revised_simplex(
-            lp, RevisedSimplexOptions(sparse=False)
+            lp, RevisedSimplexOptions(sparse=False), warm_start=warm_start
         )
     if name == "revised-simplex-sparse":
         return lambda lp: solve_lp_revised_simplex(
-            lp, RevisedSimplexOptions(sparse=True)
+            lp, RevisedSimplexOptions(sparse=True), warm_start=warm_start
         )
     return solve_lp_scipy
 
@@ -77,6 +81,7 @@ def solve_lp(
     backend: str = "auto",
     *,
     presolve: bool = True,
+    warm_start: tuple[str, ...] | None = None,
 ) -> LPSolution:
     """Solve a linear program (the relaxation, if integer markers are present).
 
@@ -87,12 +92,17 @@ def solve_lp(
             variables and singleton rows are common in branch-and-bound
             subproblems, and the implied-bound pass is what keeps the wide
             benchmark LP at ``|U| + |V|`` standard-form rows).
+        warm_start: ``basis_labels`` from a previous solution of a
+            structurally similar program; the revised-simplex backends use
+            matching labels as a crash basis (presolve keeps variable and
+            constraint names, so the labels survive the reduction).  Other
+            backends ignore the hint.
 
     Returns:
         An :class:`LPSolution` whose ``x`` is aligned with ``lp``'s variables
         and whose objective is in ``lp``'s own sense.
     """
-    solver = _solver_for(backend)
+    solver = _solver_for(backend, warm_start)
     if not presolve:
         return solver(lp)
 
@@ -121,4 +131,5 @@ def solve_lp(
         x=reduction.recover_x(solution.x, lp.num_variables),
         iterations=solution.iterations,
         backend=solution.backend,
+        basis_labels=solution.basis_labels,
     )

@@ -28,9 +28,13 @@ class Sense(Enum):
     EQ = "=="
 
 
-@dataclass
+@dataclass(slots=True)
 class Variable:
     """A decision variable.
+
+    ``slots`` keeps the per-object footprint small — the wide benchmark LP
+    holds one of these per (user, admissible set) pair, hundreds of
+    thousands at |U| = 50k.
 
     Attributes:
         name: unique display name.
@@ -49,7 +53,7 @@ class Variable:
     is_integer: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Constraint:
     """A sparse linear constraint ``sum(coeff * x) sense rhs``."""
 

@@ -33,6 +33,11 @@ class LPSolution:
         x: primal values aligned with the program's variable indices.
         iterations: simplex pivots (or backend-reported iterations).
         backend: name of the backend that produced the solution.
+        basis_labels: names of the basic columns at optimality (variable
+            names; slacks as ``slack:<constraint name>``), reported by the
+            revised-simplex backends.  Feed them back into
+            :func:`repro.solver.api.solve_lp` as ``warm_start`` to crash the
+            next, structurally similar solve from this basis.
     """
 
     status: SolveStatus
@@ -40,6 +45,7 @@ class LPSolution:
     x: np.ndarray = field(default_factory=lambda: np.empty(0))
     iterations: int = 0
     backend: str = ""
+    basis_labels: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=float)

@@ -247,14 +247,127 @@ class _RevisedCore:
         return x
 
 
+def _try_warm_core(
+    matrix: CSCMatrix | DenseMatrix,
+    b: np.ndarray,
+    warm_basis: np.ndarray,
+    options: RevisedSimplexOptions,
+) -> _RevisedCore | None:
+    """Install a caller-supplied crash basis, or None when it is unusable.
+
+    Unusable means malformed (wrong size, duplicates, out of range) or
+    singular (the basis matrix does not invert) — the caller then falls
+    back to the cold two-phase start, so a stale warm-start hint can never
+    produce a wrong answer, only a slower one.  The returned core may be
+    primal *infeasible*; :func:`_warm_start_core` restores feasibility.
+    """
+    m = matrix.shape[0]
+    n = matrix.shape[1]
+    basis = np.asarray(warm_basis, dtype=np.int64)
+    if basis.size != m or np.unique(basis).size != m:
+        return None
+    if basis.min(initial=0) < 0 or basis.max(initial=-1) >= n:
+        return None
+    core = _RevisedCore(matrix, b, options)
+    try:
+        core.set_basis(basis)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.isfinite(core.x_basic).all():
+        return None
+    return core
+
+
+def _warm_start_core(
+    matrix: CSCMatrix | DenseMatrix,
+    b: np.ndarray,
+    c: np.ndarray,
+    warm_basis: np.ndarray,
+    options: RevisedSimplexOptions,
+    max_iterations: int,
+) -> tuple[_RevisedCore, np.ndarray, int] | None:
+    """Set up phase 2 from a warm basis; None means fall back to cold start.
+
+    A feasible warm basis starts phase 2 directly.  An infeasible one (the
+    typical churn re-solve: ``b`` moved under the carried-over basis) is
+    repaired by the single-artificial technique: append one column
+    ``a = -Σ B[:, i] over the negative rows``, pivot it in at the most
+    negative basic value — which makes every basic value nonnegative in one
+    rank-1 update — and minimize the artificial from there.  Because the
+    start is already near-optimal, this warm phase 1 typically takes a
+    handful of pivots, against hundreds for the cold two-phase start.
+
+    Returns ``(core, phase-2 costs, iterations spent)``; the core's matrix
+    has one extra artificial column in the repair case (phase 2 never
+    prices it, and a residual basic artificial sits harmlessly at zero,
+    exactly like residual phase-1 artificials on the cold path).
+    """
+    core = _try_warm_core(matrix, b, warm_basis, options)
+    if core is None:
+        return None
+    if not np.any(core.x_basic < 0.0):
+        return core, c, 0
+
+    m = matrix.shape[0]
+    n = matrix.shape[1]
+    negative = core.x_basic < 0.0
+    basis_columns = matrix.gather_dense(core.basis)
+    artificial = -basis_columns[:, negative].sum(axis=1)
+    extended = matrix.with_column(artificial)
+
+    ext_core = _RevisedCore(extended, b, options)
+    ext_core.basis = core.basis.copy()
+    ext_core.in_basis = np.zeros(n + 1, dtype=bool)
+    ext_core.in_basis[ext_core.basis] = True
+    ext_core.basis_inverse = core.basis_inverse
+    ext_core.x_basic = core.x_basic
+    row = int(np.argmin(ext_core.x_basic))
+    direction = ext_core.basis_inverse @ artificial
+    if abs(direction[row]) <= options.tol:
+        return None
+    ext_core._pivot(n, row, direction, None)
+    if np.any(ext_core.x_basic < -options.tol):
+        return None  # numerical trouble: let the cold start handle it
+
+    costs1 = np.zeros(n + 1)
+    costs1[n] = 1.0
+    status, iterations = ext_core.run(costs1, n + 1, 0, max_iterations)
+    if status is not SolveStatus.OPTIMAL:
+        return None
+    if float(costs1[ext_core.basis] @ ext_core.x_basic) > 1e-7:
+        # The warm phase 1 says infeasible; defer to the cold start rather
+        # than declaring it from a repaired stale basis.
+        return None
+    # Drive a residual basic artificial out, exactly like the cold path:
+    # phase 2 never prices column n, but a zero-level basic artificial on a
+    # non-redundant row could still *rise* during phase-2 pivots (the ratio
+    # test only bounds rows with positive direction components), silently
+    # breaking A@x == b.  After the pivot — or when the row's structural
+    # part prices to all-zero (truly redundant, the artificial can never
+    # move) — phase 2 is safe.
+    for row in np.flatnonzero(ext_core.basis >= n).tolist():
+        tableau_row = matrix.price(ext_core.basis_inverse[row], n)
+        candidates = np.flatnonzero(np.abs(tableau_row) > options.tol)
+        if candidates.size:
+            entering = int(candidates[0])
+            direction = extended.direction(ext_core.basis_inverse, entering)
+            ext_core._pivot(entering, row, direction, None)
+            iterations += 1
+    return ext_core, np.concatenate([c, [0.0]]), iterations
+
+
 def solve_standard_form_revised(
-    sf: StandardForm, options: RevisedSimplexOptions | None = None
+    sf: StandardForm,
+    options: RevisedSimplexOptions | None = None,
+    warm_basis: np.ndarray | None = None,
 ) -> _TableauResult:
     """Two-phase revised simplex over a :class:`StandardForm`.
 
-    A full slack crash basis (available whenever every row is an inequality
-    with nonnegative rhs, e.g. the benchmark LP) starts phase 2 directly;
-    otherwise the missing rows get phase-1 artificials.
+    A usable ``warm_basis`` (column indices, e.g. the final basis of a
+    previous structurally similar solve) starts phase 2 from that basis
+    directly.  Otherwise a full slack crash basis (available whenever every
+    row is an inequality with nonnegative rhs, e.g. the benchmark LP)
+    starts phase 2; the remaining cases get phase-1 artificials.
     """
     options = options or RevisedSimplexOptions()
     b, c = sf.b, sf.c
@@ -271,7 +384,14 @@ def solve_standard_form_revised(
     full_crash = hint is not None and bool((hint >= 0).all())
     iterations = 0
 
-    if full_crash:
+    warm = (
+        _warm_start_core(matrix, b, c, warm_basis, options, max_iterations)
+        if warm_basis is not None
+        else None
+    )
+    if warm is not None:
+        core, costs2, iterations = warm
+    elif full_crash:
         # Slack basis is the identity and already feasible: skip phase 1.
         core = _RevisedCore(matrix, b, options)
         core.set_basis(hint, identity=True)
@@ -313,21 +433,127 @@ def solve_standard_form_revised(
     x_ext = core.solution()
     y = x_ext[:n]
     objective = float(c @ y)
-    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations)
+    # Residual phase-1 artificials (indices >= n, basic at level zero on
+    # redundant rows) are dropped from the exported basis: the labels of a
+    # warm-start hint only name real columns.
+    basis = core.basis[core.basis < n].copy()
+    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations, basis)
+
+
+def _pivot_rows(
+    columns_dense: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """LU row pivots of the given columns, plus the independent-column mask.
+
+    The pivot rows are the rows a triangular basis completion must *not*
+    cover with slacks; columns whose U diagonal vanishes are linearly
+    dependent on earlier ones and must be dropped from the candidate basis
+    (their pivot row is excluded alongside).  Returns None when no LU
+    backend is available.
+    """
+    try:  # pragma: no cover - exercised whenever scipy is installed
+        from scipy.linalg import lu_factor
+    except ImportError:  # pragma: no cover - scipy-less environments
+        return None
+    m, k = columns_dense.shape
+    if k == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    # LAPACK getrf on the tall matrix: piv[i] is the row swapped into
+    # position i while eliminating column i, so replaying the first k swaps
+    # over the row identity yields the pivot rows in column order.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")  # rank deficiency is handled below
+        lu, piv = lu_factor(columns_dense, check_finite=False)
+    order = np.arange(m, dtype=np.int64)
+    for i in range(min(k, piv.size)):
+        j = int(piv[i])
+        order[i], order[j] = order[j], order[i]
+    diagonal = np.abs(np.diagonal(lu)[:k])
+    scale = max(1.0, float(diagonal.max(initial=0.0)))
+    independent = diagonal > 1e-11 * scale
+    return order[:k], independent
+
+
+def resolve_warm_basis(
+    sf: StandardForm, labels: list[str], warm_labels: tuple[str, ...] | None
+) -> np.ndarray | None:
+    """Map basis labels from a previous solve onto this standard form.
+
+    Matched labels (surviving variables / constraint slacks) seed the
+    basis; a triangular completion then pads exactly the rows the matched
+    columns do not pivot with those rows' own slack columns, so the
+    candidate is nonsingular whenever the matched columns are independent.
+    Returns None when no full m-column candidate can be assembled — the
+    solver then cold-starts (a candidate that still turns out singular or
+    infeasible is likewise discarded by the solver, so a stale hint can
+    only cost pivots, never correctness).
+    """
+    if not warm_labels:
+        return None
+    m = sf.num_rows
+    position = {label: j for j, label in enumerate(labels)}
+    chosen: list[int] = []
+    seen: set[int] = set()
+    for label in warm_labels:
+        j = position.get(label)
+        if j is not None and j not in seen:
+            chosen.append(j)
+            seen.add(j)
+    if not chosen or len(chosen) > m:
+        return None
+    if len(chosen) < m:
+        if sf.basis_hint is None:
+            return None
+        factored = _pivot_rows(
+            sf.matrix().gather_dense(np.asarray(chosen, dtype=np.int64))
+        )
+        if factored is None:
+            return None
+        pivots, independent = factored
+        if not independent.all():
+            # Dependent matched columns (the new matrix lost the rows that
+            # distinguished them) leave the basis; their pivot rows free up
+            # for slacks.
+            chosen = [j for j, keep in zip(chosen, independent) if keep]
+            seen = set(chosen)
+            pivots = pivots[independent]
+        hint = sf.basis_hint.tolist()
+        uncovered = np.setdiff1d(
+            np.arange(m, dtype=np.int64), pivots, assume_unique=False
+        )
+        for row in uncovered.tolist():
+            if len(chosen) == m:
+                break
+            slack = hint[row]
+            if slack >= 0 and slack not in seen:
+                chosen.append(slack)
+                seen.add(slack)
+    if len(chosen) != m:
+        return None
+    return np.asarray(chosen, dtype=np.int64)
 
 
 def solve_lp_revised_simplex(
-    lp: LinearProgram, options: RevisedSimplexOptions | None = None
+    lp: LinearProgram,
+    options: RevisedSimplexOptions | None = None,
+    warm_start: tuple[str, ...] | None = None,
 ) -> LPSolution:
     """Solve a :class:`LinearProgram` with the revised simplex backend.
 
     ``options.sparse`` selects the constraint representation (None = size
     heuristic); everything downstream of the representation — pivot rules,
-    tolerances, statuses — is identical between the two.
+    tolerances, statuses — is identical between the two.  ``warm_start``
+    takes the ``basis_labels`` of a previous solution; usable labels crash
+    the solve from that basis (stale or unusable hints fall back to the
+    cold start).
     """
     options = options or RevisedSimplexOptions()
     sf = to_standard_form(lp, sparse=options.sparse)
-    result = solve_standard_form_revised(sf, options)
+    labels = sf.column_labels(lp)
+    warm_basis = resolve_warm_basis(sf, labels, warm_start)
+    result = solve_standard_form_revised(sf, options, warm_basis=warm_basis)
     # Always report the representation-qualified name, so callers see which
     # path actually ran — also when "revised-simplex" let the heuristic pick.
     backend = "revised-simplex-sparse" if sf.is_sparse else "revised-simplex-dense"
@@ -337,10 +563,16 @@ def solve_lp_revised_simplex(
         )
     x = sf.recover_x(result.y)
     objective = sf.recover_objective(result.objective)
+    basis_labels = (
+        tuple(labels[j] for j in result.basis.tolist())
+        if result.basis is not None
+        else None
+    )
     return LPSolution(
         status=SolveStatus.OPTIMAL,
         objective_value=objective,
         x=x,
         iterations=result.iterations,
         backend=backend,
+        basis_labels=basis_labels,
     )

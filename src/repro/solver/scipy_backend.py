@@ -34,36 +34,47 @@ def solve_lp_scipy(lp: LinearProgram) -> LPSolution:
             :func:`scipy_available` first, or use the ``auto`` backend).
     """
     from scipy.optimize import linprog
-    from scipy.sparse import lil_matrix
+    from scipy.sparse import csr_matrix
 
     n = lp.num_variables
+    m = lp.num_constraints
     sign = -1.0 if lp.maximize else 1.0
     c = sign * lp.objective_vector()
 
-    ub_rows: list[int] = []
-    eq_rows: list[int] = []
-    for i, constraint in enumerate(lp.constraints):
-        if constraint.sense is Sense.EQ:
-            eq_rows.append(i)
-        else:
-            ub_rows.append(i)
+    # Vectorized assembly off the COO triplet cache (primed by bulk builders
+    # like build_benchmark_lp): rows split into the inequality and equality
+    # groups, >= rows flipped to <=, one csr_matrix call per group — no
+    # per-coefficient Python loop.
+    senses = np.fromiter(
+        (
+            0 if cstr.sense is Sense.EQ else (-1 if cstr.sense is Sense.GE else 1)
+            for cstr in lp.constraints
+        ),
+        dtype=np.int64,
+        count=m,
+    )
+    rhs = np.fromiter((cstr.rhs for cstr in lp.constraints), dtype=float, count=m)
+    coo_rows, coo_cols, coo_vals = lp.constraints_coo()
 
-    def build(rows: list[int], flip_ge: bool):
-        if not rows:
+    def build(row_mask: np.ndarray, row_factor: np.ndarray):
+        rows = np.flatnonzero(row_mask)
+        if not rows.size:
             return None, None
-        matrix = lil_matrix((len(rows), n))
-        rhs = np.zeros(len(rows))
-        for out_i, row_index in enumerate(rows):
-            constraint = lp.constraints[row_index]
-            flip = flip_ge and constraint.sense is Sense.GE
-            factor = -1.0 if flip else 1.0
-            for var_index, coeff in constraint.coefficients.items():
-                matrix[out_i, var_index] = factor * coeff
-            rhs[out_i] = factor * constraint.rhs
-        return matrix.tocsr(), rhs
+        new_row_of = np.full(m, -1, dtype=np.int64)
+        new_row_of[rows] = np.arange(rows.size, dtype=np.int64)
+        keep = row_mask[coo_rows]
+        matrix = csr_matrix(
+            (
+                coo_vals[keep] * row_factor[coo_rows[keep]],
+                (new_row_of[coo_rows[keep]], coo_cols[keep]),
+            ),
+            shape=(rows.size, n),
+        )
+        return matrix, rhs[rows] * row_factor[rows]
 
-    a_ub, b_ub = build(ub_rows, flip_ge=True)
-    a_eq, b_eq = build(eq_rows, flip_ge=False)
+    factor = np.where(senses < 0, -1.0, 1.0)
+    a_ub, b_ub = build(senses != 0, factor)
+    a_eq, b_eq = build(senses == 0, factor)
     bounds = [
         (v.lower if np.isfinite(v.lower) else None, v.upper if np.isfinite(v.upper) else None)
         for v in lp.variables

@@ -67,6 +67,8 @@ class _TableauResult:
     y: np.ndarray
     objective: float
     iterations: int
+    #: Basic column indices at termination (revised backends only).
+    basis: np.ndarray | None = None
 
 
 def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:

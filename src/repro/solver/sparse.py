@@ -148,6 +148,17 @@ class CSCMatrix:
         data = np.concatenate([self.data, np.ones(m)])
         return CSCMatrix((m, n + m), indptr, indices, data)
 
+    def with_column(self, column: np.ndarray) -> "CSCMatrix":
+        """``[A | column]`` — the warm-start single-artificial extension."""
+        m, n = self.shape
+        rows = np.flatnonzero(column)
+        indptr = np.concatenate(
+            [self.indptr, [self.indptr[-1] + rows.size]]
+        )
+        indices = np.concatenate([self.indices, rows])
+        data = np.concatenate([self.data, column[rows]])
+        return CSCMatrix((m, n + 1), indptr, indices, data)
+
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense array (small problems / tests only)."""
         m, n = self.shape
@@ -189,6 +200,9 @@ class DenseMatrix:
 
     def with_identity(self) -> "DenseMatrix":
         return DenseMatrix(np.hstack([self.a, np.eye(self.shape[0])]))
+
+    def with_column(self, column: np.ndarray) -> "DenseMatrix":
+        return DenseMatrix(np.hstack([self.a, column[:, None]]))
 
     def to_dense(self) -> np.ndarray:
         return self.a

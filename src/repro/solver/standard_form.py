@@ -91,6 +91,13 @@ class StandardForm:
     #: artificial.  All-inequality programs with nonnegative rhs — the
     #: benchmark LP — get a full crash basis and skip phase 1 entirely.
     basis_hint: np.ndarray | None = None
+    #: Per slack column (columns ``num_structural..n-1`` in order), the row it
+    #: belongs to.  Backs the stable column labels of :meth:`column_labels`.
+    slack_rows: np.ndarray | None = None
+    #: Per synthetic upper-bound row (rows ``num_lp_rows..m-1`` in order), the
+    #: structural column it bounds — so ub-slack labels can name the bounded
+    #: *variable* instead of a row position that shifts between re-builds.
+    ub_columns: np.ndarray | None = None
     _shape: tuple[int, int] = field(default=(0, 0))
 
     def __post_init__(self) -> None:
@@ -143,6 +150,40 @@ class StandardForm:
         """Map the standard-form (minimization) objective to the original sense."""
         value = standard_objective + self.objective_offset
         return -value if self.maximize else value
+
+    def column_labels(self, lp: LinearProgram) -> list[str]:
+        """Stable names for the standard-form columns of ``lp``.
+
+        Structural columns carry the original variable's name (free splits
+        as ``name:+`` / ``name:-``); slack columns carry
+        ``slack:<constraint name>`` (upper-bound rows added by the
+        conversion get synthetic ``__ub<row>`` names).  Labels survive
+        re-builds of structurally similar programs — the carrier of the
+        warm-start basis between LP re-solves.
+        """
+        labels: list[str] = [""] * self.num_columns
+        for variable, mapping in zip(lp.variables, self._var_maps):
+            if mapping.kind is _VarKind.FIXED:
+                continue
+            if mapping.kind is _VarKind.FREE:
+                pos, neg = mapping.columns
+                labels[pos] = f"{variable.name}:+"
+                labels[neg] = f"{variable.name}:-"
+            else:
+                labels[mapping.columns[0]] = variable.name
+        if self.slack_rows is not None:
+            num_lp_rows = lp.num_constraints
+            num_structural = self.num_columns - self.slack_rows.size
+            for offset, row in enumerate(self.slack_rows.tolist()):
+                if row < num_lp_rows:
+                    name = lp.constraints[row].name
+                else:
+                    # Synthetic bound row: label by the bounded variable, a
+                    # name that survives re-builds with shifted row counts.
+                    column = int(self.ub_columns[row - num_lp_rows])
+                    name = f"__ub:{labels[column]}"
+                labels[num_structural + offset] = f"slack:{name}"
+        return labels
 
 
 def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> StandardForm:
@@ -308,4 +349,6 @@ def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> Standa
         a_dense=a_dense,
         a_csc=a_csc,
         basis_hint=basis_hint,
+        slack_rows=ineq,
+        ub_columns=np.asarray(ub_cols, dtype=np.int64),
     )

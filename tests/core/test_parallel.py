@@ -1,0 +1,109 @@
+"""Shard-parallel repair: propose/commit must stay feasible and improving."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core import GGGreedy, LocalSearch, parallel_repair
+from repro.core.parallel import scan_shard, _shard_payload
+from repro.datagen import (
+    ChurnConfig,
+    SyntheticConfig,
+    generate_churn_trace,
+    generate_synthetic,
+)
+from repro.experiments.replay import replay_trace
+from repro.model.delta import apply_delta
+
+import numpy as np
+
+CONFIG = SyntheticConfig(num_users=300, num_events=40)
+
+
+class InlineExecutor:
+    """Executor stand-in that runs tasks in-process (deterministic tests)."""
+
+    def map(self, fn, payloads):
+        return [fn(payload) for payload in payloads]
+
+
+def _churned(seed: int, shard_size: int | None = 50):
+    instance = generate_synthetic(CONFIG, seed=seed)
+    if shard_size is not None:
+        instance.configure_index(sharded=True, shard_size=shard_size)
+    churn = ChurnConfig(
+        num_batches=1,
+        user_arrival_rate=10.0,
+        user_departure_rate=10.0,
+        rebid_rate=20.0,
+        event_open_rate=1.0,
+        event_close_rate=1.0,
+        base=CONFIG,
+    )
+    trace = generate_churn_trace(instance, churn, seed=seed + 1)
+    base = LocalSearch(GGGreedy()).solve(instance, seed=seed)
+    return apply_delta(instance, trace.deltas[0], base.arrangement)
+
+
+@pytest.mark.parametrize("shard_size", [50, None])
+def test_parallel_repair_feasible_and_improving(shard_size):
+    result = _churned(3, shard_size)
+    carried_utility = result.arrangement.utility()
+    moves = parallel_repair(result, InlineExecutor())
+    assert result.arrangement.is_feasible()
+    assert result.arrangement.utility() >= carried_utility
+    assert moves["passes"] >= 1
+    assert moves["tasks"] >= moves["passes"]
+
+
+def test_parallel_repair_deterministic_across_executors():
+    a = _churned(4)
+    b = _churned(4)
+    parallel_repair(a, InlineExecutor())
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        parallel_repair(b, pool)
+    assert a.arrangement.pairs == b.arrangement.pairs
+    assert a.arrangement.utility() == b.arrangement.utility()
+
+
+def test_scan_shard_runs_on_pickled_payload():
+    import pickle
+
+    result = _churned(5)
+    instance = result.instance
+    index = instance.index
+    conflict_bits = np.packbits(index.conflict_matrix.astype(np.uint8))
+    payload = _shard_payload(
+        instance,
+        result.arrangement,
+        0,
+        min(50, index.num_users),
+        result.arrangement.attendance_counts.copy(),
+        conflict_bits,
+    )
+    proposals = scan_shard(pickle.loads(pickle.dumps(payload)))
+    for gain, upos, vpos, old_vpos in proposals:
+        assert gain > 0
+        assert 0 <= upos < index.num_users
+        assert 0 <= vpos < index.num_events
+        assert old_vpos == -1 or 0 <= old_vpos < index.num_events
+
+
+def test_replay_trace_workers_path_feasible():
+    instance = generate_synthetic(CONFIG, seed=6)
+    instance.configure_index(sharded=True, shard_size=64)
+    churn = ChurnConfig(
+        num_batches=2,
+        user_arrival_rate=8.0,
+        user_departure_rate=8.0,
+        rebid_rate=15.0,
+        base=CONFIG,
+    )
+    trace = generate_churn_trace(instance, churn, seed=7)
+    report = replay_trace(
+        trace, seed=0, compare_full=False, check_parity=True, workers=2
+    )
+    assert report.all_feasible
+    assert report.all_parity

