@@ -1,0 +1,94 @@
+"""Scaling-pipeline smoke: every default algorithm completes and stays feasible.
+
+The former inline CI heredoc, extracted so the exact same gates run locally
+and in CI: at each reduced instance size every algorithm of
+:func:`repro.experiments.default_algorithms` must produce a feasible
+arrangement.  Wall-clock and utilities are recorded (not gated) so the
+artifact stays comparable across runs.
+
+Run as a script (CI does)::
+
+    python benchmarks/bench_smoke.py --seed 0
+
+or through pytest-benchmark with the rest of the bench suite::
+
+    python -m pytest benchmarks/bench_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.datagen import SyntheticConfig, generate_synthetic
+from repro.experiments import default_algorithms
+
+DEFAULT_SIZES = (200, 500)
+
+
+def run_smoke(sizes=DEFAULT_SIZES, seed: int = 0) -> dict:
+    """Run the smoke ladder; returns the JSON-ready report.
+
+    Raises:
+        AssertionError: when any algorithm yields an infeasible arrangement.
+    """
+    rows = []
+    for num_users in sizes:
+        instance = generate_synthetic(
+            SyntheticConfig(num_users=num_users), seed=seed
+        )
+        for algorithm in default_algorithms():
+            result = algorithm.solve(instance, seed=seed)
+            assert result.arrangement.is_feasible(), (
+                f"|U|={num_users} {algorithm.name}: infeasible arrangement"
+            )
+            print(
+                f"|U|={num_users} {algorithm.name}: "
+                f"{result.runtime_seconds:.3f}s utility={result.utility:.2f}"
+            )
+            rows.append(
+                {
+                    "num_users": num_users,
+                    "algorithm": algorithm.name,
+                    "runtime_seconds": result.runtime_seconds,
+                    "utility": result.utility,
+                    "num_pairs": result.num_pairs,
+                }
+            )
+    return {"seed": seed, "sizes": list(sizes), "runs": rows}
+
+
+def bench_scaling_smoke(bench_once):
+    """pytest-benchmark entry: same ladder and assertions as the script."""
+    report = bench_once(run_smoke, seed=0)
+    assert report["runs"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SIZES),
+        help="instance sizes (|U|) to smoke",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="optional JSON report path"
+    )
+    args = parser.parse_args()
+    report = run_smoke(sizes=tuple(args.sizes), seed=args.seed)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[written to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

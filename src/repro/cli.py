@@ -8,6 +8,8 @@ Subcommands:
 * ``solve INSTANCE.json`` — run one algorithm on a saved instance.
 * ``replay`` — churn a synthetic instance and compare incremental repair
   against full recompute, batch by batch.
+* ``simulate`` — the dynamic platform: online arrivals under event churn,
+  capacity/interest deltas and a defragmentation schedule, tick by tick.
 """
 
 from __future__ import annotations
@@ -20,11 +22,19 @@ from repro.core.baselines import GGGreedy, RandomU, RandomV
 from repro.core.exact import ExactILP
 from repro.core.local_search import LocalSearch
 from repro.core.lp_packing import LPPacking
+from repro.core.online import OnlineGreedy, OnlineRandom
 from repro.datagen.churn import ChurnConfig, generate_churn_trace
 from repro.datagen.meetup import MeetupConfig, generate_meetup
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.replay import format_replay_table, replay_trace
+from repro.experiments.simulate import (
+    DefragSchedule,
+    PeriodicDefrag,
+    RetentionDefrag,
+    format_simulation_table,
+    simulate,
+)
 from repro.model.instance import IGEPAInstance
 
 ALGORITHMS = {
@@ -149,6 +159,66 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if (not args.check_parity or report.all_parity) else 1
 
 
+ONLINE_ALGORITHMS = {
+    "online-greedy": lambda: OnlineGreedy(),
+    "online-random": lambda: OnlineRandom(),
+}
+
+
+def _build_defrag(args: argparse.Namespace) -> DefragSchedule:
+    if args.defrag == "periodic":
+        return PeriodicDefrag(args.defrag_period)
+    if args.defrag == "retention":
+        return RetentionDefrag(args.defrag_threshold)
+    return DefragSchedule()
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    synthetic = SyntheticConfig(
+        num_events=args.events,
+        num_users=args.users,
+        conflict_probability=args.pcf,
+    )
+    instance = generate_synthetic(synthetic, seed=args.seed)
+    _configure_shards(instance, args.shards)
+    config = ChurnConfig(
+        num_batches=args.batches,
+        user_arrival_rate=args.arrival_rate,
+        user_departure_rate=args.departure_rate,
+        rebid_rate=args.rebid_rate,
+        event_open_rate=args.event_rate,
+        event_close_rate=args.event_rate,
+        drift_rate=args.drift_rate,
+        capacity_shock_rate=args.capacity_shock_rate,
+        user_capacity_shock_rate=args.user_capacity_shock_rate,
+        burst_every=args.burst_every,
+        burst_capacity_shrink_fraction=args.burst_shrink,
+        base=synthetic,
+    )
+    trace = generate_churn_trace(instance, config, seed=args.seed + 1)
+    report = simulate(
+        trace,
+        online=ONLINE_ALGORITHMS[args.algorithm](),
+        seed=args.seed,
+        defrag=_build_defrag(args),
+        oracle=REPLAY_ALGORITHMS[args.oracle](),
+        oracle_every=args.oracle_every,
+        defrag_lp=not args.no_defrag_lp,
+        defrag_lp_backend=args.defrag_lp_backend,
+        workers=args.workers,
+        check_parity=args.check_parity,
+    )
+    print(format_simulation_table(report))
+    if args.check_parity:
+        print(f"index parity (bit-identical): {report.all_parity}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    # A failed parity check must fail the command, not just print False.
+    return 0 if (not args.check_parity or report.all_parity) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="igepa",
@@ -249,6 +319,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--out", help="also write the report as JSON")
     sub.set_defaults(func=_cmd_replay)
+
+    sub = subparsers.add_parser(
+        "simulate",
+        help=(
+            "dynamic platform: online arrivals under churn, capacity/interest "
+            "deltas and a defragmentation schedule"
+        ),
+    )
+    sub.add_argument("--users", type=int, default=2000, help="initial |U|")
+    sub.add_argument("--events", type=int, default=200, help="initial |V|")
+    sub.add_argument("--batches", type=int, default=20, help="simulation ticks")
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--algorithm",
+        choices=sorted(ONLINE_ALGORITHMS),
+        default="online-greedy",
+        help="online policy serving each tick's arrivals",
+    )
+    sub.add_argument(
+        "--oracle",
+        choices=sorted(REPLAY_ALGORITHMS),
+        default="gg+ls",
+        help="full re-solve algorithm behind the retention curve",
+    )
+    sub.add_argument(
+        "--oracle-every",
+        type=int,
+        default=5,
+        help="run the oracle every k-th tick (0: never)",
+    )
+    sub.add_argument(
+        "--defrag",
+        choices=["none", "periodic", "retention"],
+        default="none",
+        help="defragmentation schedule",
+    )
+    sub.add_argument(
+        "--defrag-period",
+        type=int,
+        default=10,
+        help="ticks between periodic defrags",
+    )
+    sub.add_argument(
+        "--defrag-threshold",
+        type=float,
+        default=0.95,
+        help="retention fraction that trips the retention schedule",
+    )
+    sub.add_argument(
+        "--no-defrag-lp",
+        action="store_true",
+        help="skip the warm-started LP re-solve during defrag passes",
+    )
+    sub.add_argument(
+        "--defrag-lp-backend",
+        default="auto",
+        help=(
+            "LP backend for the defrag re-solve (auto prefers scipy/HiGHS; "
+            "revised-simplex consumes the warm-start basis)"
+        ),
+    )
+    sub.add_argument(
+        "--arrival-rate", type=float, default=20.0, help="user arrivals/tick"
+    )
+    sub.add_argument(
+        "--departure-rate", type=float, default=20.0, help="user departures/tick"
+    )
+    sub.add_argument("--rebid-rate", type=float, default=40.0, help="re-bids/tick")
+    sub.add_argument(
+        "--event-rate", type=float, default=1.0, help="event opens and closes/tick"
+    )
+    sub.add_argument(
+        "--drift-rate",
+        type=float,
+        default=20.0,
+        help="existing bid pairs re-sampling their SI value per tick",
+    )
+    sub.add_argument(
+        "--capacity-shock-rate",
+        type=float,
+        default=2.0,
+        help="events re-sampling their capacity per tick",
+    )
+    sub.add_argument(
+        "--user-capacity-shock-rate",
+        type=float,
+        default=0.0,
+        help="users re-sampling their capacity per tick",
+    )
+    sub.add_argument(
+        "--burst-every",
+        type=int,
+        default=0,
+        help="every k-th tick is an adversarial burst (0: never)",
+    )
+    sub.add_argument(
+        "--burst-shrink",
+        type=float,
+        default=0.2,
+        help="fraction of events a burst halves the capacity of",
+    )
+    sub.add_argument("--pcf", type=float, default=0.3, help="conflict probability")
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition users into N index shards (0: size heuristic)",
+    )
+    sub.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard-parallel repair across N worker processes (0: serial)",
+    )
+    sub.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="verify the patched index equals a from-scratch build per tick",
+    )
+    sub.add_argument("--out", help="also write the report as JSON")
+    sub.set_defaults(func=_cmd_simulate)
 
     return parser
 

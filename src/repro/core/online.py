@@ -78,6 +78,46 @@ class _OnlineAlgorithm(ArrangementAlgorithm):
             self._serve(instance, arrangement, user_id, rng)
         return arrangement, {"arrivals": len(order)}
 
+    def serve(
+        self,
+        instance: IGEPAInstance,
+        arrangement: Arrangement,
+        user_id: int,
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        """Serve one arrival against a live arrangement (incremental hook).
+
+        The dynamic-platform simulator (:mod:`repro.experiments.simulate`)
+        calls this as users arrive *between* churn batches: the user is
+        assigned irrevocably against the capacities remaining right now,
+        exactly as :meth:`_solve`'s arrival loop would treat them if they
+        were next in its order.  The arrangement is mutated in place.
+
+        Args:
+            instance: the platform's current instance.
+            arrangement: the live arrangement, mutated in place.
+            user_id: the arriving user (must exist on ``instance``).
+            rng: source for randomized serving policies; None draws a fresh
+                generator from the constructor seed.
+
+        Returns:
+            The event ids newly assigned to the user, sorted (empty when
+            nothing fit — a rejected arrival).
+
+        Raises:
+            ValueError: on unknown users or an arrangement bound to a
+                different instance.
+        """
+        if user_id not in instance.user_by_id:
+            raise ValueError(f"unknown user id {user_id}")
+        if arrangement.instance is not instance:
+            raise ValueError("arrangement belongs to a different instance")
+        if rng is None:
+            rng = self._rng(None)
+        before = arrangement.events_of(user_id)
+        self._serve(instance, arrangement, user_id, rng)
+        return sorted(arrangement.events_of(user_id) - before)
+
 
 class OnlineGreedy(_OnlineAlgorithm):
     """Serve each arrival with their heaviest feasible admissible set.

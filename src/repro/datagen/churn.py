@@ -15,12 +15,19 @@ rates chosen relative to the Table I defaults —
 * **re-bids** — a user withdraws one bid and places another;
 * **event opens/closes** — fresh events conflict with existing ones at
   ``p_cf``; closures are uniform;
-* **conflict toggles** — a uniform event pair flips its σ value.
+* **conflict toggles** — a uniform event pair flips its σ value;
+* **interest drift** — an existing bid pair's SI value is re-sampled
+  (``drift_rate``): organizers re-describe events, tastes move;
+* **capacity shocks** — a surviving event (or user) re-samples its capacity
+  (``capacity_shock_rate`` / ``user_capacity_shock_rate``): venues change,
+  organizers re-plan.
 
 An **adversarial burst mode** stresses the repair path: every
-``burst_every``-th batch multiplies arrivals and closes a fraction of all
-open events at once (mass cancellation), producing the largest possible
-carried-arrangement damage per batch.
+``burst_every``-th batch multiplies arrivals, closes a fraction of all open
+events at once (mass cancellation) and — when
+``burst_capacity_shrink_fraction`` is set — halves the capacity of a
+fraction of the surviving events, producing the largest possible
+carried-arrangement damage per batch (shrink sheds assigned pairs).
 
 The generator tracks a lightweight mirror of the evolving instance (alive
 ids, bid lists, conflict pairs), so building a trace never constructs
@@ -60,9 +67,17 @@ class ChurnConfig:
         event_open_rate: mean events opening per batch.
         event_close_rate: mean events closing per batch.
         conflict_toggle_rate: mean σ flips per batch.
+        drift_rate: mean existing bid pairs whose SI value re-samples per
+            batch (interest drift; 0 disables).
+        capacity_shock_rate: mean surviving events re-sampling their
+            capacity per batch (0 disables).
+        user_capacity_shock_rate: mean surviving users re-sampling their
+            capacity per batch (0 disables).
         burst_every: every k-th batch is an adversarial burst (0: never).
         burst_user_multiplier: arrival-rate multiplier during a burst.
         burst_event_close_fraction: fraction of open events a burst closes.
+        burst_capacity_shrink_fraction: fraction of surviving events a burst
+            halves the capacity of (adversarial shrink; 0 disables).
         base: sampling knobs for new entities (capacities, bid-list lengths,
             ``p_cf``, ``p_deg``) — defaults to Table I.
     """
@@ -74,9 +89,13 @@ class ChurnConfig:
     event_open_rate: float = 1.0
     event_close_rate: float = 1.0
     conflict_toggle_rate: float = 2.0
+    drift_rate: float = 0.0
+    capacity_shock_rate: float = 0.0
+    user_capacity_shock_rate: float = 0.0
     burst_every: int = 0
     burst_user_multiplier: float = 10.0
     burst_event_close_fraction: float = 0.2
+    burst_capacity_shrink_fraction: float = 0.0
     base: SyntheticConfig = TABLE1_DEFAULTS
 
     def __post_init__(self) -> None:
@@ -89,6 +108,9 @@ class ChurnConfig:
             "event_open_rate",
             "event_close_rate",
             "conflict_toggle_rate",
+            "drift_rate",
+            "capacity_shock_rate",
+            "user_capacity_shock_rate",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
@@ -96,6 +118,8 @@ class ChurnConfig:
             raise ValueError("burst_every must be >= 0")
         if not 0.0 <= self.burst_event_close_fraction <= 1.0:
             raise ValueError("burst_event_close_fraction must be in [0, 1]")
+        if not 0.0 <= self.burst_capacity_shrink_fraction <= 1.0:
+            raise ValueError("burst_capacity_shrink_fraction must be in [0, 1]")
 
     def with_overrides(self, **kwargs) -> "ChurnConfig":
         """A copy with the given fields replaced."""
@@ -129,13 +153,20 @@ class ChurnTrace:
 
 
 class _MirrorState:
-    """Alive ids, bid lists and conflict pairs tracked outside the model."""
+    """Alive ids, bid lists, capacities and conflict pairs tracked outside
+    the model."""
 
     def __init__(self, instance: IGEPAInstance):
         self.bids: dict[int, list[int]] = {
             user.user_id: list(user.bids) for user in instance.users
         }
         self.events: list[int] = [event.event_id for event in instance.events]
+        self.event_capacity: dict[int, int] = {
+            event.event_id: event.capacity for event in instance.events
+        }
+        self.user_capacity: dict[int, int] = {
+            user.user_id: user.capacity for user in instance.users
+        }
         conflict = instance.conflict
         if not isinstance(conflict, MatrixConflict):
             raise TypeError(
@@ -312,6 +343,76 @@ def _generate_batch(
             add_bids.append((user_id, added))
             interest.append((added, user_id, float(rng.uniform())))
 
+    # --- interest drift: existing bid pairs re-sample their SI value ---
+    # (all draws below are gated on their knobs, so traces generated with
+    # the pre-drift defaults replay the exact same RNG stream)
+    removed_bid_set = set(remove_bids)
+    drift_count = int(rng.poisson(config.drift_rate)) if config.drift_rate else 0
+    drifted: set[tuple[int, int]] = set()
+    for _ in range(drift_count):
+        if not rebid_pool:
+            break
+        user_id = int(rebid_pool[int(rng.integers(len(rebid_pool)))])
+        alive_bids = [
+            e
+            for e in state.bids[user_id]
+            if e not in closed_set and (user_id, e) not in removed_bid_set
+        ]
+        if not alive_bids:
+            continue
+        event_id = int(alive_bids[int(rng.integers(len(alive_bids)))])
+        if (event_id, user_id) in drifted:
+            continue
+        drifted.add((event_id, user_id))
+        interest.append((event_id, user_id, float(rng.uniform())))
+
+    # --- capacity shocks: surviving events/users re-sample capacities;
+    # bursts additionally halve a fraction of the event capacities ---
+    set_event_capacity: list[tuple[int, int]] = []
+    shocked_events: set[int] = set()
+    shock_count = (
+        min(int(rng.poisson(config.capacity_shock_rate)), len(surviving_events))
+        if config.capacity_shock_rate
+        else 0
+    )
+    if shock_count:
+        for event_id in rng.choice(
+            surviving_events, size=shock_count, replace=False
+        ):
+            event_id = int(event_id)
+            new_capacity = int(rng.integers(1, base.max_event_capacity + 1))
+            if new_capacity != state.event_capacity[event_id]:
+                set_event_capacity.append((event_id, new_capacity))
+                shocked_events.add(event_id)
+    if burst and config.burst_capacity_shrink_fraction and surviving_events:
+        shrink_count = min(
+            int(round(len(surviving_events) * config.burst_capacity_shrink_fraction)),
+            len(surviving_events),
+        )
+        if shrink_count:
+            for event_id in rng.choice(
+                surviving_events, size=shrink_count, replace=False
+            ):
+                event_id = int(event_id)
+                if event_id in shocked_events:
+                    continue
+                new_capacity = state.event_capacity[event_id] // 2
+                if new_capacity != state.event_capacity[event_id]:
+                    set_event_capacity.append((event_id, new_capacity))
+                    shocked_events.add(event_id)
+    set_user_capacity: list[tuple[int, int]] = []
+    user_shock_count = (
+        min(int(rng.poisson(config.user_capacity_shock_rate)), len(rebid_pool))
+        if config.user_capacity_shock_rate
+        else 0
+    )
+    if user_shock_count:
+        for user_id in rng.choice(rebid_pool, size=user_shock_count, replace=False):
+            user_id = int(user_id)
+            new_capacity = int(rng.integers(1, base.max_user_capacity + 1))
+            if new_capacity != state.user_capacity[user_id]:
+                set_user_capacity.append((user_id, new_capacity))
+
     # --- conflict toggles over the post-batch event set ---
     toggle_count = int(rng.poisson(config.conflict_toggle_rate))
     add_toggle: list[tuple[int, int]] = []
@@ -344,6 +445,8 @@ def _generate_batch(
         remove_bids=tuple(remove_bids),
         add_conflicts=tuple(add_conflicts + add_toggle),
         remove_conflicts=tuple(remove_toggle),
+        set_user_capacity=tuple(set_user_capacity),
+        set_event_capacity=tuple(set_event_capacity),
         interest=tuple(interest),
         degrees=tuple(degrees) if state.uses_degree_overrides else (),
     )
@@ -351,6 +454,17 @@ def _generate_batch(
     # --- advance the mirror ---
     for user_id in departed:
         del state.bids[user_id]
+        del state.user_capacity[user_id]
+    for event_id in closed:
+        del state.event_capacity[event_id]
+    for user in arrivals:
+        state.user_capacity[user.user_id] = user.capacity
+    for event in opened:
+        state.event_capacity[event.event_id] = event.capacity
+    for user_id, capacity in set_user_capacity:
+        state.user_capacity[user_id] = capacity
+    for event_id, capacity in set_event_capacity:
+        state.event_capacity[event_id] = capacity
     for user_id, event_id in remove_bids:
         state.bids[user_id].remove(event_id)
     for bids in state.bids.values():

@@ -1,11 +1,22 @@
 """Experiment harness: repetition runner, Fig. 1 sweeps, registry, reports,
-and the churn replay driver."""
+the churn replay driver and the dynamic-platform simulator."""
 
 from repro.experiments.persistence import (
     load_stats,
     load_sweep,
+    report_to_dict,
     save_stats,
     save_sweep,
+)
+from repro.experiments.simulate import (
+    DefragSchedule,
+    PeriodicDefrag,
+    RetentionDefrag,
+    SimulationInfeasibleError,
+    SimulationReport,
+    TickRecord,
+    format_simulation_table,
+    simulate,
 )
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -79,4 +90,13 @@ __all__ = [
     "replay_trace",
     "format_replay_table",
     "index_parity_mismatches",
+    "report_to_dict",
+    "DefragSchedule",
+    "PeriodicDefrag",
+    "RetentionDefrag",
+    "SimulationInfeasibleError",
+    "SimulationReport",
+    "TickRecord",
+    "format_simulation_table",
+    "simulate",
 ]

@@ -17,6 +17,26 @@ from repro.experiments.sweeps import SweepResult
 FORMAT_VERSION = 1
 
 
+def report_to_dict(
+    kind: str,
+    summary: dict,
+    records: list[dict],
+    records_key: str = "batches",
+) -> dict:
+    """Shared serialization shape for per-batch/per-tick reports.
+
+    One helper behind :meth:`~repro.experiments.replay.ReplayReport.to_dict`
+    and :meth:`~repro.experiments.simulate.SimulationReport.to_dict`, so
+    every bench artifact carries the same envelope: the ``format_version``
+    tag, a ``kind`` discriminator, the aggregate summary fields at the top
+    level and the per-record list under ``records_key``.
+    """
+    payload: dict = {"format_version": FORMAT_VERSION, "kind": kind}
+    payload.update(summary)
+    payload[records_key] = list(records)
+    return payload
+
+
 def stats_to_dict(stats: AlgorithmStats) -> dict:
     """Serialize one algorithm's repetition statistics."""
     return {

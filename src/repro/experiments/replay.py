@@ -175,8 +175,15 @@ class ReplayReport:
         )
 
     def to_dict(self) -> dict:
-        """JSON-ready snapshot (used by the churn bench artifact)."""
-        return {
+        """JSON-ready snapshot (used by the churn bench artifact).
+
+        Serialized through the shared
+        :func:`repro.experiments.persistence.report_to_dict` envelope, so
+        replay and simulation artifacts stay schema-consistent.
+        """
+        from repro.experiments.persistence import report_to_dict
+
+        summary = {
             "algorithm": self.algorithm,
             "initial_utility": self.initial_utility,
             "initial_solve_seconds": self.initial_solve_seconds,
@@ -186,26 +193,27 @@ class ReplayReport:
             "utility_retention": self.utility_retention,
             "all_feasible": self.all_feasible,
             "all_parity": self.all_parity,
-            "batches": [
-                {
-                    "batch": r.batch,
-                    "operations": r.operations,
-                    "num_users": r.num_users,
-                    "num_events": r.num_events,
-                    "num_pairs": r.num_pairs,
-                    "incremental_seconds": r.incremental_seconds,
-                    "full_seconds": r.full_seconds,
-                    "speedup": r.speedup,
-                    "incremental_utility": r.incremental_utility,
-                    "full_utility": r.full_utility,
-                    "dropped_pairs": r.dropped_pairs,
-                    "moves": r.moves,
-                    "feasible": r.feasible,
-                    "parity_mismatches": r.parity_mismatches,
-                }
-                for r in self.records
-            ],
         }
+        records = [
+            {
+                "batch": r.batch,
+                "operations": r.operations,
+                "num_users": r.num_users,
+                "num_events": r.num_events,
+                "num_pairs": r.num_pairs,
+                "incremental_seconds": r.incremental_seconds,
+                "full_seconds": r.full_seconds,
+                "speedup": r.speedup,
+                "incremental_utility": r.incremental_utility,
+                "full_utility": r.full_utility,
+                "dropped_pairs": r.dropped_pairs,
+                "moves": r.moves,
+                "feasible": r.feasible,
+                "parity_mismatches": r.parity_mismatches,
+            }
+            for r in self.records
+        ]
+        return report_to_dict("replay", summary, records, records_key="batches")
 
 
 def format_replay_table(report: ReplayReport) -> str:

@@ -1,0 +1,599 @@
+"""Dynamic-platform simulator: online arrivals under event churn.
+
+The paper solves a one-shot arrangement; PR 3's churn engine repairs a
+fixed-population arrangement under deltas; the online extension serves
+arrivals against a *frozen* platform.  Real EBSN platforms do all of it at
+once — Bikakis et al.'s dynamic event-scheduling line has organizers
+continuously (re)scheduling events while users keep registering — and this
+module closes that gap with a clocked loop over a churn trace:
+
+1. **churn** — the tick's :class:`~repro.model.delta.Delta` is applied
+   through :func:`~repro.model.delta.apply_delta`: the index is patched at
+   the CSR-entry level (capacity changes and interest drift included) and
+   the arrangement is carried over with every invalidated pair shed;
+2. **arrivals** — the delta's new users are served *online* in arrival
+   order through :meth:`repro.core.online._OnlineAlgorithm.serve` against
+   the capacities remaining right now, and the tick records its arrival
+   acceptance rate (measured at arrival time);
+3. **repair** — the targeted repair (:func:`repro.core.repair.repair`, or
+   the shard-parallel :func:`repro.core.parallel.parallel_repair` when
+   workers are configured) re-optimizes the churned scope.  Arrivals are
+   excluded from the user-side scan, so the online policy's choice is
+   never *improved upon* on their behalf; the event-side refill/evict
+   moves still treat them like any other bidder, so the platform may later
+   re-seat (or displace) an arrival the way a real venue reshuffle would;
+4. **defragmentation** — a pluggable :class:`DefragSchedule` decides when
+   the platform pays for a full-scope pass: ``parallel_repair(...,
+   full_scope=True)`` (or a full local-search sweep when serial) plus a
+   warm-started LP re-solve whose arrangement is adopted when it beats the
+   repaired one.  :class:`PeriodicDefrag` runs every k-th tick;
+   :class:`RetentionDefrag` triggers when utility falls below a fraction of
+   the last oracle re-solve;
+5. **oracle** — every ``oracle_every``-th tick a full re-solve of the
+   current instance measures what a from-scratch optimizer would achieve;
+   the quotient is the **retention curve**, and its running reference turns
+   the per-tick utility gap into **repair debt** (the utility a
+   defragmentation pass could reclaim).
+
+Every tick is audited: the repaired arrangement must pass the full
+Definition 4 feasibility check, and (``check_parity``) the patched index
+must be bit-identical to a from-scratch build.
+:mod:`benchmarks.bench_dynamic` gates on both plus long-horizon retention.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import ArrangementAlgorithm
+from repro.core.baselines import GGGreedy
+from repro.core.local_search import LocalSearch, improve
+from repro.core.lp_packing import LPPacking
+from repro.core.online import OnlineGreedy, _OnlineAlgorithm
+from repro.core.repair import repair
+from repro.datagen.churn import ChurnTrace
+from repro.experiments.persistence import report_to_dict
+from repro.experiments.replay import fresh_index_like, index_parity_mismatches
+from repro.model.delta import apply_delta
+
+
+class SimulationInfeasibleError(RuntimeError):
+    """A tick's arrangement failed its feasibility audit.
+
+    Carries the partial :class:`SimulationReport` (including the failing
+    tick's record) as ``report`` for inspection.
+    """
+
+    def __init__(self, message: str, report: "SimulationReport"):
+        super().__init__(message)
+        self.report = report
+
+
+# ----------------------------------------------------------------------
+# Defragmentation schedules
+# ----------------------------------------------------------------------
+class DefragSchedule:
+    """When the platform pays for a full-scope defragmentation pass.
+
+    The base schedule never defragments — the "defrag off" baseline the
+    dynamic bench compares against.  Subclasses override
+    :meth:`should_run`; it is consulted once per tick, after arrivals and
+    targeted repair.
+    """
+
+    name = "none"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        """Decide from online-observable state only.
+
+        Args:
+            tick: 0-based tick number.
+            utility: the arrangement's utility after this tick's repair.
+            oracle_utility: the most recent oracle re-solve utility (from a
+                *previous* tick; None before the first oracle run).
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PeriodicDefrag(DefragSchedule):
+    """Defragment every ``period``-th tick, unconditionally."""
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+        self.name = f"periodic-{period}"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        return (tick + 1) % self.period == 0
+
+
+class RetentionDefrag(DefragSchedule):
+    """Defragment when utility falls below ``threshold`` × the last oracle.
+
+    Before the first oracle measurement the trigger never fires — run the
+    simulation with ``oracle_every`` set, or nothing will trip it.
+    """
+
+    def __init__(self, threshold: float = 0.95):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.name = f"retention-{threshold:g}"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        return (
+            oracle_utility is not None
+            and oracle_utility > 0.0
+            and utility / oracle_utility < self.threshold
+        )
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class TickRecord:
+    """Measurements of one simulated tick.
+
+    Attributes:
+        tick: tick number (0-based).
+        operations: the delta's operation counts.
+        num_users / num_events / num_pairs: platform sizes after the tick.
+        arrivals: users arriving this tick.
+        accepted: arrivals assigned at least one event by the online policy
+            *at arrival time* — the platform's admission answer.  Later
+            repair/defrag moves may re-arrange them like any other user.
+        dropped_pairs: pairs the delta invalidated (incl. capacity sheds).
+        repair_moves: targeted-repair move counts.
+        defrag: whether the defragmentation pass ran this tick.
+        defrag_moves: its move counts (plus ``lp_utility``/``lp_adopted``
+            when the LP re-solve ran); None when it did not run.
+        utility: arrangement utility at the end of the tick.
+        oracle_utility: full re-solve utility (None on non-oracle ticks).
+        repair_debt: most recent oracle utility minus ``utility``, floored
+            at 0 (None before the first oracle measurement) — the utility a
+            full defragmentation could reclaim.
+        seconds: wall-clock of churn + arrivals + repair + defrag (the
+            oracle re-solve is measurement apparatus and excluded).
+        feasible: full Definition 4 audit of the end-of-tick arrangement.
+        parity_mismatches: index arrays differing from a fresh build (None
+            when the parity check is off; empty list = bit-identical).
+    """
+
+    tick: int
+    operations: dict
+    num_users: int
+    num_events: int
+    num_pairs: int
+    arrivals: int
+    accepted: int
+    dropped_pairs: int
+    repair_moves: dict
+    defrag: bool
+    defrag_moves: dict | None
+    utility: float
+    oracle_utility: float | None
+    repair_debt: float | None
+    seconds: float
+    feasible: bool
+    parity_mismatches: list[str] | None
+
+    @property
+    def acceptance_rate(self) -> float | None:
+        """Accepted fraction of this tick's arrivals (None: no arrivals)."""
+        if not self.arrivals:
+            return None
+        return self.accepted / self.arrivals
+
+    @property
+    def retention(self) -> float | None:
+        """Utility over the oracle re-solve (None on non-oracle ticks)."""
+        if self.oracle_utility is None or self.oracle_utility <= 0.0:
+            return None
+        return self.utility / self.oracle_utility
+
+
+@dataclass
+class SimulationReport:
+    """All tick records of one simulated trace plus aggregate views."""
+
+    online_algorithm: str
+    oracle_algorithm: str
+    defrag_schedule: str
+    initial_utility: float
+    initial_seconds: float
+    records: list[TickRecord] = field(default_factory=list)
+
+    @property
+    def arrival_acceptance_rate(self) -> float | None:
+        """Accepted fraction of all arrivals across the horizon."""
+        arrivals = sum(r.arrivals for r in self.records)
+        if not arrivals:
+            return None
+        return sum(r.accepted for r in self.records) / arrivals
+
+    @property
+    def retention_curve(self) -> list[tuple[int, float]]:
+        """(tick, utility / oracle utility) at every oracle tick."""
+        return [
+            (r.tick, r.retention) for r in self.records if r.retention is not None
+        ]
+
+    @property
+    def long_horizon_retention(self) -> float | None:
+        """Mean retention across oracle ticks (None: no oracle ran)."""
+        curve = [value for _tick, value in self.retention_curve]
+        return float(np.mean(curve)) if curve else None
+
+    @property
+    def final_retention(self) -> float | None:
+        """Retention at the last oracle tick (None: no oracle ran)."""
+        curve = self.retention_curve
+        return curve[-1][1] if curve else None
+
+    @property
+    def max_repair_debt(self) -> float | None:
+        debts = [r.repair_debt for r in self.records if r.repair_debt is not None]
+        return max(debts) if debts else None
+
+    @property
+    def defrag_count(self) -> int:
+        return sum(1 for r in self.records if r.defrag)
+
+    @property
+    def mean_tick_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.seconds for r in self.records]))
+
+    @property
+    def all_feasible(self) -> bool:
+        return all(r.feasible for r in self.records)
+
+    @property
+    def all_parity(self) -> bool:
+        """True when every checked tick had a bit-identical patched index."""
+        return all(
+            not r.parity_mismatches
+            for r in self.records
+            if r.parity_mismatches is not None
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the dynamic bench / soak artifact).
+
+        Shares the :func:`repro.experiments.persistence.report_to_dict`
+        envelope with :class:`~repro.experiments.replay.ReplayReport`.
+        """
+        summary = {
+            "online_algorithm": self.online_algorithm,
+            "oracle_algorithm": self.oracle_algorithm,
+            "defrag_schedule": self.defrag_schedule,
+            "initial_utility": self.initial_utility,
+            "initial_seconds": self.initial_seconds,
+            "arrival_acceptance_rate": self.arrival_acceptance_rate,
+            "long_horizon_retention": self.long_horizon_retention,
+            "final_retention": self.final_retention,
+            "retention_curve": [list(point) for point in self.retention_curve],
+            "max_repair_debt": self.max_repair_debt,
+            "defrag_count": self.defrag_count,
+            "mean_tick_seconds": self.mean_tick_seconds,
+            "all_feasible": self.all_feasible,
+            "all_parity": self.all_parity,
+        }
+        records = [
+            {
+                "tick": r.tick,
+                "operations": r.operations,
+                "num_users": r.num_users,
+                "num_events": r.num_events,
+                "num_pairs": r.num_pairs,
+                "arrivals": r.arrivals,
+                "accepted": r.accepted,
+                "acceptance_rate": r.acceptance_rate,
+                "dropped_pairs": r.dropped_pairs,
+                "repair_moves": r.repair_moves,
+                "defrag": r.defrag,
+                "defrag_moves": r.defrag_moves,
+                "utility": r.utility,
+                "oracle_utility": r.oracle_utility,
+                "retention": r.retention,
+                "repair_debt": r.repair_debt,
+                "seconds": r.seconds,
+                "feasible": r.feasible,
+                "parity_mismatches": r.parity_mismatches,
+            }
+            for r in self.records
+        ]
+        return report_to_dict("simulation", summary, records, records_key="ticks")
+
+
+def format_simulation_table(report: SimulationReport) -> str:
+    """Fixed-width per-tick table for the CLI."""
+    lines = [
+        f"simulate: {report.online_algorithm} arrivals, "
+        f"defrag {report.defrag_schedule}, oracle {report.oracle_algorithm}, "
+        f"initial utility {report.initial_utility:.2f} "
+        f"({report.initial_seconds * 1e3:.0f} ms)",
+        f"{'tick':>5} {'|U|':>6} {'|V|':>5} {'arriv':>5} {'acc':>5} "
+        f"{'dropped':>7} {'defrag':>6} {'utility':>9} {'oracle':>9} "
+        f"{'retain':>7} {'debt':>8} {'ms':>8}",
+    ]
+    for r in report.records:
+        acc = "-" if r.acceptance_rate is None else f"{r.acceptance_rate:5.0%}"
+        oracle = "-" if r.oracle_utility is None else f"{r.oracle_utility:9.2f}"
+        retain = "-" if r.retention is None else f"{r.retention:7.1%}"
+        debt = "-" if r.repair_debt is None else f"{r.repair_debt:8.2f}"
+        lines.append(
+            f"{r.tick:>5} {r.num_users:>6} {r.num_events:>5} "
+            f"{r.arrivals:>5} {acc:>5} {r.dropped_pairs:>7} "
+            f"{'yes' if r.defrag else '-':>6} {r.utility:9.2f} "
+            f"{oracle:>9} {retain:>7} {debt:>8} {r.seconds * 1e3:8.1f}"
+        )
+    summary = [f"mean tick: {report.mean_tick_seconds * 1e3:.1f} ms"]
+    if report.arrival_acceptance_rate is not None:
+        summary.append(f"acceptance: {report.arrival_acceptance_rate:.1%}")
+    if report.long_horizon_retention is not None:
+        summary.append(f"retention: {report.long_horizon_retention:.1%}")
+    summary.append(f"defrags: {report.defrag_count}")
+    summary.append(f"feasible: {report.all_feasible}")
+    lines.append(", ".join(summary))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The simulation loop
+# ----------------------------------------------------------------------
+def simulate(
+    trace: ChurnTrace,
+    online: _OnlineAlgorithm | None = None,
+    *,
+    seed: int = 0,
+    defrag: DefragSchedule | None = None,
+    oracle: ArrangementAlgorithm | None = None,
+    oracle_every: int = 0,
+    defrag_lp: bool = True,
+    defrag_lp_backend: str = "auto",
+    max_passes: int = 20,
+    workers: int | None = None,
+    check_parity: bool = False,
+) -> SimulationReport:
+    """Run the dynamic-platform loop over a churn trace.
+
+    Args:
+        trace: the initial instance and delta batches; each delta's
+            ``add_users`` are this tick's online arrivals.
+        online: the arrival-serving policy (default:
+            :class:`~repro.core.online.OnlineGreedy`).  Also produces the
+            initial arrangement — the pre-trace population arrived online
+            too.
+        seed: RNG seed (initial solve, randomized serving, oracle and
+            defrag re-solves derive decorrelated per-tick seeds from it).
+        defrag: the defragmentation schedule (default: never).
+        oracle: full re-solve algorithm for the retention curve (default:
+            ``gg+ls``, the strongest non-LP combination).
+        oracle_every: run the oracle every k-th tick, plus on the final
+            tick (0: never — retention/debt fields stay None and
+            :class:`RetentionDefrag` never triggers).
+        defrag_lp: during defrag, also run a warm-started LP-packing
+            re-solve and adopt its arrangement when it beats the repaired
+            one.
+        defrag_lp_backend: LP backend for that re-solve.  The default
+            ``"auto"`` prefers scipy/HiGHS (fastest at scale; the warm
+            hint is ignored there) and falls back to the from-scratch
+            revised simplex, which consumes the basis threaded across
+            defrags; force ``"revised-simplex"`` to exercise the warm
+            start explicitly on small platforms.
+        max_passes: local-search pass cap for repair and defrag sweeps.
+        workers: shard-parallel repair across this many worker processes
+            (None/0: serial).
+        check_parity: rebuild the index from scratch per tick and compare
+            against the patched one (adds the fresh build's cost — leave
+            off when timing, on when verifying).
+
+    Returns:
+        A :class:`SimulationReport` with per-tick records.
+
+    Raises:
+        SimulationInfeasibleError: when a tick's arrangement fails the full
+            feasibility audit (never expected; a delta/repair invariant
+            would be broken).  The partial report rides on the exception.
+    """
+    if online is None:
+        online = OnlineGreedy()
+    if oracle is None:
+        oracle = LocalSearch(GGGreedy())
+    if defrag is None:
+        defrag = DefragSchedule()
+    executor = None
+    if workers:
+        from concurrent.futures import ProcessPoolExecutor
+
+        executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        return _simulate(
+            trace,
+            online,
+            seed=seed,
+            defrag=defrag,
+            oracle=oracle,
+            oracle_every=oracle_every,
+            defrag_lp=defrag_lp,
+            defrag_lp_backend=defrag_lp_backend,
+            max_passes=max_passes,
+            executor=executor,
+            check_parity=check_parity,
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+
+def _defragment(result, arrangement, executor, max_passes, lp_resolver, seed):
+    """One full-scope defragmentation pass.
+
+    Returns ``(arrangement, moves, utility)`` — the (possibly replaced)
+    arrangement and its utility, so the caller never re-scans it.
+    """
+    if executor is not None:
+        from repro.core.parallel import parallel_repair
+
+        moves = dict(
+            parallel_repair(
+                result, executor, max_passes=max_passes, full_scope=True
+            )
+        )
+    else:
+        moves = dict(
+            improve(result.instance, arrangement, max_passes=max_passes)
+        )
+    utility = arrangement.utility()
+    if lp_resolver is not None:
+        lp_result = lp_resolver.solve(result.instance, seed=seed)
+        moves["lp_utility"] = lp_result.utility
+        moves["lp_adopted"] = lp_result.utility > utility
+        if moves["lp_adopted"]:
+            arrangement = lp_result.arrangement
+            utility = lp_result.utility
+    return arrangement, moves, utility
+
+
+def _simulate(
+    trace: ChurnTrace,
+    online: _OnlineAlgorithm,
+    *,
+    seed: int,
+    defrag: DefragSchedule,
+    oracle: ArrangementAlgorithm,
+    oracle_every: int,
+    defrag_lp: bool,
+    defrag_lp_backend: str,
+    max_passes: int,
+    executor,
+    check_parity: bool,
+) -> SimulationReport:
+    if executor is not None:
+        from repro.core.parallel import parallel_repair
+    rng = np.random.default_rng(seed)
+    started = time.perf_counter()
+    initial = online.solve(trace.initial, seed=seed)
+    initial_seconds = time.perf_counter() - started
+
+    report = SimulationReport(
+        online_algorithm=online.name,
+        oracle_algorithm=oracle.name,
+        defrag_schedule=defrag.name,
+        initial_utility=initial.utility,
+        initial_seconds=initial_seconds,
+    )
+    # The warm-started LP re-solver is one object across the horizon, so
+    # each defrag's final simplex basis crashes the next defrag's solve
+    # (whenever a revised-simplex backend runs; HiGHS ignores the hint).
+    lp_resolver = (
+        LPPacking(alpha=1.0, lp_backend=defrag_lp_backend, warm_start=True)
+        if defrag_lp
+        else None
+    )
+    instance = trace.initial
+    arrangement = initial.arrangement
+    oracle_reference: float | None = None
+    last_tick = len(trace.deltas) - 1
+    for tick, delta in enumerate(trace.deltas):
+        tick_started = time.perf_counter()
+        result = apply_delta(instance, delta, arrangement)
+        arrangement = result.arrangement
+
+        # Arrivals are served online, in arrival order, and excluded from
+        # the repair's user-side scan so their assignment is the online
+        # policy's decision, not a re-optimized one.  Event-side moves
+        # (refill/evict) still treat them like any other bidder — the
+        # acceptance metric is the admission answer at arrival time.
+        accepted = 0
+        for user in delta.add_users:
+            if online.serve(result.instance, arrangement, user.user_id, rng):
+                accepted += 1
+        result.touched_users.difference_update(
+            user.user_id for user in delta.add_users
+        )
+
+        if executor is not None:
+            repair_moves = parallel_repair(result, executor, max_passes=max_passes)
+        else:
+            repair_moves = repair(result, max_passes=max_passes)
+
+        utility = arrangement.utility()
+        defragged = defrag.should_run(tick, utility, oracle_reference)
+        defrag_moves = None
+        if defragged:
+            arrangement, defrag_moves, utility = _defragment(
+                result,
+                arrangement,
+                executor,
+                max_passes,
+                lp_resolver,
+                seed + 100_003 + tick,
+            )
+            result.arrangement = arrangement
+        seconds = time.perf_counter() - tick_started
+
+        tick_oracle: float | None = None
+        if oracle_every and ((tick + 1) % oracle_every == 0 or tick == last_tick):
+            tick_oracle = oracle.solve(result.instance, seed=seed + 1 + tick).utility
+            oracle_reference = tick_oracle
+        repair_debt = (
+            max(0.0, oracle_reference - utility)
+            if oracle_reference is not None
+            else None
+        )
+
+        parity: list[str] | None = None
+        if check_parity:
+            parity = index_parity_mismatches(
+                result.instance.index,
+                fresh_index_like(result.instance.index, result.instance),
+            )
+        feasible = arrangement.is_feasible()
+        report.records.append(
+            TickRecord(
+                tick=tick,
+                operations=delta.summary(),
+                num_users=result.instance.num_users,
+                num_events=result.instance.num_events,
+                num_pairs=len(arrangement),
+                arrivals=len(delta.add_users),
+                accepted=accepted,
+                dropped_pairs=len(result.dropped_pairs),
+                repair_moves=repair_moves,
+                defrag=defragged,
+                defrag_moves=defrag_moves,
+                utility=utility,
+                oracle_utility=tick_oracle,
+                repair_debt=repair_debt,
+                seconds=seconds,
+                feasible=feasible,
+                parity_mismatches=parity,
+            )
+        )
+        if not feasible:
+            # Recorded first, and the partial report rides on the error,
+            # so the failing tick stays inspectable.
+            raise SimulationInfeasibleError(
+                f"tick {tick}: arrangement is infeasible: "
+                f"{arrangement.violations()[:5]}",
+                report,
+            )
+        instance = result.instance
+    return report

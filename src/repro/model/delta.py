@@ -30,7 +30,7 @@ Application order within one delta is fixed and documented on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -76,9 +76,16 @@ class Delta:
             :class:`MatrixConflict` instance).
         remove_conflicts: conflicting event pairs dissolved (requires a
             :class:`MatrixConflict` instance).
+        set_user_capacity: ``(user_id, new_capacity)`` changes for surviving,
+            pre-existing users (new users carry their own capacity).  A
+            shrink below the user's carried load sheds their lightest pairs.
+        set_event_capacity: ``(event_id, new_capacity)`` changes for
+            surviving, pre-existing events.  A shrink below the carried
+            attendance sheds the event's lightest pairs.
         interest: ``(event_id, user_id) -> SI`` values backing new bids
-            (requires a :class:`TabulatedInterest` instance; functional
-            interest needs none).
+            *and* interest drift — entries on existing bid pairs re-weight
+            them in place (requires a :class:`TabulatedInterest` instance;
+            functional interest needs none).
         degrees: ``user_id -> D(G, u)`` overrides for new users on instances
             built with degree overrides (sampled-marginal workloads).
     """
@@ -91,6 +98,8 @@ class Delta:
     remove_bids: tuple[tuple[int, int], ...] = ()
     add_conflicts: tuple[tuple[int, int], ...] = ()
     remove_conflicts: tuple[tuple[int, int], ...] = ()
+    set_user_capacity: tuple[tuple[int, int], ...] = ()
+    set_event_capacity: tuple[tuple[int, int], ...] = ()
     interest: tuple[tuple[int, int, float], ...] = ()
     degrees: tuple[tuple[int, float], ...] = ()
 
@@ -99,7 +108,14 @@ class Delta:
         object.__setattr__(self, "remove_users", tuple(self.remove_users))
         object.__setattr__(self, "add_events", tuple(self.add_events))
         object.__setattr__(self, "remove_events", tuple(self.remove_events))
-        for name in ("add_bids", "remove_bids", "add_conflicts", "remove_conflicts"):
+        for name in (
+            "add_bids",
+            "remove_bids",
+            "add_conflicts",
+            "remove_conflicts",
+            "set_user_capacity",
+            "set_event_capacity",
+        ):
             object.__setattr__(
                 self,
                 name,
@@ -129,6 +145,8 @@ class Delta:
             or self.remove_bids
             or self.add_conflicts
             or self.remove_conflicts
+            or self.set_user_capacity
+            or self.set_event_capacity
             or self.interest
             or self.degrees
         )
@@ -144,6 +162,8 @@ class Delta:
             "remove_bids": len(self.remove_bids),
             "add_conflicts": len(self.add_conflicts),
             "remove_conflicts": len(self.remove_conflicts),
+            "user_capacity_updates": len(self.set_user_capacity),
+            "event_capacity_updates": len(self.set_event_capacity),
             "interest_updates": len(self.interest),
             "degree_updates": len(self.degrees),
         }
@@ -287,6 +307,37 @@ def _check_delta(instance: IGEPAInstance, delta: Delta) -> None:
                     f"conflict ({first}, {second}) not present"
                 )
 
+    seen_user_caps: set[int] = set()
+    for user_id, capacity in delta.set_user_capacity:
+        if user_id not in user_pos or user_id in removed_users:
+            raise DeltaError(
+                f"set_user_capacity targets user {user_id}, which is not a "
+                "surviving pre-existing user of the delta (new users carry "
+                "their own capacity)"
+            )
+        if user_id in seen_user_caps:
+            raise DeltaError(f"duplicate capacity change for user {user_id}")
+        seen_user_caps.add(user_id)
+        if capacity < 0:
+            raise DeltaError(
+                f"capacity for user {user_id} is {capacity}, expected >= 0"
+            )
+    seen_event_caps: set[int] = set()
+    for event_id, capacity in delta.set_event_capacity:
+        if event_id not in event_pos or event_id in removed_events:
+            raise DeltaError(
+                f"set_event_capacity targets event {event_id}, which is not "
+                "a surviving pre-existing event of the delta (new events "
+                "carry their own capacity)"
+            )
+        if event_id in seen_event_caps:
+            raise DeltaError(f"duplicate capacity change for event {event_id}")
+        seen_event_caps.add(event_id)
+        if capacity < 0:
+            raise DeltaError(
+                f"capacity for event {event_id} is {capacity}, expected >= 0"
+            )
+
     if delta.interest:
         if not isinstance(instance.interest, TabulatedInterest):
             raise DeltaError(
@@ -337,10 +388,11 @@ def _successor_users(instance: IGEPAInstance, delta: Delta) -> list[User]:
     adds: dict[int, list[int]] = {}
     for user_id, event_id in delta.add_bids:
         adds.setdefault(user_id, []).append(event_id)
+    capacities = dict(delta.set_user_capacity)
 
-    # Only users whose bid list actually changes need a rewrite; everyone
-    # else carries their (immutable) User object over untouched.
-    affected: set[int] = set(drops) | set(adds)
+    # Only users whose bid list or capacity actually changes need a rewrite;
+    # everyone else carries their (immutable) User object over untouched.
+    affected: set[int] = set(drops) | set(adds) | set(capacities)
     if removed_events:
         index = instance.index
         for event_id in removed_events:
@@ -362,7 +414,7 @@ def _successor_users(instance: IGEPAInstance, delta: Delta) -> list[User]:
             ) + tuple(adds.get(user.user_id, ()))
             user = User(
                 user_id=user.user_id,
-                capacity=user.capacity,
+                capacity=capacities.get(user.user_id, user.capacity),
                 attributes=user.attributes,
                 bids=new_bids,
                 categories=user.categories,
@@ -531,6 +583,13 @@ def _patch_index(
             ),
         ]
     )
+    # Capacity changes overwrite the copied entries in place (concatenate
+    # returned fresh arrays); the successor entities carry the same values,
+    # so a from-scratch build produces identical int64 bits.
+    for user_id, capacity in delta.set_user_capacity:
+        user_capacity[user_map[old.user_pos[user_id]]] = capacity
+    for event_id, capacity in delta.set_event_capacity:
+        event_capacity[event_map[old.event_pos[event_id]]] = capacity
     event_pos = {int(e): j for j, e in enumerate(event_ids.tolist())}
     user_pos = (
         {int(u): i for i, u in enumerate(user_ids.tolist())}
@@ -678,11 +737,15 @@ def _carry_arrangement(
 ) -> tuple[Arrangement, list[tuple[int, int]], set[int], set[int]]:
     """Carry the predecessor's pairs over, dropping whatever turned invalid.
 
-    Invalidation sources: removed users/events, withdrawn bids, and newly
+    Invalidation sources: removed users/events, withdrawn bids, newly
     conflicting event pairs (for each affected user, the lighter pair of the
-    two is dropped; ties drop the higher event id).  The result is feasible
-    by construction — constraints only tighten through those sources, since
-    deltas do not change capacities.
+    two is dropped; ties drop the higher event id), and capacity shrinks —
+    an event whose capacity fell below its carried attendance (or a user
+    whose capacity fell below their carried load) sheds its lightest pairs
+    until the tightened budget holds, ties dropping the higher user/event
+    id.  The result is feasible by construction: every way a delta can
+    tighten a Definition 4 constraint is resolved here, so repair always
+    starts from a feasible arrangement.
 
     The survivor transfer is pure array work on the assignment matrix: old
     pair positions are remapped through ``maps`` and invalidated against the
@@ -731,6 +794,40 @@ def _carry_arrangement(
                 assigned[upos, victim_pos] = False
                 dropped.append((victim_id, int(index.user_ids[upos])))
 
+    # Capacity shrinks shed the lightest pairs until the tightened budgets
+    # hold.  Event side first — it only lowers user loads, so the user-side
+    # pass afterwards cannot re-create an event overflow.
+    for event_id, _capacity in delta.set_event_capacity:
+        vpos = index.event_pos[event_id]
+        over = int(assigned[:, vpos].sum()) - int(index.event_capacity[vpos])
+        if over <= 0:
+            continue
+        attendees = np.flatnonzero(assigned[:, vpos])
+        weights = index.pair_weights(
+            attendees, np.full(attendees.size, vpos, dtype=np.int64)
+        )
+        attendee_ids = index.user_ids[attendees]
+        # Ascending weight, ties dropping the higher user id (mirrors the
+        # conflict-drop tie rule above).
+        order = np.lexsort((-attendee_ids, weights))
+        for k in order[:over].tolist():
+            assigned[int(attendees[k]), vpos] = False
+            dropped.append((event_id, int(attendee_ids[k])))
+    for user_id, _capacity in delta.set_user_capacity:
+        upos = index.user_pos[user_id]
+        over = int(assigned[upos].sum()) - int(index.user_capacity[upos])
+        if over <= 0:
+            continue
+        attended = np.flatnonzero(assigned[upos])
+        weights = index.pair_weights(
+            np.full(attended.size, upos, dtype=np.int64), attended
+        )
+        attended_ids = index.event_ids[attended]
+        order = np.lexsort((-attended_ids, weights))
+        for k in order[:over].tolist():
+            assigned[upos, int(attended[k])] = False
+            dropped.append((int(attended_ids[k]), user_id))
+
     carried.attendance_counts[:] = assigned.sum(axis=0)
     carried.load_counts[:] = assigned.sum(axis=1)
     rows, cols = np.nonzero(assigned)
@@ -762,7 +859,8 @@ def apply_delta(
 
     Operations apply in a fixed order: bid removals, user removals, event
     removals (dropping surviving users' bids on them), event additions, user
-    additions, bid additions, conflict edits, interest/degree merges.  A bid
+    additions, bid additions, conflict edits, capacity changes,
+    interest/degree merges.  A bid
     removal may therefore target an event closing in the same delta, and bid
     additions (including new users' bid lists) may reference newly opened
     events.
@@ -791,8 +889,13 @@ def apply_delta(
 
     users = _successor_users(instance, delta)
     removed_events = set(delta.remove_events)
+    event_capacities = dict(delta.set_event_capacity)
     events = [
-        event for event in instance.events if event.event_id not in removed_events
+        event
+        if event.event_id not in event_capacities
+        else replace(event, capacity=event_capacities[event.event_id])
+        for event in instance.events
+        if event.event_id not in removed_events
     ]
     events.extend(delta.add_events)
 
@@ -862,6 +965,13 @@ def apply_delta(
                         old_index.event_bidder_positions(vpos)
                     ]
                 )
+    # Capacity changes: a raise opens room (add moves for the user, refill
+    # over the event's bidder pool); a shrink sheds pairs, whose endpoints
+    # join the touched sets through the carryover below.
+    for user_id, _capacity in delta.set_user_capacity:
+        result.touched_users.add(user_id)
+    for event_id, _capacity in delta.set_event_capacity:
+        result.touched_events.add(event_id)
     # Re-weightings change which moves are improving without changing the
     # entity sets: the affected users (and, for evict consideration, the
     # affected events) must be rescanned.

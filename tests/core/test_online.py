@@ -208,3 +208,60 @@ class TestCompetitiveRatioBounds:
         self._patch_bound(monkeypatch, -1e-3)
         with pytest.raises(RuntimeError, match="not an upper bound"):
             competitive_ratio(instance, OnlineGreedy(), repetitions=2, seed=0)
+
+
+class TestServeHook:
+    """The incremental serving hook behind the dynamic-platform simulator."""
+
+    @pytest.mark.parametrize("algorithm_class", [OnlineGreedy, OnlineRandom])
+    def test_serve_matches_arrival_loop(self, algorithm_class):
+        """Serving users one by one through the hook reproduces the solve
+        loop under the same fixed arrival order."""
+        import numpy as np
+
+        from repro.model import Arrangement
+
+        instance = random_instance(seed=2)
+        order = [user.user_id for user in instance.users]
+        solved = algorithm_class(arrival_order=order).solve(instance, seed=0)
+        arrangement = Arrangement(instance)
+        rng = np.random.default_rng(0)
+        for user_id in order:
+            algorithm_class().serve(instance, arrangement, user_id, rng)
+        assert arrangement.pairs == solved.arrangement.pairs
+
+    def test_serve_returns_assigned_events_and_stays_feasible(self):
+        instance = tiny_instance()
+        from repro.model import Arrangement
+
+        arrangement = Arrangement(instance)
+        assigned = OnlineGreedy().serve(instance, arrangement, 11)
+        assert assigned == sorted(arrangement.events_of(11))
+        assert assigned  # user 11 has room and open events
+        assert arrangement.is_feasible()
+
+    def test_serve_respects_remaining_capacity(self):
+        """A full event cannot be assigned to a later arrival."""
+        instance = tiny_instance()
+        from repro.model import Arrangement
+
+        arrangement = Arrangement(instance)
+        arrangement.add(2, 12)  # event 2 has capacity 1
+        assigned = OnlineGreedy().serve(instance, arrangement, 10)
+        assert 2 not in assigned
+        assert arrangement.is_feasible()
+
+    def test_serve_unknown_user_rejected(self):
+        instance = tiny_instance()
+        from repro.model import Arrangement
+
+        with pytest.raises(ValueError, match="unknown user"):
+            OnlineGreedy().serve(instance, Arrangement(instance), 999)
+
+    def test_serve_foreign_arrangement_rejected(self):
+        from repro.model import Arrangement
+
+        instance = tiny_instance()
+        other = tiny_instance()
+        with pytest.raises(ValueError, match="different instance"):
+            OnlineGreedy().serve(instance, Arrangement(other), 10)

@@ -113,3 +113,101 @@ class TestGeneration:
         for delta in trace.deltas:
             assert delta.degrees == ()
             current = apply_delta(current, delta).instance
+
+
+class TestDynamicDeltaKinds:
+    """Drift, capacity shocks and shrink bursts ride on the same trace."""
+
+    DYNAMIC = dict(
+        drift_rate=8.0,
+        capacity_shock_rate=3.0,
+        user_capacity_shock_rate=2.0,
+        burst_every=4,
+        burst_capacity_shrink_fraction=0.3,
+    )
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="drift_rate"):
+            ChurnConfig(drift_rate=-1.0)
+        with pytest.raises(ValueError, match="capacity_shock_rate"):
+            ChurnConfig(capacity_shock_rate=-0.5)
+        with pytest.raises(ValueError, match="burst_capacity_shrink_fraction"):
+            ChurnConfig(burst_capacity_shrink_fraction=2.0)
+
+    def test_default_knobs_emit_no_dynamic_ops(self):
+        trace = small_trace(seed=3)
+        summary = trace.summary()
+        assert summary["event_capacity_updates"] == 0
+        assert summary["user_capacity_updates"] == 0
+
+    def test_dynamic_trace_emits_and_applies(self):
+        trace = small_trace(seed=3, **self.DYNAMIC)
+        summary = trace.summary()
+        assert summary["event_capacity_updates"] > 0
+        assert summary["user_capacity_updates"] > 0
+        assert summary["interest_updates"] > 0
+        current = trace.initial
+        for delta in trace.deltas:
+            current = apply_delta(current, delta).instance
+
+    def test_mirror_capacities_track_the_model(self):
+        """Capacity updates always target the entity's *current* capacity
+        mirror, so replaying the deltas reproduces the generator's view."""
+        trace = small_trace(seed=9, **self.DYNAMIC)
+        current = trace.initial
+        for delta in trace.deltas:
+            current = apply_delta(current, delta).instance
+        # Every capacity change along the way stuck (or was overridden by a
+        # later one): spot-check the final instance against the last update
+        # per entity.
+        last_event_cap = {}
+        last_user_cap = {}
+        for delta in trace.deltas:
+            for event_id, capacity in delta.set_event_capacity:
+                last_event_cap[event_id] = capacity
+            for user_id, capacity in delta.set_user_capacity:
+                last_user_cap[user_id] = capacity
+        for event_id, capacity in last_event_cap.items():
+            if event_id in current.event_by_id:
+                assert current.event_by_id[event_id].capacity == capacity
+        for user_id, capacity in last_user_cap.items():
+            if user_id in current.user_by_id:
+                assert current.user_by_id[user_id].capacity == capacity
+
+    def test_burst_shrinks_capacities(self):
+        """Burst batches carry shrink updates (halved capacities)."""
+        steady = small_trace(seed=5, drift_rate=0.0)
+        bursty = small_trace(
+            seed=5,
+            burst_every=4,
+            burst_capacity_shrink_fraction=0.5,
+        )
+        burst_updates = [
+            len(d.set_event_capacity)
+            for i, d in enumerate(bursty.deltas)
+            if (i + 1) % 4 == 0
+        ]
+        assert max(burst_updates) > 0
+        assert all(
+            len(d.set_event_capacity) == 0 for d in steady.deltas
+        )
+
+    def test_drift_targets_existing_bid_pairs(self):
+        """Drift entries re-weight pairs that exist on the pre-batch
+        platform (they survive into the successor unless churned away)."""
+        trace = small_trace(seed=7, drift_rate=10.0)
+        current = trace.initial
+        for delta in trace.deltas:
+            rebid_removed = set(delta.remove_bids)
+            new_bid_pairs = {(u, e) for u, e in delta.add_bids} | {
+                (user.user_id, e) for user in delta.add_users for e in user.bids
+            }
+            for event_id, user_id, value in delta.interest:
+                assert 0.0 <= value <= 1.0
+                if (user_id, event_id) in new_bid_pairs:
+                    continue  # interest backing a new bid
+                # a drift entry: the pair was a live bid before the batch
+                assert (user_id, event_id) not in rebid_removed
+                user = current.user_by_id[user_id]
+                assert event_id in user.bid_set
+            current = apply_delta(current, delta).instance

@@ -14,6 +14,7 @@ class TestSFDefaults:
         assert SF_DEFAULTS.num_events == 190
         assert SF_DEFAULTS.num_users == 2811
 
+    @pytest.mark.slow
     def test_full_scale_generation(self):
         instance = generate_meetup(seed=0)
         assert instance.num_events == 190

@@ -8,6 +8,7 @@ from repro.core import GGGreedy, RandomU
 from repro.datagen import SyntheticConfig
 from repro.experiments import run_sweep
 from repro.experiments.persistence import (
+    FORMAT_VERSION,
     load_stats,
     load_sweep,
     save_stats,
@@ -95,3 +96,31 @@ class TestVersionGuards:
         save_sweep(sweep, path)
         with pytest.raises(ValueError, match="not a stats payload"):
             load_stats(path)
+
+
+class TestReportEnvelope:
+    def test_report_to_dict_envelope(self):
+        from repro.experiments.persistence import report_to_dict
+
+        payload = report_to_dict(
+            "simulation",
+            {"all_feasible": True},
+            [{"tick": 0}],
+            records_key="ticks",
+        )
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["kind"] == "simulation"
+        assert payload["all_feasible"] is True
+        assert payload["ticks"] == [{"tick": 0}]
+
+    def test_replay_report_uses_envelope(self):
+        """Regression for the shared-serialization satellite: replay used to
+        hand-roll its dict without the version/kind envelope."""
+        from repro.experiments.replay import ReplayReport
+
+        payload = ReplayReport(
+            algorithm="gg", initial_utility=1.0, initial_solve_seconds=0.0
+        ).to_dict()
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["kind"] == "replay"
+        assert payload["batches"] == []

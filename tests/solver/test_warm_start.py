@@ -71,6 +71,7 @@ def test_warm_start_across_churn_matches_cold_and_saves_pivots(instance):
     assert total_warm < total_cold
 
 
+@pytest.mark.slow
 def test_warm_start_without_presolve_stays_feasible(instance):
     # presolve off keeps the x <= 1 bound rows in the standard form, so the
     # warm labels exercise the variable-named __ub slack labels too.
