@@ -41,21 +41,28 @@ def event_fill_rates(
 
 def mean_fill_rate(instance: IGEPAInstance, arrangement: Arrangement) -> float:
     """Average fill rate over events with positive capacity."""
-    rates = [
-        rate
-        for event_id, rate in event_fill_rates(instance, arrangement).items()
-        if instance.event_by_id[event_id].capacity > 0
-    ]
-    return float(np.mean(rates)) if rates else 0.0
+    index = instance.index
+    rates = np.fromiter(
+        event_fill_rates(instance, arrangement).values(),
+        dtype=np.float64,
+        count=index.num_events,
+    )
+    positive = index.event_capacity > 0
+    return float(rates[positive].mean()) if positive.any() else 0.0
 
 
 def user_coverage(instance: IGEPAInstance, arrangement: Arrangement) -> float:
     """Fraction of users assigned to at least one event."""
     if instance.num_users == 0:
         return 0.0
-    served = sum(
-        1 for user in instance.users if arrangement.load(user.user_id) > 0
-    )
+    if arrangement.is_clean():
+        served = int((arrangement.load_counts > 0).sum())
+    else:
+        served = sum(
+            1
+            for user_id in instance.index.user_ids.tolist()
+            if arrangement.load(user_id) > 0
+        )
     return served / instance.num_users
 
 
@@ -72,7 +79,7 @@ def user_utilities(
                 shard.W * assigned[shard.start : shard.stop]
             ).sum(axis=1)
         return dict(zip(index.user_ids.tolist(), totals.tolist()))
-    totals = {user.user_id: 0.0 for user in instance.users}
+    totals = dict.fromkeys(index.user_ids.tolist(), 0.0)
     for event_id, user_id in arrangement.pairs:
         totals[user_id] += instance.weight(user_id, event_id)
     return totals
@@ -85,13 +92,14 @@ def jain_fairness(instance: IGEPAInstance, arrangement: Arrangement) -> float:
     user takes everything.  Users with no bids are excluded (they cannot
     receive utility by construction).
     """
-    values = np.array(
-        [
-            total
-            for user_id, total in user_utilities(instance, arrangement).items()
-            if instance.user_by_id[user_id].bids
-        ]
+    index = instance.index
+    utilities = user_utilities(instance, arrangement)
+    # Both user_utilities branches key their dict in index user order, so the
+    # bid-count filter is one vectorized mask instead of a per-user lookup.
+    totals = np.fromiter(
+        utilities.values(), dtype=np.float64, count=len(utilities)
     )
+    values = totals[np.diff(index.bid_indptr) > 0]
     if values.size == 0:
         return 1.0
     denominator = values.size * float(np.sum(values**2))

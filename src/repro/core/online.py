@@ -56,7 +56,7 @@ class _OnlineAlgorithm(ArrangementAlgorithm):
             if unknown:
                 raise ValueError(f"arrival order contains unknown users {unknown}")
             return list(self.arrival_order)
-        order = [user.user_id for user in instance.users]
+        order = instance.store.user_ids.tolist()
         rng.shuffle(order)
         return order
 

@@ -296,7 +296,7 @@ def generate_meetup(
             members_of_group.setdefault(group, []).append(user_id)
 
     if config.materialize_social_graph:
-        social: Graph = empty_graph(user_ids)
+        social: Graph = Graph(nodes=user_ids)
         for members in members_of_group.values():
             for i, first in enumerate(members):
                 for second in members[i + 1 :]:

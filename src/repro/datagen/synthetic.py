@@ -24,10 +24,12 @@ utility depends on degrees only — DESIGN.md §5).  Pass
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.model.columnar import ColumnarInterest, ColumnarStore, EventColumn
 from repro.model.conflicts import MatrixConflict
 from repro.model.entities import Event, User
 from repro.model.instance import IGEPAInstance
@@ -203,18 +205,23 @@ def generate_synthetic(
 def _stream_user_chunk(
     config: SyntheticConfig,
     rng: np.random.Generator,
-    user_ids: list[int],
+    k: int,
     num_events: int,
     clusters: list[list[int]],
-) -> tuple[list[User], dict[tuple[int, int], float]]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """One vectorized chunk of dependent-bid users (see stream generator).
 
     All randomness is drawn in bulk arrays up front — capacities, bid
     budgets, cluster assignment, per-cluster member permutations and the
     uniform top-up pool — so the per-user assembly loop does only index
     arithmetic, never an RNG call.
+
+    Returns arrays, not entities: per-user capacities and bid counts, the
+    flat bid lists (event ids, ascending per user) and the SI value per bid
+    entry.  Both stream modes — arrays-native and entity — consume these,
+    so they draw the identical RNG sequence and produce content-identical
+    instances for the same seed.
     """
-    k = len(user_ids)
     capacities = rng.integers(1, config.max_user_capacity + 1, size=k)
     wanted = np.minimum(
         rng.integers(config.min_bids, config.max_bids + 1, size=k), num_events
@@ -242,9 +249,9 @@ def _stream_user_chunk(
     pool_width = int(config.max_bids * 2 + 4)
     top_up = rng.integers(num_events, size=(k, pool_width)) if num_events else None
 
-    users: list[User] = []
-    pending: list[tuple[int, int]] = []  # (user offset in chunk, event_id)
-    for i, user_id in enumerate(user_ids):
+    counts = np.zeros(k, dtype=np.int64)
+    flat_bids: list[int] = []
+    for i in range(k):
         chosen: set[int] = set()
         target = int(wanted[i])
         cluster_id = int(cluster_of[i])
@@ -267,16 +274,12 @@ def _stream_user_chunk(
             # tiny event counts): finish with direct draws so the min_bids
             # floor always holds, like the per-user generator.
             chosen.add(int(rng.integers(num_events)))
-        bids = tuple(sorted(chosen))
-        users.append(User(user_id=user_id, capacity=int(capacities[i]), bids=bids))
-        pending.extend((i, event_id) for event_id in bids)
+        counts[i] = len(chosen)
+        flat_bids.extend(sorted(chosen))
 
-    interest = rng.random(len(pending))
-    interest_values = {
-        (event_id, user_ids[offset]): float(interest[position])
-        for position, (offset, event_id) in enumerate(pending)
-    }
-    return users, interest_values
+    flat = np.asarray(flat_bids, dtype=np.int64)
+    si = rng.random(flat.size)
+    return capacities.astype(np.int64, copy=False), counts, flat, si
 
 
 def generate_synthetic_stream(
@@ -284,21 +287,36 @@ def generate_synthetic_stream(
     seed: int | None = None,
     *,
     chunk_size: int = 8192,
+    columnar: bool = True,
+    spill_budget_bytes: int | None = None,
+    spill_dir: str | None = None,
     **overrides,
 ) -> IGEPAInstance:
     """Generate a large synthetic instance by streaming vectorized user chunks.
 
     Same workload shape as :func:`generate_synthetic` (Table I capacities,
     p_cf conflicts, dependent cluster bids, Binomial-marginal degrees) but
-    built for the ≥50k-user regime:
+    built for the ≥500k-user regime:
 
     * users are generated ``chunk_size`` at a time with bulk RNG draws —
       no per-user ``Generator`` calls, so a 50k-user instance builds in a
       fraction of the per-user generator's time;
-    * nothing user-by-event is ever materialized — peak memory is
-      O(|V|² + users + bids + chunk);
+    * with ``columnar=True`` (default) the chunks flow straight into a
+      :class:`~repro.model.columnar.ColumnarStore` — no ``User`` object, no
+      per-bid tuple and no interest dict is ever materialized, so peak
+      memory is a handful of flat arrays plus O(|V|² + chunk);
     * degrees always come from the exact Binomial marginal (the explicit
-      Erdős–Rényi graph at 50k users would hold ~6·10⁸ edges).
+      Erdős–Rényi graph at 500k users would hold ~6·10¹⁰ edges).
+
+    ``columnar=False`` assembles classic entity lists from the *same* array
+    chunks; both modes consume one RNG draw sequence, so for a fixed seed
+    they produce content-identical instances (bit-equal SI values, degrees,
+    bids) — only the storage representation differs.
+
+    ``spill_budget_bytes`` (columnar mode only) caps the store's resident
+    array bytes: beyond it, the large per-user/per-bid columns are rewritten
+    as memory-mapped ``.npy`` files under ``spill_dir`` (a fresh temporary
+    directory when omitted).
 
     The draw order differs from :func:`generate_synthetic`, so the two
     produce different (equally distributed) instances for the same seed.
@@ -316,6 +334,8 @@ def generate_synthetic_stream(
         )
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if spill_budget_bytes is not None and not columnar:
+        raise ValueError("spill_budget_bytes requires columnar=True")
     rng = np.random.default_rng(seed)
 
     event_ids = list(range(config.num_events))
@@ -329,45 +349,105 @@ def generate_synthetic_stream(
     conflict = MatrixConflict.sample(event_ids, config.conflict_probability, rng)
     clusters = _conflict_clusters(event_ids, conflict, rng) if event_ids else []
 
-    users: list[User] = []
-    interest_values: dict[tuple[int, int], float] = {}
+    cap_chunks: list[np.ndarray] = []
+    count_chunks: list[np.ndarray] = []
+    bid_chunks: list[np.ndarray] = []
+    si_chunks: list[np.ndarray] = []
     for start in range(0, config.num_users, chunk_size):
-        chunk_ids = list(range(start, min(start + chunk_size, config.num_users)))
+        k = min(chunk_size, config.num_users - start)
         if config.num_events:
-            chunk_users, chunk_interest = _stream_user_chunk(
-                config, rng, chunk_ids, config.num_events, clusters
+            caps, counts, flat, si = _stream_user_chunk(
+                config, rng, k, config.num_events, clusters
             )
         else:
-            capacities = rng.integers(
-                1, config.max_user_capacity + 1, size=len(chunk_ids)
-            )
-            chunk_users = [
-                User(user_id=user_id, capacity=int(capacities[i]))
-                for i, user_id in enumerate(chunk_ids)
-            ]
-            chunk_interest = {}
-        users.extend(chunk_users)
-        interest_values.update(chunk_interest)
+            caps = rng.integers(1, config.max_user_capacity + 1, size=k)
+            counts = np.zeros(k, dtype=np.int64)
+            flat = np.empty(0, dtype=np.int64)
+            si = np.empty(0, dtype=np.float64)
+        cap_chunks.append(caps)
+        count_chunks.append(counts)
+        bid_chunks.append(flat)
+        si_chunks.append(si)
 
-    user_ids = [u.user_id for u in users]
-    social = empty_graph(user_ids)
-    n = config.num_users
-    if n > 1:
-        raw = rng.binomial(n - 1, config.friend_probability, size=n)
-        degrees = {
-            user_id: float(raw[i]) / (n - 1) for i, user_id in enumerate(user_ids)
-        }
+    num_users = config.num_users
+    user_capacity = _concat(cap_chunks, np.int64)
+    bid_counts = _concat(count_chunks, np.int64)
+    bid_event_pos = _concat(bid_chunks, np.int64)
+    bid_si = _concat(si_chunks, np.float64)
+    bid_indptr = np.zeros(num_users + 1, dtype=np.int64)
+    np.cumsum(bid_counts, out=bid_indptr[1:])
+
+    if num_users > 1:
+        raw = rng.binomial(num_users - 1, config.friend_probability, size=num_users)
+        degree_vector = raw.astype(np.float64) / (num_users - 1)
     else:
-        degrees = {user_id: 0.0 for user_id in user_ids}
+        degree_vector = np.zeros(num_users, dtype=np.float64)
+
+    name = (
+        f"synthetic-stream(|V|={config.num_events},|U|={config.num_users},"
+        f"pcf={config.conflict_probability},pdeg={config.friend_probability})"
+    )
+
+    if columnar:
+        store = ColumnarStore(
+            user_ids=np.arange(num_users, dtype=np.int64),
+            user_capacity=user_capacity,
+            event_ids=np.arange(config.num_events, dtype=np.int64),
+            event_capacity=np.fromiter(
+                (e.capacity for e in events), dtype=np.int64, count=len(events)
+            ),
+            bid_indptr=bid_indptr,
+            bid_event_pos=bid_event_pos,
+            bid_si=bid_si,
+            degrees=degree_vector,
+            conflict_matrix=conflict.matrix(events),
+        )
+        if spill_budget_bytes is not None:
+            directory = spill_dir or tempfile.mkdtemp(prefix="igepa-spill-")
+            store.maybe_spill(spill_budget_bytes, directory)
+        return IGEPAInstance.from_store(
+            store,
+            conflict=conflict,
+            interest=ColumnarInterest(store),
+            social=empty_graph(store.user_ids.tolist()),
+            beta=config.beta,
+            name=name,
+        )
+
+    # Entity mode: the same arrays, unpacked into classic User objects and a
+    # tabulated interest dict (exact backward compatibility path).
+    caps_list = user_capacity.tolist()
+    indptr_list = bid_indptr.tolist()
+    flat_list = bid_event_pos.tolist()
+    si_list = bid_si.tolist()
+    users = [
+        User(
+            user_id=user_id,
+            capacity=caps_list[user_id],
+            bids=tuple(flat_list[indptr_list[user_id] : indptr_list[user_id + 1]]),
+        )
+        for user_id in range(num_users)
+    ]
+    interest_values = {
+        (flat_list[entry], user_id): si_list[entry]
+        for user_id in range(num_users)
+        for entry in range(indptr_list[user_id], indptr_list[user_id + 1])
+    }
+    degrees = dict(enumerate(degree_vector.tolist()))
 
     return IGEPAInstance(
         events=events,
         users=users,
         conflict=conflict,
         interest=TabulatedInterest(interest_values),
-        social=social,
+        social=empty_graph(list(range(num_users))),
         beta=config.beta,
-        name=f"synthetic-stream(|V|={config.num_events},|U|={config.num_users},"
-        f"pcf={config.conflict_probability},pdeg={config.friend_probability})",
+        name=name,
         degrees=degrees,
     )
+
+
+def _concat(chunks: list[np.ndarray], dtype) -> np.ndarray:
+    if not chunks:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(chunks).astype(dtype, copy=False)

@@ -14,6 +14,14 @@ Definitions 1-8 of the paper map to this package as follows:
 
 from repro.model.arrangement import Arrangement
 from repro.model.builders import InstanceBuilder
+from repro.model.columnar import (
+    ColumnarInterest,
+    ColumnarStore,
+    EventColumn,
+    EventView,
+    UserColumn,
+    UserView,
+)
 from repro.model.delta import Delta, DeltaError, DeltaResult, apply_delta
 from repro.model.conflicts import (
     AlwaysConflict,
@@ -48,6 +56,12 @@ from repro.model.interest import (
 __all__ = [
     "Event",
     "User",
+    "ColumnarStore",
+    "ColumnarInterest",
+    "UserView",
+    "EventView",
+    "UserColumn",
+    "EventColumn",
     "IGEPAInstance",
     "BaseInstanceIndex",
     "InstanceIndex",

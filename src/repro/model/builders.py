@@ -25,6 +25,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.model.columnar import ColumnarStore
 from repro.model.conflicts import (
     CompositeConflict,
     ConflictFunction,
@@ -146,8 +147,7 @@ class InstanceBuilder:
     # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
-    def _conflict_function(self) -> ConflictFunction:
-        temporal = any(event.start_time is not None for event in self._events)
+    def _conflict_function(self, temporal: bool) -> ConflictFunction:
         members: list[ConflictFunction] = []
         if temporal:
             members.append(TimeIntervalConflict())
@@ -173,15 +173,21 @@ class InstanceBuilder:
             interest = TabulatedInterest(
                 self._interest, default=self._default_interest
             )
-        social = Graph(nodes=[user.user_id for user in self._users])
+        # One packing pass replaces the per-entity generator scans: the
+        # temporal check is the presence of the store's start column, the
+        # social node list is the id column, and the instance reuses the
+        # store instead of packing a second time.
+        store = ColumnarStore.from_entities(self._users, self._events)
+        social = Graph(nodes=store.user_ids.tolist())
         for first, second in self._edges:
             social.add_edge(first, second)
         return IGEPAInstance(
             events=self._events,
             users=self._users,
-            conflict=self._conflict_function(),
+            conflict=self._conflict_function(store.event_start is not None),
             interest=interest,
             social=social,
             beta=self._beta,
             name=self._name,
+            store=store,
         )

@@ -35,6 +35,13 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.model.arrangement import Arrangement
+from repro.model.columnar import (
+    ColumnarInterest,
+    ColumnarStore,
+    carry_attributes,
+    carry_categories,
+    carry_temporal,
+)
 from repro.model.conflicts import MatrixConflict
 from repro.model.entities import Event, User
 from repro.model.errors import ModelError
@@ -350,7 +357,7 @@ def _check_delta(instance: IGEPAInstance, delta: Delta) -> None:
                     f"interest for event {event_id}, user {user_id} is "
                     f"{value}, expected a value in [0, 1]"
                 )
-    if delta.degrees and instance.degrees_override is None:
+    if delta.degrees and not instance.has_degree_overrides:
         raise DeltaError(
             "degree overrides require an instance built with degree "
             "overrides (degrees_override is None)"
@@ -507,28 +514,35 @@ def _position_maps(old: InstanceIndex, delta: Delta) -> _PositionMaps:
     return _PositionMaps(keep_users, keep_events, user_map, event_map)
 
 
-def _patch_index(
+def _patch_components(
     instance: IGEPAInstance,
-    successor: IGEPAInstance,
     delta: Delta,
     maps: _PositionMaps,
-) -> BaseInstanceIndex:
-    """Derive the successor's index from the predecessor's by array patching.
+    *,
+    conflict_fn,
+    successor_events,
+    interest_fn,
+    event_lookup,
+    user_lookup,
+) -> dict:
+    """Patch the predecessor's primary arrays into the successor's.
 
     Every surviving entry is copied bit for bit; new entries run the same
     expressions the from-scratch build would (``validated_interest`` for SI,
-    the conflict function for new rows, the override/graph formula for
-    degrees).  Derived arrays are produced by the shared
-    ``BaseInstanceIndex._finalize``.
+    the conflict function for new rows).  The caller supplies the successor's
+    conflict/interest machinery — as objects on the entity path, as
+    view/delta-backed closures on the columnar path — so this function never
+    needs the successor instance itself.
 
     The patch is expressed at the CSR-entry level (``bid_indices`` /
     ``bid_si`` splicing), so its cost is O(bids + delta + |V|²) regardless
     of the index implementation: on a :class:`ShardedInstanceIndex` no
     O(cells) work happens at all — churn effectively routes to the touched
     shards only, since untouched shards' slabs are never materialized and
-    their CSR segments are copied wholesale by the vectorized splice.  The
-    successor index keeps the predecessor's implementation (and shard
-    size).
+    their CSR segments are copied wholesale by the vectorized splice.
+
+    Returns the primary components minus ``degrees`` (built against the
+    successor by the caller).
     """
     old = instance.index
     keep_users = maps.keep_users
@@ -536,12 +550,11 @@ def _patch_index(
     user_map = maps.user_map
     event_map = maps.event_map
 
-    users = successor.users
-    events = successor.events
-    n_users = len(users)
-    n_events = len(events)
+    events = successor_events
     n_survivor_users = int(keep_users.sum())
     n_survivor_events = int(keep_events.sum())
+    n_users = n_survivor_users + len(delta.add_users)
+    n_events = n_survivor_events + len(delta.add_events)
 
     user_ids = np.concatenate(
         [
@@ -597,22 +610,12 @@ def _patch_index(
         else None
     )
 
-    # Degrees: when the user set or the overrides change, run the
-    # constructor's own builder on the successor (O(|U|) lookups, no
-    # interest/conflict work) — one shared implementation, so the patched
-    # vector cannot drift from a from-scratch build.  Otherwise copy.
-    if delta.add_users or delta.remove_users or delta.degrees:
-        degrees = build_degrees(successor)
-    else:
-        degrees = old.degrees.copy()
-
     # Conflict matrix: slice survivors, evaluate new events' rows with the
     # successor conflict function, then toggle edited survivor pairs.
     conflict_matrix = np.zeros((n_events, n_events), dtype=bool)
     conflict_matrix[:n_survivor_events, :n_survivor_events] = old.conflict_matrix[
         np.ix_(keep_events, keep_events)
     ]
-    conflict_fn = successor.conflict
     for offset, event in enumerate(delta.add_events):
         j = n_survivor_events + offset
         for i, other in enumerate(events):
@@ -635,10 +638,6 @@ def _patch_index(
     # users' rows.  SI values ride along entry for entry: survivors are
     # copied bit for bit, added bids run the constructor's own validated
     # interest evaluation.
-    interest_fn = successor.interest.interest
-    event_by_id = successor.event_by_id
-    user_by_id = successor.user_by_id
-
     old_entry_user = old.bid_user_positions
     old_entry_event = old.bid_indices
     keep_entries = keep_users[old_entry_user] & keep_events[old_entry_event]
@@ -671,13 +670,13 @@ def _patch_index(
         insert_si: list[float] = []
         for new_upos in sorted(adds_by_upos):
             row_end = int(kept_indptr[new_upos + 1])
-            user = user_by_id[int(user_ids[new_upos])]
+            user = user_lookup(int(user_ids[new_upos]))
             for vpos in adds_by_upos[new_upos]:
                 insert_at.append(row_end)
                 insert_values.append(vpos)
                 insert_si.append(
                     validated_interest(
-                        interest_fn, event_by_id[int(event_ids[vpos])], user
+                        interest_fn, event_lookup(int(event_ids[vpos])), user
                     )
                 )
             counts[new_upos] += len(adds_by_upos[new_upos])
@@ -705,27 +704,217 @@ def _patch_index(
             if offsets.size:
                 bid_si[start + int(offsets[0])] = value
 
-    components = dict(
+    return dict(
         user_ids=user_ids,
         event_ids=event_ids,
         user_capacity=user_capacity,
         event_capacity=event_capacity,
-        degrees=degrees,
         conflict_matrix=conflict_matrix,
         bid_indptr=bid_indptr,
         bid_indices=bid_indices,
         bid_si=bid_si,
     )
+
+
+def _successor_degrees(
+    instance: IGEPAInstance, successor: IGEPAInstance, delta: Delta
+) -> np.ndarray:
+    """The successor index's degree vector.
+
+    When the user set or the overrides change, run the constructor's own
+    builder on the successor (O(|U|) lookups, no interest/conflict work) —
+    one shared implementation, so the patched vector cannot drift from a
+    from-scratch build.  Otherwise copy the predecessor's.
+    """
+    if delta.add_users or delta.remove_users or delta.degrees:
+        return build_degrees(successor)
+    return instance.index.degrees.copy()
+
+
+def _index_from_components(
+    old: BaseInstanceIndex, successor: IGEPAInstance, components: dict
+) -> BaseInstanceIndex:
+    """Assemble the successor's index, keeping the predecessor's
+    implementation (and shard size) unless growth forces a switch."""
     if isinstance(old, ShardedInstanceIndex):
         return ShardedInstanceIndex.from_components(
             successor, shard_size=old.shard_size, **components
         )
-    if n_users * n_events > DENSE_CELL_CAP:
+    cells = components["user_ids"].size * components["event_ids"].size
+    if cells > DENSE_CELL_CAP:
         # Churn grew a dense-indexed instance past the dense cap: switch the
         # successor to the sharded implementation instead of allocating
         # matrices the from-scratch constructor would refuse.
         return ShardedInstanceIndex.from_components(successor, **components)
     return InstanceIndex.from_components(successor, **components)
+
+
+def _patch_index(
+    instance: IGEPAInstance,
+    successor: IGEPAInstance,
+    delta: Delta,
+    maps: _PositionMaps,
+) -> BaseInstanceIndex:
+    """Derive the successor's index from the predecessor's by array patching
+    (entity-path wiring around :func:`_patch_components`)."""
+    components = _patch_components(
+        instance,
+        delta,
+        maps,
+        conflict_fn=successor.conflict,
+        successor_events=successor.events,
+        interest_fn=successor.interest.interest,
+        event_lookup=successor.event_by_id.__getitem__,
+        user_lookup=successor.user_by_id.__getitem__,
+    )
+    components["degrees"] = _successor_degrees(instance, successor, delta)
+    return _index_from_components(instance.index, successor, components)
+
+
+def _columnar_successor(
+    instance: IGEPAInstance, delta: Delta, maps: _PositionMaps
+) -> tuple[IGEPAInstance, dict]:
+    """Build the successor of a store-backed instance by patching columns.
+
+    No per-entity object is touched for surviving users: the successor's
+    store is assembled from the patched component arrays (which double as
+    the index's primary arrays), added entities come straight from the
+    delta, and interest evaluation for spliced bids resolves through the
+    predecessor's CSR — overlaid with the delta's interest entries exactly
+    as the entity path's merged table would.
+
+    Returns the successor instance plus the patched components (sans
+    degrees) for the caller to attach an index from.
+    """
+    store = instance.store
+    conflict_fn = _successor_conflict(instance, delta)
+    social = _successor_social(instance, delta)
+
+    # Sequence of successor events for the new-event conflict rows: O(|V|)
+    # views plus the added Event objects, never a full entity list.
+    successor_events = [
+        store.event(int(row))
+        for row in np.flatnonzero(maps.keep_events).tolist()
+    ]
+    successor_events.extend(delta.add_events)
+
+    added_users = {user.user_id: user for user in delta.add_users}
+    added_events = {event.event_id: event for event in delta.add_events}
+    pred_user_by_id = instance.user_by_id
+    pred_event_by_id = instance.event_by_id
+
+    def user_lookup(user_id: int):
+        added = added_users.get(user_id)
+        return added if added is not None else pred_user_by_id[user_id]
+
+    def event_lookup(event_id: int):
+        added = added_events.get(event_id)
+        return added if added is not None else pred_event_by_id[event_id]
+
+    # SI for spliced bids: the delta's interest entries take precedence
+    # (they would sit on top of the merged table a from-scratch entity
+    # build reads), then the predecessor's interest — for ColumnarInterest
+    # a CSR/extra lookup, so withdrawn-and-re-added pairs resurrect their
+    # stored value exactly as the unpruned dict table does.
+    base_interest = instance.interest.interest
+    delta_map = {
+        (event_id, user_id): value
+        for event_id, user_id, value in delta.interest
+    }
+    if delta_map:
+
+        def interest_fn(event, user):
+            value = delta_map.get((event.event_id, user.user_id))
+            return value if value is not None else base_interest(event, user)
+
+    else:
+        interest_fn = base_interest
+
+    components = _patch_components(
+        instance,
+        delta,
+        maps,
+        conflict_fn=conflict_fn,
+        successor_events=successor_events,
+        interest_fn=interest_fn,
+        event_lookup=event_lookup,
+        user_lookup=user_lookup,
+    )
+
+    # Degree-override column: splice the vector (same dict.get(., 0.0)
+    # semantics per added user as the entity path's merged override dict).
+    store_degrees = None
+    if store.degrees is not None:
+        delta_degrees = dict(delta.degrees)
+        added_values = np.fromiter(
+            (delta_degrees.get(user.user_id, 0.0) for user in delta.add_users),
+            dtype=np.float64,
+            count=len(delta.add_users),
+        )
+        store_degrees = np.concatenate(
+            [store.degrees[maps.keep_users], added_values]
+        )
+        for user_id, value in delta.degrees:
+            row = store.user_pos.get(user_id)
+            if row is not None and maps.keep_users[row]:
+                store_degrees[maps.user_map[row]] = value
+
+    event_start, event_duration = carry_temporal(
+        store.event_start, store.event_duration, maps.keep_events, delta.add_events
+    )
+    successor_store = ColumnarStore(
+        user_ids=components["user_ids"],
+        user_capacity=components["user_capacity"],
+        event_ids=components["event_ids"],
+        event_capacity=components["event_capacity"],
+        bid_indptr=components["bid_indptr"],
+        bid_event_pos=components["bid_indices"],
+        bid_si=components["bid_si"] if store.bid_si is not None else None,
+        degrees=store_degrees,
+        user_attributes=carry_attributes(
+            store.user_attributes,
+            maps.keep_users,
+            [user.attributes for user in delta.add_users],
+        ),
+        user_categories=carry_categories(
+            store.user_categories,
+            maps.keep_users,
+            [user.categories for user in delta.add_users],
+        ),
+        event_attributes=carry_attributes(
+            store.event_attributes,
+            maps.keep_events,
+            [event.attributes for event in delta.add_events],
+        ),
+        event_categories=carry_categories(
+            store.event_categories,
+            maps.keep_events,
+            [event.categories for event in delta.add_events],
+        ),
+        event_start=event_start,
+        event_duration=event_duration,
+        conflict_matrix=components["conflict_matrix"],
+    )
+
+    if isinstance(instance.interest, ColumnarInterest):
+        extra = dict(instance.interest._extra)
+        extra.update(delta_map)
+        interest = ColumnarInterest(
+            successor_store, instance.interest.default, extra=extra or None
+        )
+    else:
+        interest = _successor_interest(instance, delta)
+
+    successor = IGEPAInstance.from_store(
+        successor_store,
+        conflict=conflict_fn,
+        interest=interest,
+        social=social,
+        beta=instance.beta,
+        name=instance.name,
+        validate=False,
+    )
+    return successor, components
 
 
 def _carry_arrangement(
@@ -887,57 +1076,75 @@ def apply_delta(
         raise DeltaError("arrangement belongs to a different instance")
     _check_delta(instance, delta)
 
-    users = _successor_users(instance, delta)
-    removed_events = set(delta.remove_events)
-    event_capacities = dict(delta.set_event_capacity)
-    events = [
-        event
-        if event.event_id not in event_capacities
-        else replace(event, capacity=event_capacities[event.event_id])
-        for event in instance.events
-        if event.event_id not in removed_events
-    ]
-    events.extend(delta.add_events)
+    if instance.is_columnar:
+        # Store-backed path: patch the columns, never materialize entity
+        # objects for surviving users.  The patched components double as the
+        # successor store and (with degrees added) the index's primary
+        # arrays, so incremental=False still hands the successor a store a
+        # from-scratch index build reproduces bit for bit.
+        maps = _position_maps(instance.index, delta)
+        successor, components = _columnar_successor(instance, delta, maps)
+        successor._index_config = instance._index_config
+        if incremental:
+            components["degrees"] = _successor_degrees(
+                instance, successor, delta
+            )
+            successor._index = _index_from_components(
+                instance.index, successor, components
+            )
+    else:
+        users = _successor_users(instance, delta)
+        removed_events = set(delta.remove_events)
+        event_capacities = dict(delta.set_event_capacity)
+        events = [
+            event
+            if event.event_id not in event_capacities
+            else replace(event, capacity=event_capacities[event.event_id])
+            for event in instance.events
+            if event.event_id not in removed_events
+        ]
+        events.extend(delta.add_events)
 
-    degrees_override = None
-    if instance.degrees_override is not None:
-        if delta.remove_users:
-            removed_users = set(delta.remove_users)
-            degrees_override = {
-                user_id: value
-                for user_id, value in instance.degrees_override.items()
-                if user_id not in removed_users
-            }
-        else:
-            degrees_override = dict(instance.degrees_override)
-        degrees_override.update(delta.degrees)
+        degrees_override = None
+        if instance.degrees_override is not None:
+            if delta.remove_users:
+                removed_users = set(delta.remove_users)
+                degrees_override = {
+                    user_id: value
+                    for user_id, value in instance.degrees_override.items()
+                    if user_id not in removed_users
+                }
+            else:
+                degrees_override = dict(instance.degrees_override)
+            degrees_override.update(delta.degrees)
 
-    # _check_delta already validated every operation incrementally, so the
-    # successor skips the full structural re-validation.
-    successor = IGEPAInstance(
-        events=events,
-        users=users,
-        conflict=_successor_conflict(instance, delta),
-        interest=_successor_interest(instance, delta),
-        social=_successor_social(instance, delta),
-        beta=instance.beta,
-        name=instance.name,
-        degrees=degrees_override,
-        validate=False,
-    )
-    # The successor inherits the index configuration (sharded/dense, shard
-    # size), so the full-rebuild comparison path builds the same kind of
-    # index the predecessor used.
-    successor._index_config = instance._index_config
-    # The maps feed the index patch and the carryover; the plain
-    # content-rebuild path (incremental=False, no arrangement) skips them.
-    maps = (
-        _position_maps(instance.index, delta)
-        if incremental or arrangement is not None
-        else None
-    )
-    if incremental:
-        successor._index = _patch_index(instance, successor, delta, maps)
+        # _check_delta already validated every operation incrementally, so
+        # the successor skips the full structural re-validation.
+        successor = IGEPAInstance(
+            events=events,
+            users=users,
+            conflict=_successor_conflict(instance, delta),
+            interest=_successor_interest(instance, delta),
+            social=_successor_social(instance, delta),
+            beta=instance.beta,
+            name=instance.name,
+            degrees=degrees_override,
+            validate=False,
+        )
+        # The successor inherits the index configuration (sharded/dense,
+        # shard size), so the full-rebuild comparison path builds the same
+        # kind of index the predecessor used.
+        successor._index_config = instance._index_config
+        # The maps feed the index patch and the carryover; the plain
+        # content-rebuild path (incremental=False, no arrangement) skips
+        # them.
+        maps = (
+            _position_maps(instance.index, delta)
+            if incremental or arrangement is not None
+            else None
+        )
+        if incremental:
+            successor._index = _patch_index(instance, successor, delta, maps)
 
     result = DeltaResult(
         instance=successor, arrangement=None, incremental=incremental

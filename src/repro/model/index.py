@@ -80,27 +80,25 @@ def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
     (:mod:`repro.model.delta`) whenever a churn batch changes the user set
     or the overrides, so the two can never drift apart.
 
-    Batched via ``np.fromiter`` over array lookups: one C-level fill per
-    branch instead of a per-user Python assignment loop — the values are
-    bit-identical to the scalar loop (same dict lookups, same ``int / int``
-    IEEE-754 division).
+    Routed through the instance's columnar store: the override branch is the
+    store's ``degrees`` vector (packed from the override dict by the same
+    ``dict.get`` lookups the per-user loop ran, so the bits cannot differ),
+    and the graph branch batches one C-level fill over the id column — the
+    same graph lookups and the same ``int / int`` IEEE-754 division as the
+    scalar loop.
     """
-    num_users = len(instance.users)
-    if instance.degrees_override is not None:
-        override_get = instance.degrees_override.get
-        return np.fromiter(
-            (override_get(user.user_id, 0.0) for user in instance.users),
-            dtype=np.float64,
-            count=num_users,
-        )
+    store = instance.store
+    num_users = store.num_users
+    if store.degrees is not None:
+        return store.degrees.astype(np.float64, copy=True)
     if num_users > 1:
         social = instance.social
         has_node = social.has_node
         degree = social.degree
         raw = np.fromiter(
             (
-                degree(user.user_id) if has_node(user.user_id) else 0
-                for user in instance.users
+                degree(user_id) if has_node(user_id) else 0
+                for user_id in store.user_ids.tolist()
             ),
             dtype=np.int64,
             count=num_users,
@@ -229,61 +227,85 @@ class BaseInstanceIndex:
     # Shared construction
     # ------------------------------------------------------------------
     def _build_primary(self, instance: "IGEPAInstance") -> None:
-        """Fill the primary arrays common to both implementations."""
+        """Fill the primary arrays common to both implementations.
+
+        All columns come straight from the instance's
+        :class:`~repro.model.columnar.ColumnarStore` — zero copy, including
+        the position maps — so the index build never iterates entity
+        objects.  Indexes never mutate these arrays (delta maintenance
+        always allocates fresh ones), so sharing is safe.
+        """
         self.instance = instance
-        users = instance.users
-        events = instance.events
-        num_users = len(users)
-        num_events = len(events)
+        store = instance.store
 
-        self.user_ids = np.fromiter(
-            (u.user_id for u in users), dtype=np.int64, count=num_users
-        )
-        self.event_ids = np.fromiter(
-            (e.event_id for e in events), dtype=np.int64, count=num_events
-        )
-        self.user_pos = {u.user_id: i for i, u in enumerate(users)}
-        self.event_pos = {e.event_id: j for j, e in enumerate(events)}
-
-        self.user_capacity = np.fromiter(
-            (u.capacity for u in users), dtype=np.int64, count=num_users
-        )
-        self.event_capacity = np.fromiter(
-            (e.capacity for e in events), dtype=np.int64, count=num_events
-        )
+        self.user_ids = store.user_ids
+        self.event_ids = store.event_ids
+        self.user_pos = store.user_pos
+        self.event_pos = store.event_pos
+        self.user_capacity = store.user_capacity
+        self.event_capacity = store.event_capacity
 
         self.degrees = build_degrees(instance)
-        self.conflict_matrix = instance.conflict.matrix(events)
+        if store.conflict_matrix is not None:
+            self.conflict_matrix = store.conflict_matrix
+        else:
+            self.conflict_matrix = instance.conflict.matrix(instance.events)
 
     def _build_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """CSR bid incidence with per-entry SI values.
 
-        Interest values are validated against Definition 5 exactly as the
-        scalar ``IGEPAInstance.interest_of`` does, user by user in bid-list
-        order — the same evaluation order on both index implementations.
+        The structure (``indptr`` / event positions) is the store's CSR,
+        shared zero-copy.  SI values: when the instance's interest *is* the
+        store's ``bid_si`` column (:class:`~repro.model.columnar.
+        ColumnarInterest`), the column is range-checked in one vectorized
+        pass and shared directly — no per-pair Python call.  Any other
+        interest function is evaluated per pair exactly as the scalar
+        ``IGEPAInstance.interest_of`` does, user by user in bid-list order —
+        the same evaluation order on both index implementations, and the
+        same values either way (the column holds what the tabulated
+        function would return).
         """
-        instance = self.instance
-        num_users = len(instance.users)
-        interest = instance.interest.interest
-        event_pos = self.event_pos
-        events_by_pos = instance.events
+        from repro.model.columnar import ColumnarInterest
 
-        indptr = np.zeros(num_users + 1, dtype=np.int64)
-        indices: list[int] = []
-        si_values: list[float] = []
-        for i, user in enumerate(instance.users):
-            for event_id in user.bids:
-                j = event_pos[event_id]
-                si_values.append(
-                    validated_interest(interest, events_by_pos[j], user)
+        instance = self.instance
+        store = instance.store
+        indptr = store.bid_indptr
+        indices = store.bid_event_pos
+
+        interest_obj = instance.interest
+        if (
+            isinstance(interest_obj, ColumnarInterest)
+            and interest_obj._store is store
+            and store.bid_si is not None
+        ):
+            si_values = store.bid_si
+            if si_values.size:
+                bad = np.flatnonzero((si_values < 0.0) | (si_values > 1.0))
+                if bad.size:
+                    entry = int(bad[0])
+                    row = int(np.searchsorted(indptr, entry, side="right")) - 1
+                    col = int(indices[entry])
+                    raise InstanceValidationError(
+                        f"interest function returned {float(si_values[entry])} "
+                        f"for event {int(self.event_ids[col])}, user "
+                        f"{int(self.user_ids[row])}; Definition 5 "
+                        "requires [0, 1]"
+                    )
+            return indptr, indices, si_values
+
+        interest = interest_obj.interest
+        users = instance.users
+        events = instance.events
+        indptr_list = indptr.tolist()
+        indices_list = indices.tolist()
+        si_values = np.empty(indices.size, dtype=np.float64)
+        for i in range(store.num_users):
+            user = users[i]
+            for entry in range(indptr_list[i], indptr_list[i + 1]):
+                si_values[entry] = validated_interest(
+                    interest, events[indices_list[entry]], user
                 )
-                indices.append(j)
-            indptr[i + 1] = len(indices)
-        return (
-            indptr,
-            np.asarray(indices, dtype=np.int64),
-            np.asarray(si_values, dtype=np.float64),
-        )
+        return indptr, indices, si_values
 
     def _finalize(self) -> None:
         """Derive the secondary arrays from the primary ones.

@@ -23,6 +23,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.model.columnar import (
+    ColumnarStore,
+    EventColumn,
+    IdViewMap,
+    UserColumn,
+)
 from repro.model.conflicts import ConflictFunction, conflict_from_dict
 from repro.model.entities import Event, User
 from repro.model.errors import InstanceValidationError
@@ -30,7 +36,6 @@ from repro.model.index import BaseInstanceIndex, DENSE_CELL_CAP, InstanceIndex
 from repro.model.interest import InterestFunction, interest_from_dict
 from repro.model.sharded_index import ShardedInstanceIndex
 from repro.social.graph import Graph
-from repro.social.metrics import degree_of_potential_interaction
 
 #: Above this many ``(num_users, num_events)`` cells the lazy ``index``
 #: property builds a :class:`ShardedInstanceIndex` instead of the dense
@@ -78,6 +83,7 @@ class IGEPAInstance:
         name: str = "",
         degrees: dict[int, float] | None = None,
         validate: bool = True,
+        store: ColumnarStore | None = None,
     ):
         self.events = list(events)
         self.users = list(users)
@@ -86,16 +92,59 @@ class IGEPAInstance:
         self.social = social
         self.beta = float(beta)
         self.name = name
-        self.degrees_override = dict(degrees) if degrees is not None else None
+        self._degrees_override = dict(degrees) if degrees is not None else None
+        self._degrees_dict: dict[int, float] | None = None
+        # Callers that already packed these entities into columns (the
+        # builder) pass the store to skip a second packing pass; it must
+        # describe exactly the given entities and degrees.
+        self._store: ColumnarStore | None = store
+        self._columnar = False
 
         if validate:
             self._validate()
 
-        self.event_by_id: dict[int, Event] = {e.event_id: e for e in self.events}
-        self.user_by_id: dict[int, User] = {u.user_id: u for u in self.users}
-        self._event_index: dict[int, int] = {
-            e.event_id: i for i, e in enumerate(self.events)
-        }
+        self._finish_init()
+
+    @classmethod
+    def from_store(
+        cls,
+        store: ColumnarStore,
+        conflict: ConflictFunction,
+        interest: InterestFunction,
+        social: Graph,
+        beta: float = 0.5,
+        name: str = "",
+        validate: bool = True,
+    ) -> "IGEPAInstance":
+        """Wrap a :class:`~repro.model.columnar.ColumnarStore` directly.
+
+        The arrays-first constructor: ``users``/``events`` become lazy view
+        columns over the store, ``user_by_id``/``event_by_id`` become O(1)
+        view mappings, and no per-entity object is created.  Degree
+        overrides live in the store's ``degrees`` vector.
+        """
+        self = cls.__new__(cls)
+        self._store = store
+        self._columnar = True
+        self.users = UserColumn(store)
+        self.events = EventColumn(store)
+        self.conflict = conflict
+        self.interest = interest
+        self.social = social
+        self.beta = float(beta)
+        self.name = name
+        self._degrees_override = None
+        self._degrees_dict = None
+
+        if validate:
+            self._validate()
+
+        self._finish_init()
+        return self
+
+    def _finish_init(self) -> None:
+        self._user_by_id = None
+        self._event_by_id = None
         # Fallback cache for SI on non-bid pairs only; bid pairs live in the
         # index's SI storage.
         self._interest_cache: dict[tuple[int, int], float] = {}
@@ -105,45 +154,138 @@ class IGEPAInstance:
         self._index_config: tuple[bool, int | None] | None = None
 
     # ------------------------------------------------------------------
+    # Columnar backing
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnarStore:
+        """The columnar store backing this instance, built lazily.
+
+        Store-backed instances return their store; object-built instances
+        pack their entities into columns on first access (validation and
+        index construction both route through it).
+        """
+        if self._store is None:
+            self._store = ColumnarStore.from_entities(
+                self.users, self.events, degrees=self._degrees_override
+            )
+        return self._store
+
+    @property
+    def is_columnar(self) -> bool:
+        """True when entities live only as columns (no object round-trip)."""
+        return self._columnar
+
+    @property
+    def user_by_id(self):
+        if self._user_by_id is None:
+            if self._columnar:
+                self._user_by_id = IdViewMap(self._store, "user")
+            else:
+                self._user_by_id = {u.user_id: u for u in self.users}
+        return self._user_by_id
+
+    @property
+    def event_by_id(self):
+        if self._event_by_id is None:
+            if self._columnar:
+                self._event_by_id = IdViewMap(self._store, "event")
+            else:
+                self._event_by_id = {e.event_id: e for e in self.events}
+        return self._event_by_id
+
+    @property
+    def degrees_override(self) -> dict[int, float] | None:
+        """Precomputed ``D(G, u)`` values keyed by user id, or None.
+
+        Store-backed instances materialize the dict lazily from the
+        ``degrees`` column (and only for callers that ask); use
+        :attr:`has_degree_overrides` for a cheap existence check.
+        """
+        if not self._columnar:
+            return self._degrees_override
+        if self._store.degrees is None:
+            return None
+        if self._degrees_dict is None:
+            self._degrees_dict = dict(
+                zip(self._store.user_ids.tolist(), self._store.degrees.tolist())
+            )
+        return self._degrees_dict
+
+    @property
+    def has_degree_overrides(self) -> bool:
+        """Whether degree overrides exist — O(1), never materializes a dict."""
+        if self._columnar:
+            return self._store.degrees is not None
+        return self._degrees_override is not None
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
     def _validate(self) -> None:
-        event_ids = [e.event_id for e in self.events]
-        if len(set(event_ids)) != len(event_ids):
+        if self._columnar:
+            self._store.validate()
+            if not 0.0 <= self.beta <= 1.0:
+                raise InstanceValidationError(
+                    f"beta must be in [0, 1], got {self.beta}"
+                )
+            self._validate_social(self._store.user_ids)
+            return
+        event_ids = np.fromiter(
+            (e.event_id for e in self.events), dtype=np.int64, count=len(self.events)
+        )
+        if np.unique(event_ids).size != event_ids.size:
             raise InstanceValidationError("duplicate event ids")
-        user_ids = [u.user_id for u in self.users]
-        if len(set(user_ids)) != len(user_ids):
+        user_ids = np.fromiter(
+            (u.user_id for u in self.users), dtype=np.int64, count=len(self.users)
+        )
+        if np.unique(user_ids).size != user_ids.size:
             raise InstanceValidationError("duplicate user ids")
         if not 0.0 <= self.beta <= 1.0:
             raise InstanceValidationError(f"beta must be in [0, 1], got {self.beta}")
-        known_events = set(event_ids)
-        for user in self.users:
-            dangling = set(user.bids) - known_events
-            if dangling:
-                raise InstanceValidationError(
-                    f"user {user.user_id} bids for unknown events {sorted(dangling)}"
-                )
-        known_users = set(user_ids)
-        alien = set(self.social.nodes()) - known_users
-        if alien:
-            raise InstanceValidationError(
-                f"social network contains non-user nodes {sorted(alien)[:5]}"
+        # Packing the columns maps every bid to an event position in one
+        # vectorized pass — a dangling bid raises from there with the same
+        # message this method always produced.  (A pre-seeded store already
+        # ran that mapping when it was packed.)
+        if self._store is None:
+            self._store = ColumnarStore.from_entities(
+                self.users, self.events, degrees=self._degrees_override
             )
-        if self.degrees_override is not None:
-            alien_degrees = set(self.degrees_override) - known_users
-            if alien_degrees:
+        self._validate_social(user_ids)
+        if self._degrees_override is not None:
+            count = len(self._degrees_override)
+            keys = np.fromiter(
+                self._degrees_override.keys(), dtype=np.int64, count=count
+            )
+            present = np.isin(keys, user_ids)
+            if not present.all():
+                alien_degrees = sorted(set(keys[~present].tolist()))
                 raise InstanceValidationError(
-                    f"degree overrides for non-users {sorted(alien_degrees)[:5]}"
+                    f"degree overrides for non-users {alien_degrees[:5]}"
                 )
-            bad = {
-                user_id: value
-                for user_id, value in self.degrees_override.items()
-                if not 0.0 <= value <= 1.0
-            }
-            if bad:
+            values = np.fromiter(
+                self._degrees_override.values(), dtype=np.float64, count=count
+            )
+            bad_mask = (values < 0.0) | (values > 1.0)
+            if bad_mask.any():
+                offenders = np.flatnonzero(bad_mask)[:3]
+                bad = {
+                    int(keys[i]): float(values[i]) for i in offenders.tolist()
+                }
                 raise InstanceValidationError(
-                    f"degree overrides outside [0, 1]: {dict(list(bad.items())[:3])}"
+                    f"degree overrides outside [0, 1]: {bad}"
                 )
+
+    def _validate_social(self, user_ids: np.ndarray) -> None:
+        nodes = list(self.social.nodes())
+        if not nodes:
+            return
+        node_ids = np.fromiter(nodes, dtype=np.int64, count=len(nodes))
+        present = np.isin(node_ids, user_ids)
+        if not present.all():
+            alien = sorted(set(node_ids[~present].tolist()))
+            raise InstanceValidationError(
+                f"social network contains non-user nodes {alien[:5]}"
+            )
 
     # ------------------------------------------------------------------
     # Sizes
@@ -297,7 +439,10 @@ class IGEPAInstance:
     # ------------------------------------------------------------------
     def statistics(self) -> dict:
         """Summary statistics used by reports and sanity tests."""
-        total_bids = sum(len(u.bids) for u in self.users)
+        if self._store is not None:
+            total_bids = self._store.num_bids
+        else:
+            total_bids = sum(len(u.bids) for u in self.users)
         n = self.num_events
         conflict_pairs = self.index.conflict_pair_count()
         return {

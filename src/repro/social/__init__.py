@@ -7,7 +7,7 @@ structure, seeded random-graph generators used by the synthetic workloads, and
 the network metrics the paper relies on.
 """
 
-from repro.social.graph import Graph
+from repro.social.graph import EdgelessGraph, Graph
 from repro.social.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -28,6 +28,7 @@ from repro.social.metrics import (
 )
 
 __all__ = [
+    "EdgelessGraph",
     "Graph",
     "erdos_renyi_graph",
     "barabasi_albert_graph",

@@ -15,7 +15,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.social.graph import Graph, Node
+from repro.social.graph import EdgelessGraph, Graph, Node
 
 
 def _resolve_rng(rng: np.random.Generator | None, seed: int | None) -> np.random.Generator:
@@ -25,16 +25,19 @@ def _resolve_rng(rng: np.random.Generator | None, seed: int | None) -> np.random
 
 
 def empty_graph(nodes: Iterable[Node]) -> Graph:
-    """A graph with the given nodes and no edges."""
-    graph = Graph()
-    graph.add_nodes(nodes)
-    return graph
+    """A graph with the given nodes and no edges.
+
+    Returns an :class:`EdgelessGraph`: a set-backed graph that cannot hold
+    edges (adding one raises).  Callers that build an empty graph and then
+    add ties should construct a :class:`Graph` directly.
+    """
+    return EdgelessGraph(nodes)
 
 
 def complete_graph(nodes: Iterable[Node]) -> Graph:
     """A clique over ``nodes``."""
     node_list = list(nodes)
-    graph = empty_graph(node_list)
+    graph = Graph(nodes=node_list)
     for i, u in enumerate(node_list):
         for v in node_list[i + 1 :]:
             graph.add_edge(u, v)
@@ -74,7 +77,7 @@ def erdos_renyi_graph(
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"edge probability must be in [0, 1], got {p}")
     node_list = list(nodes)
-    graph = empty_graph(node_list)
+    graph = Graph(nodes=node_list)
     n = len(node_list)
     if n < 2 or p == 0.0:
         return graph
@@ -153,7 +156,7 @@ def watts_strogatz_graph(
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"rewiring probability must be in [0, 1], got {p}")
     generator = _resolve_rng(rng, seed)
-    graph = empty_graph(node_list)
+    graph = Graph(nodes=node_list)
     for i in range(n):
         for offset in range(1, k // 2 + 1):
             graph.add_edge(node_list[i], node_list[(i + offset) % n])

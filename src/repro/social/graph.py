@@ -137,9 +137,16 @@ class Graph:
         return iter(self._adj)
 
     def __eq__(self, other: Any) -> bool:
+        # Structural comparison (node set + edge set) rather than comparing
+        # adjacency dicts directly, so Graph and EdgelessGraph instances with
+        # the same nodes and no edges compare equal.
         if not isinstance(other, Graph):
             return NotImplemented
-        return self._adj == other._adj
+        if set(self) != set(other):
+            return False
+        mine = {frozenset(edge) for edge in self.edges()}
+        theirs = {frozenset(edge) for edge in other.edges()}
+        return mine == theirs
 
     def __repr__(self) -> str:
         return (
@@ -179,3 +186,100 @@ class Graph:
     def from_networkx(cls, g) -> "Graph":
         """Build from a :class:`networkx.Graph` (ignores attributes)."""
         return cls(nodes=g.nodes(), edges=g.edges())
+
+
+class EdgelessGraph(Graph):
+    """A graph that holds nodes only — edges are structurally impossible.
+
+    ``Graph`` pays a dict entry plus an empty adjacency ``set`` per node
+    (~400 bytes each); for the stream-generated instances whose social
+    network carries no ties that is pure overhead — ~200 MB of empty sets
+    at 500k users, copied wholesale on every churn batch.  This subclass
+    stores a bare node set instead, so construction and :meth:`copy` cost
+    one set, and :meth:`remove_node`/:meth:`add_node` are plain set ops.
+
+    Edge mutation raises ``TypeError``: callers that intend to add ties
+    should build a :class:`Graph` (or call :meth:`to_graph` first).  All
+    read queries behave exactly like an edge-free :class:`Graph`.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[tuple[Node, Node]] = ()):
+        if tuple(edges):
+            raise TypeError("EdgelessGraph cannot hold edges")
+        self._nodes: set[Node] = set(nodes)
+
+    # -- mutation ------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._nodes.add(node)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        self._nodes.update(nodes)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        raise TypeError(
+            "EdgelessGraph cannot hold edges; use to_graph() for an "
+            "edge-capable copy"
+        )
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        raise KeyError(f"edge ({u!r}, {v!r}) not in graph")
+
+    def remove_node(self, node: Node) -> None:
+        self._nodes.remove(node)  # raises KeyError when absent
+
+    # -- queries -------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return False
+
+    def neighbors(self, node: Node) -> set[Node]:
+        if node not in self._nodes:
+            raise KeyError(node)
+        return set()
+
+    def degree(self, node: Node) -> int:
+        if node not in self._nodes:
+            raise KeyError(node)
+        return 0
+
+    def nodes(self) -> list[Node]:
+        """All nodes (set-backed: order is arbitrary, not insertion order)."""
+        return list(self._nodes)
+
+    def edges(self) -> list[tuple[Node, Node]]:
+        return []
+
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def number_of_edges(self) -> int:
+        return 0
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"EdgelessGraph(nodes={self.number_of_nodes})"
+
+    # -- derivations ---------------------------------------------------
+    def copy(self) -> "EdgelessGraph":
+        clone = EdgelessGraph()
+        clone._nodes = set(self._nodes)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "EdgelessGraph":
+        return EdgelessGraph(node for node in nodes if node in self._nodes)
+
+    def to_graph(self) -> Graph:
+        """An edge-capable :class:`Graph` over the same nodes."""
+        return Graph(nodes=self._nodes)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.social import Graph
+from repro.social import EdgelessGraph, Graph
+from repro.social.generators import empty_graph
 
 
 class TestConstruction:
@@ -150,3 +151,72 @@ class TestDerivations:
         assert back.has_edge(1, 2)
         assert back.has_edge(2, 3)
         assert back.number_of_edges == 2
+
+
+class TestEdgelessGraph:
+    def test_empty_graph_returns_edgeless(self):
+        g = empty_graph([1, 2, 3])
+        assert isinstance(g, EdgelessGraph)
+        assert len(g) == 3
+        assert g.number_of_edges == 0
+        assert g.edges() == []
+
+    def test_queries_match_edge_free_graph(self):
+        g = empty_graph(range(5))
+        assert g.has_node(4) and not g.has_node(5)
+        assert not g.has_edge(0, 1)
+        assert g.degree(2) == 0
+        assert g.neighbors(3) == set()
+        assert 1 in g and 9 not in g
+        assert set(g.nodes()) == set(range(5))
+
+    def test_missing_node_queries_raise_like_graph(self):
+        g = empty_graph([1])
+        with pytest.raises(KeyError):
+            g.degree(2)
+        with pytest.raises(KeyError):
+            g.neighbors(2)
+        with pytest.raises(KeyError):
+            g.remove_node(2)
+
+    def test_add_edge_raises(self):
+        g = empty_graph([1, 2])
+        with pytest.raises(TypeError, match="cannot hold edges"):
+            g.add_edge(1, 2)
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_node_mutation_is_set_backed(self):
+        g = empty_graph([1])
+        g.add_node(2)
+        g.add_nodes([3, 3, 4])
+        g.remove_node(1)
+        assert set(g.nodes()) == {2, 3, 4}
+
+    def test_copy_is_independent(self):
+        g = empty_graph([1, 2])
+        clone = g.copy()
+        clone.remove_node(1)
+        assert g.has_node(1) and not clone.has_node(1)
+        assert isinstance(clone, EdgelessGraph)
+
+    def test_subgraph_intersects_nodes(self):
+        g = empty_graph([1, 2, 3])
+        sub = g.subgraph([2, 3, 99])
+        assert isinstance(sub, EdgelessGraph)
+        assert set(sub.nodes()) == {2, 3}
+
+    def test_equals_edge_free_graph_either_direction(self):
+        edgeless = empty_graph([1, 2, 3])
+        adjacency = Graph(nodes=[3, 2, 1])
+        assert edgeless == adjacency
+        assert adjacency == edgeless
+        adjacency.add_edge(1, 2)
+        assert edgeless != adjacency
+        assert adjacency != edgeless
+
+    def test_to_graph_is_edge_capable(self):
+        g = empty_graph([1, 2]).to_graph()
+        assert isinstance(g, Graph) and not isinstance(g, EdgelessGraph)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
