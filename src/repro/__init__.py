@@ -48,13 +48,13 @@ from repro.datagen.meetup import MeetupConfig, generate_meetup
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic
 from repro.experiments.replay import ReplayReport, replay_trace
 from repro.model.arrangement import Arrangement
-from repro.model.delta import Delta, DeltaResult, apply_delta
 from repro.model.conflicts import (
     CompositeConflict,
     MatrixConflict,
     NoConflict,
     TimeIntervalConflict,
 )
+from repro.model.delta import Delta, DeltaResult, apply_delta
 from repro.model.entities import Event, User
 from repro.model.instance import IGEPAInstance
 from repro.model.interest import (

@@ -1,0 +1,52 @@
+"""Static analysis + runtime sanitizers guarding the array/columnar contracts.
+
+* ``igepa lint`` / ``python -m repro.analysis_tools`` — the AST-based
+  invariant checker (:mod:`repro.analysis_tools.engine` drives the rules in
+  :mod:`repro.analysis_tools.rules`, codes IGP001-IGP008).
+* :mod:`repro.analysis_tools.sanitize` — the runtime side: frozen store /
+  index arrays and CSR invariant checks behind ``IGEPA_SANITIZE=1``.
+"""
+
+from repro.analysis_tools.engine import (
+    Finding,
+    Rule,
+    default_rules,
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.analysis_tools.rules import ALL_RULES
+from repro.analysis_tools.sanitize import (
+    SanitizeError,
+    check_csr_invariants,
+    check_store_invariants,
+    freeze_index_arrays,
+    freeze_store_arrays,
+    sanitize_enabled,
+    sanitize_index,
+    sanitize_store,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ALL_RULES",
+    "default_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "main",
+    "SanitizeError",
+    "sanitize_enabled",
+    "sanitize_store",
+    "sanitize_index",
+    "freeze_store_arrays",
+    "freeze_index_arrays",
+    "check_csr_invariants",
+    "check_store_invariants",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis_tools`` — same CLI as ``igepa lint``."""
+
+import sys
+
+from repro.analysis_tools.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Subcommands:
   against full recompute, batch by batch.
 * ``simulate`` — the dynamic platform: online arrivals under event churn,
   capacity/interest deltas and a defragmentation schedule, tick by tick.
+* ``lint`` — the AST-based invariant checker guarding the array/columnar
+  contracts (codes IGP001-IGP008; see ``repro.analysis_tools``).
 """
 
 from __future__ import annotations
@@ -217,6 +219,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"report written to {args.out}")
     # A failed parity check must fail the command, not just print False.
     return 0 if (not args.check_parity or report.all_parity) else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the lint engine is pure stdlib but there is no reason to
+    # parse rule tables for every `igepa solve`.
+    from repro.analysis_tools.engine import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.format != "text":
+        forwarded.extend(["--format", args.format])
+    if args.select:
+        forwarded.extend(["--select", args.select])
+    if args.out:
+        forwarded.extend(["--out", args.out])
+    return lint_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -440,6 +459,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--out", help="also write the report as JSON")
     sub.set_defaults(func=_cmd_simulate)
+
+    sub = subparsers.add_parser(
+        "lint",
+        help=(
+            "check the source tree against the array/columnar contracts "
+            "(IGP001-IGP008)"
+        ),
+    )
+    sub.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    sub.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json is machine-readable for CI annotation)",
+    )
+    sub.add_argument(
+        "--select", help="comma-separated list of codes to enable"
+    )
+    sub.add_argument("--out", help="also write the report to this file")
+    sub.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    sub.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -79,10 +79,27 @@ def user_utilities(
                 shard.W * assigned[shard.start : shard.stop]
             ).sum(axis=1)
         return dict(zip(index.user_ids.tolist(), totals.tolist()))
-    totals = dict.fromkeys(index.user_ids.tolist(), 0.0)
-    for event_id, user_id in arrangement.pairs:
-        totals[user_id] += instance.weight(user_id, event_id)
-    return totals
+    pair_list = sorted(arrangement.pairs)
+    dirty_totals = np.zeros(index.num_users, dtype=np.float64)
+    if pair_list:
+        upos = np.fromiter(
+            (index.user_pos[user_id] for _, user_id in pair_list),
+            dtype=np.int64,
+            count=len(pair_list),
+        )
+        vpos = np.fromiter(
+            (index.event_pos[event_id] for event_id, _ in pair_list),
+            dtype=np.int64,
+            count=len(pair_list),
+        )
+        weights = index.pair_weights(upos, vpos)
+        # Pairs assigned with check=False may sit off the bid relation,
+        # where the gather reads 0.0; only those take the scalar fallback.
+        for slot in np.flatnonzero(~index.pair_bid_mask(upos, vpos)).tolist():
+            event_id, user_id = pair_list[slot]
+            weights[slot] = instance.weight(user_id, event_id)
+        np.add.at(dirty_totals, upos, weights)
+    return dict(zip(index.user_ids.tolist(), dirty_totals.tolist()))
 
 
 def jain_fairness(instance: IGEPAInstance, arrangement: Arrangement) -> float:

@@ -33,7 +33,6 @@ tens-of-kilobytes-per-shard range even at |U| = 50k.
 from __future__ import annotations
 
 from concurrent.futures import Executor
-from collections.abc import Sequence
 
 import numpy as np
 

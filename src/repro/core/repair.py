@@ -20,9 +20,9 @@ report what happened.
 from __future__ import annotations
 
 from repro.core.local_search import improve
+from repro.model.arrangement import Arrangement
 from repro.model.delta import Delta, DeltaResult, apply_delta
 from repro.model.instance import IGEPAInstance
-from repro.model.arrangement import Arrangement
 
 
 def repair(result: DeltaResult, max_passes: int = 20) -> dict:

@@ -1,7 +1,6 @@
 """Dataset generators: synthetic (Table I), Meetup-like (Table II),
 adversarial stress workloads, and churn traces (sustained traffic)."""
 
-from repro.datagen.churn import ChurnConfig, ChurnTrace, generate_churn_trace
 from repro.datagen.adversarial import (
     INTEGRALITY_GAP_SEEDS,
     conflict_clique,
@@ -10,6 +9,7 @@ from repro.datagen.adversarial import (
     integrality_gap_instance,
     small_tight_instance,
 )
+from repro.datagen.churn import ChurnConfig, ChurnTrace, generate_churn_trace
 from repro.datagen.meetup import SF_DEFAULTS, MeetupConfig, generate_meetup
 from repro.datagen.synthetic import (
     TABLE1_DEFAULTS,

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.datagen.synthetic import SyntheticConfig, TABLE1_DEFAULTS
+from repro.datagen.synthetic import TABLE1_DEFAULTS, SyntheticConfig
 from repro.model.conflicts import MatrixConflict
 from repro.model.delta import Delta
 from repro.model.entities import Event, User

@@ -228,7 +228,11 @@ def generate_meetup(
             user_norms, np.where(event_norms == 0.0, 1.0, event_norms)
         )
     else:
-        scores = np.zeros((config.num_users, config.num_events))
+        # Degenerate branch: one of the dimensions is zero, so this dense
+        # allocation is an empty matrix.
+        scores = np.zeros(  # igepa: ignore[IGP002]
+            (config.num_users, config.num_events)
+        )
 
     events_by_group: dict[int, list[int]] = {}
     for event_id, group in enumerate(event_group):

@@ -8,34 +8,11 @@ from repro.experiments.persistence import (
     save_stats,
     save_sweep,
 )
-from repro.experiments.simulate import (
-    DefragSchedule,
-    PeriodicDefrag,
-    RetentionDefrag,
-    SimulationInfeasibleError,
-    SimulationReport,
-    TickRecord,
-    format_simulation_table,
-    simulate,
-)
 from repro.experiments.registry import (
     EXPERIMENTS,
     Experiment,
     ExperimentReport,
     run_experiment,
-)
-from repro.experiments.reporting import (
-    TABLE2_ORDER,
-    format_ranking,
-    format_sweep_table,
-    format_utility_table,
-    sweep_to_csv,
-)
-from repro.experiments.shapes import (
-    FIG1_EXPECTATIONS,
-    ShapeExpectation,
-    check_figure,
-    check_sweep_shape,
 )
 from repro.experiments.replay import (
     BatchRecord,
@@ -45,11 +22,34 @@ from repro.experiments.replay import (
     index_parity_mismatches,
     replay_trace,
 )
+from repro.experiments.reporting import (
+    TABLE2_ORDER,
+    format_ranking,
+    format_sweep_table,
+    format_utility_table,
+    sweep_to_csv,
+)
 from repro.experiments.runner import (
     AlgorithmStats,
     default_algorithms,
     run_on_instance,
     run_repetitions,
+)
+from repro.experiments.shapes import (
+    FIG1_EXPECTATIONS,
+    ShapeExpectation,
+    check_figure,
+    check_sweep_shape,
+)
+from repro.experiments.simulate import (
+    DefragSchedule,
+    PeriodicDefrag,
+    RetentionDefrag,
+    SimulationInfeasibleError,
+    SimulationReport,
+    TickRecord,
+    format_simulation_table,
+    simulate,
 )
 from repro.experiments.sweeps import (
     FIG1_SWEEPS,

@@ -12,7 +12,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.base import ArrangementAlgorithm
-from repro.datagen.synthetic import SyntheticConfig, TABLE1_DEFAULTS, generate_synthetic
+from repro.datagen.synthetic import TABLE1_DEFAULTS, SyntheticConfig, generate_synthetic
 from repro.experiments.runner import AlgorithmStats, default_algorithms, run_repetitions
 
 #: Figure id -> (SyntheticConfig field, paper axis label, value grid).

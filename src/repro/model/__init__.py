@@ -22,7 +22,6 @@ from repro.model.columnar import (
     UserColumn,
     UserView,
 )
-from repro.model.delta import Delta, DeltaError, DeltaResult, apply_delta
 from repro.model.conflicts import (
     AlwaysConflict,
     CompositeConflict,
@@ -34,6 +33,7 @@ from repro.model.conflicts import (
     conflict_matrix,
     validate_symmetry,
 )
+from repro.model.delta import Delta, DeltaError, DeltaResult, apply_delta
 from repro.model.entities import Event, User
 from repro.model.errors import (
     ArrangementError,
@@ -43,7 +43,6 @@ from repro.model.errors import (
 )
 from repro.model.index import BaseInstanceIndex, IndexShard, InstanceIndex
 from repro.model.instance import IGEPAInstance
-from repro.model.sharded_index import ShardedInstanceIndex
 from repro.model.interest import (
     CosineInterest,
     InterestFunction,
@@ -52,6 +51,7 @@ from repro.model.interest import (
     TabulatedInterest,
     interest_from_dict,
 )
+from repro.model.sharded_index import ShardedInstanceIndex
 
 __all__ = [
     "Event",

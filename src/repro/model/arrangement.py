@@ -23,7 +23,7 @@ still report them.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -38,12 +38,16 @@ class Arrangement:
     feasibility; ``is_feasible()`` / ``violations()`` re-verify from scratch.
     """
 
-    def __init__(self, instance: IGEPAInstance):
+    def __init__(self, instance: IGEPAInstance) -> None:
         self.instance = instance
         index = instance.index
         self._idx = index
         self._pairs: set[tuple[int, int]] = set()
-        self._assigned = np.zeros((index.num_users, index.num_events), dtype=bool)
+        # Sanctioned dense storage: 1 byte/cell bool, the arrangement's own
+        # representation (mirrors the LP variable grid, not a weight slab).
+        self._assigned = np.zeros(  # igepa: ignore[IGP002]
+            (index.num_users, index.num_events), dtype=bool
+        )
         self._attendance = np.zeros(index.num_events, dtype=np.int64)
         self._load = np.zeros(index.num_users, dtype=np.int64)
         # Assigned event positions per user position, in insertion order.
@@ -67,7 +71,7 @@ class Arrangement:
     def __contains__(self, pair: tuple[int, int]) -> bool:
         return pair in self._pairs
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, int]]:
         return iter(self._pairs)
 
     def events_of(self, user_id: int) -> set[int]:

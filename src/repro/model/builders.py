@@ -47,7 +47,7 @@ class InstanceBuilder:
         name: label for the built instance.
     """
 
-    def __init__(self, beta: float = 0.5, name: str = "custom"):
+    def __init__(self, beta: float = 0.5, name: str = "custom") -> None:
         self._beta = beta
         self._name = name
         self._events: list[Event] = []

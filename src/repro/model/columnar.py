@@ -41,7 +41,7 @@ event-side columns while every reader keeps working unchanged.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Iterator, KeysView, Mapping, Sequence
 from pathlib import Path
 
 import numpy as np
@@ -74,14 +74,16 @@ _SPILLABLE = (
 )
 
 
-def _as_id_array(values, name: str) -> np.ndarray:
+def _as_id_array(values: np.ndarray | Sequence[int], name: str) -> np.ndarray:
     array = np.asarray(values, dtype=np.int64)
     if array.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
     return array
 
 
-def _pack_attributes(entities, count: int):
+def _pack_attributes(
+    entities: Sequence[User] | Sequence[Event], count: int
+) -> np.ndarray | list[np.ndarray] | None:
     """Attribute column: ``None`` (all empty), a 2-D array (uniform length),
     or a list of 1-D arrays (ragged)."""
     vectors = [e.attributes for e in entities]
@@ -96,7 +98,9 @@ def _pack_attributes(entities, count: int):
     return [np.asarray(v, dtype=np.float64) for v in vectors]
 
 
-def _pack_categories(entities):
+def _pack_categories(
+    entities: Sequence[User] | Sequence[Event],
+) -> tuple[frozenset[str], ...] | None:
     """Category column: ``None`` (all empty) or a tuple of frozensets."""
     sets = [e.categories for e in entities]
     if not sets or all(not s for s in sets):
@@ -104,47 +108,60 @@ def _pack_categories(entities):
     return tuple(frozenset(s) for s in sets)
 
 
-def carry_attributes(column, keep: np.ndarray, added):
+def carry_attributes(
+    column: np.ndarray | list[np.ndarray] | None,
+    keep: np.ndarray,
+    added: Sequence[np.ndarray],
+) -> np.ndarray | list[np.ndarray] | None:
     """Carry an attribute column through a delta patch.
 
     ``keep`` masks surviving rows; ``added`` holds the attribute vectors of
     appended entities.  Preserves the column's ``None`` / 2-D / ragged-list
     encoding (collapsing back to ``None`` when everything is empty).
     """
-    added = [np.asarray(a, dtype=np.float64) for a in added]
+    added_vectors = [np.asarray(a, dtype=np.float64) for a in added]
     if column is None:
-        if all(a.size == 0 for a in added):
+        if all(a.size == 0 for a in added_vectors):
             return None
         survivors = [_EMPTY_ATTRIBUTES] * int(keep.sum())
     elif isinstance(column, np.ndarray):
         kept = column[keep]
-        if not added:
+        if not added_vectors:
             return kept
-        if {kept.shape[1]} == {a.size for a in added}:
-            return np.vstack([kept] + [a[None, :] for a in added])
+        if {kept.shape[1]} == {a.size for a in added_vectors}:
+            return np.vstack([kept] + [a[None, :] for a in added_vectors])
         survivors = list(kept)
     else:
         survivors = [vector for vector, k in zip(column, keep) if k]
-    result = survivors + added
+    result = survivors + added_vectors
     if all(vector.size == 0 for vector in result):
         return None
     return result
 
 
-def carry_categories(column, keep: np.ndarray, added):
+def carry_categories(
+    column: Sequence[frozenset[str]] | None,
+    keep: np.ndarray,
+    added: Sequence[frozenset[str]],
+) -> tuple[frozenset[str], ...] | None:
     """Carry a category column through a delta patch (see carry_attributes)."""
-    added = [frozenset(s) for s in added]
+    added_sets = [frozenset(s) for s in added]
     if column is None:
-        if not any(added):
+        if not any(added_sets):
             return None
         survivors = [_EMPTY_CATEGORIES] * int(keep.sum())
     else:
         survivors = [sets for sets, k in zip(column, keep) if k]
-    result = tuple(survivors + added)
+    result = tuple(survivors + added_sets)
     return result if any(result) else None
 
 
-def carry_temporal(start, duration, keep: np.ndarray, added_events):
+def carry_temporal(
+    start: np.ndarray | None,
+    duration: np.ndarray | None,
+    keep: np.ndarray,
+    added_events: Sequence[Event],
+) -> tuple[np.ndarray | None, np.ndarray | None]:
     """Carry the NaN-coded temporal columns through a delta patch."""
     has_added = any(e.start_time is not None for e in added_events)
     if start is None and not has_added:
@@ -184,11 +201,11 @@ class UserView:
 
     __slots__ = ("_store", "_row")
 
-    def __init__(self, store: "ColumnarStore", row: int):
+    def __init__(self, store: "ColumnarStore", row: int) -> None:
         object.__setattr__(self, "_store", store)
         object.__setattr__(self, "_row", row)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"UserView is immutable; cannot set {name!r}")
 
     @property
@@ -215,7 +232,7 @@ class UserView:
     def bid_set(self) -> frozenset[int]:
         return frozenset(self.bids)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, (UserView, User)):
             return NotImplemented
         return (
@@ -245,11 +262,11 @@ class EventView:
 
     __slots__ = ("_store", "_row")
 
-    def __init__(self, store: "ColumnarStore", row: int):
+    def __init__(self, store: "ColumnarStore", row: int) -> None:
         object.__setattr__(self, "_store", store)
         object.__setattr__(self, "_row", row)
 
-    def __setattr__(self, name, value):
+    def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError(f"EventView is immutable; cannot set {name!r}")
 
     @property
@@ -292,7 +309,7 @@ class EventView:
     def categories(self) -> frozenset[str]:
         return self._store._event_categories(self._row)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, (EventView, Event)):
             return NotImplemented
         return (
@@ -318,13 +335,13 @@ class _ViewColumn(Sequence):
     _view = None  # subclass: view class
     _size_attr = ""
 
-    def __init__(self, store: "ColumnarStore"):
+    def __init__(self, store: "ColumnarStore") -> None:
         self._store = store
 
     def __len__(self) -> int:
-        return getattr(self._store, self._size_attr)
+        return int(getattr(self._store, self._size_attr))
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: int | slice) -> object:
         n = len(self)
         if isinstance(item, slice):
             return [self._view(self._store, row) for row in range(*item.indices(n))]
@@ -335,7 +352,7 @@ class _ViewColumn(Sequence):
             raise IndexError(item)
         return self._view(self._store, row)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[object]:
         store = self._store
         view = self._view
         for row in range(len(self)):
@@ -371,7 +388,7 @@ class IdViewMap(Mapping):
 
     __slots__ = ("_store", "_kind")
 
-    def __init__(self, store: "ColumnarStore", kind: str):
+    def __init__(self, store: "ColumnarStore", kind: str) -> None:
         self._store = store
         self._kind = kind
 
@@ -380,7 +397,7 @@ class IdViewMap(Mapping):
             self._store.user_pos if self._kind == "user" else self._store.event_pos
         )
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: int) -> UserView | EventView:
         position = self._positions().get(key)
         if position is None:
             raise KeyError(key)
@@ -391,7 +408,7 @@ class IdViewMap(Mapping):
             else EventView(store, position)
         )
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         ids = (
             self._store.user_ids if self._kind == "user" else self._store.event_ids
         )
@@ -402,10 +419,10 @@ class IdViewMap(Mapping):
             self._store.num_users if self._kind == "user" else self._store.num_events
         )
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: object) -> bool:
         return key in self._positions()
 
-    def keys(self):
+    def keys(self) -> KeysView[int]:
         # The position dict's native keys view, so set operations
         # (``touched &= mapping.keys()``) run at C speed instead of through
         # the ABC mixin's generator-backed view.
@@ -461,22 +478,22 @@ class ColumnarStore:
     def __init__(
         self,
         *,
-        user_ids,
-        user_capacity,
-        event_ids,
-        event_capacity,
-        bid_indptr,
-        bid_event_pos,
-        bid_si=None,
-        degrees=None,
-        user_attributes=None,
-        user_categories=None,
-        event_attributes=None,
-        event_categories=None,
-        event_start=None,
-        event_duration=None,
-        conflict_matrix=None,
-    ):
+        user_ids: np.ndarray | Sequence[int],
+        user_capacity: np.ndarray | Sequence[int],
+        event_ids: np.ndarray | Sequence[int],
+        event_capacity: np.ndarray | Sequence[int],
+        bid_indptr: np.ndarray | Sequence[int],
+        bid_event_pos: np.ndarray | Sequence[int],
+        bid_si: np.ndarray | Sequence[float] | None = None,
+        degrees: np.ndarray | Sequence[float] | None = None,
+        user_attributes: np.ndarray | list[np.ndarray] | None = None,
+        user_categories: Sequence[frozenset[str]] | None = None,
+        event_attributes: np.ndarray | list[np.ndarray] | None = None,
+        event_categories: Sequence[frozenset[str]] | None = None,
+        event_start: np.ndarray | Sequence[float] | None = None,
+        event_duration: np.ndarray | Sequence[float] | None = None,
+        conflict_matrix: np.ndarray | None = None,
+    ) -> None:
         self.user_ids = _as_id_array(user_ids, "user_ids")
         self.user_capacity = _as_id_array(user_capacity, "user_capacity")
         self.event_ids = _as_id_array(event_ids, "event_ids")
@@ -679,7 +696,9 @@ class ColumnarStore:
         hi = int(self.bid_indptr[row + 1])
         return tuple(self.event_ids[self.bid_event_pos[lo:hi]].tolist())
 
-    def _aux_vector(self, column, row: int) -> np.ndarray:
+    def _aux_vector(
+        self, column: np.ndarray | list[np.ndarray] | None, row: int
+    ) -> np.ndarray:
         if column is None:
             return _EMPTY_ATTRIBUTES
         if isinstance(column, np.ndarray):
@@ -890,7 +909,7 @@ class ColumnarInterest(TabulatedInterest):
         store: ColumnarStore,
         default: float = 0.0,
         extra: Mapping[tuple[int, int], float] | None = None,
-    ):
+    ) -> None:
         if store.bid_si is None:
             raise ValueError("ColumnarInterest needs a store with bid_si values")
         if not 0.0 <= default <= 1.0:
@@ -900,7 +919,7 @@ class ColumnarInterest(TabulatedInterest):
         self._extra: dict[tuple[int, int], float] = dict(extra) if extra else {}
         self._table: dict[tuple[int, int], float] | None = None
 
-    def interest(self, event, user) -> float:
+    def interest(self, event: Event, user: User) -> float:
         store = self._store
         row = store.user_pos.get(user.user_id)
         col = store.event_pos.get(event.event_id)

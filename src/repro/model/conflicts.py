@@ -90,7 +90,7 @@ class MatrixConflict(ConflictFunction):
     set of unordered id pairs.
     """
 
-    def __init__(self, conflicting_pairs: Iterable[tuple[int, int]]):
+    def __init__(self, conflicting_pairs: Iterable[tuple[int, int]]) -> None:
         self._pairs: set[frozenset[int]] = set()
         for u, v in conflicting_pairs:
             if u == v:
@@ -228,7 +228,7 @@ class CompositeConflict(ConflictFunction):
     Models multi-attribute conflicts (e.g. same time slot OR same venue).
     """
 
-    def __init__(self, members: Sequence[ConflictFunction]):
+    def __init__(self, members: Sequence[ConflictFunction]) -> None:
         if not members:
             raise ValueError("CompositeConflict needs at least one member")
         self.members = list(members)

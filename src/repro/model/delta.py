@@ -30,10 +30,12 @@ Application order within one delta is fixed and documented on
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.analysis_tools.sanitize import sanitize_index
 from repro.model.arrangement import Arrangement
 from repro.model.columnar import (
     ColumnarInterest,
@@ -42,7 +44,7 @@ from repro.model.columnar import (
     carry_categories,
     carry_temporal,
 )
-from repro.model.conflicts import MatrixConflict
+from repro.model.conflicts import ConflictFunction, MatrixConflict
 from repro.model.entities import Event, User
 from repro.model.errors import ModelError
 from repro.model.index import (
@@ -53,8 +55,9 @@ from repro.model.index import (
     validated_interest,
 )
 from repro.model.instance import IGEPAInstance
-from repro.model.interest import TabulatedInterest
+from repro.model.interest import InterestFunction, TabulatedInterest
 from repro.model.sharded_index import ShardedInstanceIndex
+from repro.social.graph import Graph
 
 
 class DeltaError(ModelError):
@@ -431,7 +434,9 @@ def _successor_users(instance: IGEPAInstance, delta: Delta) -> list[User]:
     return users
 
 
-def _successor_conflict(instance: IGEPAInstance, delta: Delta):
+def _successor_conflict(
+    instance: IGEPAInstance, delta: Delta
+) -> ConflictFunction:
     """The successor conflict function (a new MatrixConflict when edited).
 
     Besides applying the explicit edits, pairs referencing removed events
@@ -449,7 +454,9 @@ def _successor_conflict(instance: IGEPAInstance, delta: Delta):
     )
 
 
-def _successor_interest(instance: IGEPAInstance, delta: Delta):
+def _successor_interest(
+    instance: IGEPAInstance, delta: Delta
+) -> InterestFunction:
     """The successor interest function (TabulatedInterest merged).
 
     New entries (already range-checked by ``_check_delta``) are merged over
@@ -471,7 +478,7 @@ def _successor_interest(instance: IGEPAInstance, delta: Delta):
     return TabulatedInterest._from_trusted(values, interest.default)
 
 
-def _successor_social(instance: IGEPAInstance, delta: Delta):
+def _successor_social(instance: IGEPAInstance, delta: Delta) -> Graph:
     """The successor social graph (copied only when the user set changes)."""
     if not delta.add_users and not delta.remove_users:
         return instance.social
@@ -519,11 +526,11 @@ def _patch_components(
     delta: Delta,
     maps: _PositionMaps,
     *,
-    conflict_fn,
-    successor_events,
-    interest_fn,
-    event_lookup,
-    user_lookup,
+    conflict_fn: Callable[[Event, Event], bool],
+    successor_events: Sequence[Event],
+    interest_fn: Callable[[Event, User], float],
+    event_lookup: Callable[[int], Event],
+    user_lookup: Callable[[int], User],
 ) -> dict:
     """Patch the predecessor's primary arrays into the successor's.
 
@@ -737,16 +744,22 @@ def _index_from_components(
     """Assemble the successor's index, keeping the predecessor's
     implementation (and shard size) unless growth forces a switch."""
     if isinstance(old, ShardedInstanceIndex):
-        return ShardedInstanceIndex.from_components(
+        patched = ShardedInstanceIndex.from_components(
             successor, shard_size=old.shard_size, **components
         )
-    cells = components["user_ids"].size * components["event_ids"].size
-    if cells > DENSE_CELL_CAP:
-        # Churn grew a dense-indexed instance past the dense cap: switch the
-        # successor to the sharded implementation instead of allocating
-        # matrices the from-scratch constructor would refuse.
-        return ShardedInstanceIndex.from_components(successor, **components)
-    return InstanceIndex.from_components(successor, **components)
+    else:
+        cells = components["user_ids"].size * components["event_ids"].size
+        if cells > DENSE_CELL_CAP:
+            # Churn grew a dense-indexed instance past the dense cap: switch
+            # the successor to the sharded implementation instead of
+            # allocating matrices the from-scratch constructor would refuse.
+            patched = ShardedInstanceIndex.from_components(
+                successor, **components
+            )
+        else:
+            patched = InstanceIndex.from_components(successor, **components)
+    sanitize_index(patched)
+    return patched
 
 
 def _patch_index(
@@ -803,11 +816,11 @@ def _columnar_successor(
     pred_user_by_id = instance.user_by_id
     pred_event_by_id = instance.event_by_id
 
-    def user_lookup(user_id: int):
+    def user_lookup(user_id: int) -> User:
         added = added_users.get(user_id)
         return added if added is not None else pred_user_by_id[user_id]
 
-    def event_lookup(event_id: int):
+    def event_lookup(event_id: int) -> Event:
         added = added_events.get(event_id)
         return added if added is not None else pred_event_by_id[event_id]
 
@@ -823,7 +836,7 @@ def _columnar_successor(
     }
     if delta_map:
 
-        def interest_fn(event, user):
+        def interest_fn(event: Event, user: User) -> float:
             value = delta_map.get((event.event_id, user.user_id))
             return value if value is not None else base_interest(event, user)
 

@@ -16,12 +16,13 @@ The attribute vector is split into the pieces the paper says it contains:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 
-def _as_attribute_vector(values) -> np.ndarray:
+def _as_attribute_vector(values: "np.ndarray | Sequence[float]") -> np.ndarray:
     array = np.asarray(values, dtype=float)
     if array.ndim != 1:
         raise ValueError(f"attribute vector must be 1-D, got shape {array.shape}")
@@ -67,7 +68,7 @@ class Event:
             return None
         return self.start_time + self.duration
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Event):
             return NotImplemented
         return (
@@ -117,7 +118,7 @@ class User:
         """``N_u`` as a set for membership tests."""
         return frozenset(self.bids)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, User):
             return NotImplemented
         return (

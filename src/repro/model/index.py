@@ -56,6 +56,7 @@ enforces this end to end).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
@@ -90,7 +91,9 @@ def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
     store = instance.store
     num_users = store.num_users
     if store.degrees is not None:
-        return store.degrees.astype(np.float64, copy=True)
+        # Zero-copy when already float64: indexes never mutate the degree
+        # vector, and delta patching copies before touching it.
+        return store.degrees.astype(np.float64, copy=False)
     if num_users > 1:
         social = instance.social
         has_node = social.has_node
@@ -107,7 +110,11 @@ def build_degrees(instance: "IGEPAInstance") -> np.ndarray:
     return np.zeros(num_users, dtype=np.float64)
 
 
-def validated_interest(interest_fn, event: "Event", user: "User") -> float:
+def validated_interest(
+    interest_fn: Callable[["Event", "User"], float],
+    event: "Event",
+    user: "User",
+) -> float:
     """Evaluate SI on one pair, enforcing Definition 5's ``[0, 1]`` range.
 
     The single range check used by the index build and by delta maintenance,
@@ -135,7 +142,9 @@ class IndexShard:
 
     __slots__ = ("index", "shard_id", "start", "stop")
 
-    def __init__(self, index: "BaseInstanceIndex", shard_id: int, start: int, stop: int):
+    def __init__(
+        self, index: "BaseInstanceIndex", shard_id: int, start: int, stop: int
+    ) -> None:
         self.index = index
         self.shard_id = shard_id
         self.start = start
@@ -299,7 +308,9 @@ class BaseInstanceIndex:
         indptr_list = indptr.tolist()
         indices_list = indices.tolist()
         si_values = np.empty(indices.size, dtype=np.float64)
-        for i in range(store.num_users):
+        # Generic Interest objects only expose scalar calls, so this path is
+        # inherently per-bid; array-backed stores take the vectorized branch.
+        for i in range(store.num_users):  # igepa: ignore[IGP001]
             user = users[i]
             for entry in range(indptr_list[i], indptr_list[i + 1]):
                 si_values[entry] = validated_interest(
@@ -533,7 +544,9 @@ class BaseInstanceIndex:
         """Shard id of a user position."""
         return upos // self.shard_size
 
-    def touched_shards(self, user_positions) -> list[int]:
+    def touched_shards(
+        self, user_positions: np.ndarray | Sequence[int]
+    ) -> list[int]:
         """Sorted shard ids containing any of the given user positions.
 
         Delta maintenance and the shard-parallel replay use this to route
@@ -564,7 +577,7 @@ class BaseInstanceIndex:
 
     # Slab builders (overridden by the dense index with zero-copy views).
     def _scatter_slab(
-        self, start: int, stop: int, values: np.ndarray | None, dtype
+        self, start: int, stop: int, values: np.ndarray | None, dtype: type
     ) -> np.ndarray:
         slab = np.zeros((stop - start, self.num_events), dtype=dtype)
         lo, hi = int(self.bid_indptr[start]), int(self.bid_indptr[stop])
@@ -601,7 +614,7 @@ class InstanceIndex(BaseInstanceIndex):
 
     PARITY_ARRAYS = BaseInstanceIndex.PARITY_ARRAYS + ("SI", "bid_mask", "W")
 
-    def __init__(self, instance: "IGEPAInstance"):
+    def __init__(self, instance: "IGEPAInstance") -> None:
         cells = len(instance.users) * len(instance.events)
         if cells > DENSE_CELL_CAP:
             raise IndexCapacityError(

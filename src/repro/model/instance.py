@@ -18,11 +18,12 @@ derived quantities are cached.
 from __future__ import annotations
 
 import json
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis_tools.sanitize import sanitize_index, sanitize_store
 from repro.model.columnar import (
     ColumnarStore,
     EventColumn,
@@ -32,7 +33,7 @@ from repro.model.columnar import (
 from repro.model.conflicts import ConflictFunction, conflict_from_dict
 from repro.model.entities import Event, User
 from repro.model.errors import InstanceValidationError
-from repro.model.index import BaseInstanceIndex, DENSE_CELL_CAP, InstanceIndex
+from repro.model.index import DENSE_CELL_CAP, BaseInstanceIndex, InstanceIndex
 from repro.model.interest import InterestFunction, interest_from_dict
 from repro.model.sharded_index import ShardedInstanceIndex
 from repro.social.graph import Graph
@@ -84,7 +85,7 @@ class IGEPAInstance:
         degrees: dict[int, float] | None = None,
         validate: bool = True,
         store: ColumnarStore | None = None,
-    ):
+    ) -> None:
         self.events = list(events)
         self.users = list(users)
         self.conflict = conflict
@@ -125,6 +126,7 @@ class IGEPAInstance:
         """
         self = cls.__new__(cls)
         self._store = store
+        sanitize_store(store)
         self._columnar = True
         self.users = UserColumn(store)
         self.events = EventColumn(store)
@@ -168,6 +170,7 @@ class IGEPAInstance:
             self._store = ColumnarStore.from_entities(
                 self.users, self.events, degrees=self._degrees_override
             )
+            sanitize_store(self._store)
         return self._store
 
     @property
@@ -176,7 +179,7 @@ class IGEPAInstance:
         return self._columnar
 
     @property
-    def user_by_id(self):
+    def user_by_id(self) -> Mapping[int, User]:
         if self._user_by_id is None:
             if self._columnar:
                 self._user_by_id = IdViewMap(self._store, "user")
@@ -185,7 +188,7 @@ class IGEPAInstance:
         return self._user_by_id
 
     @property
-    def event_by_id(self):
+    def event_by_id(self) -> Mapping[int, Event]:
         if self._event_by_id is None:
             if self._columnar:
                 self._event_by_id = IdViewMap(self._store, "event")
@@ -250,6 +253,7 @@ class IGEPAInstance:
             self._store = ColumnarStore.from_entities(
                 self.users, self.events, degrees=self._degrees_override
             )
+            sanitize_store(self._store)
         self._validate_social(user_ids)
         if self._degrees_override is not None:
             count = len(self._degrees_override)
@@ -323,6 +327,7 @@ class IGEPAInstance:
                 if sharded
                 else InstanceIndex(self)
             )
+            sanitize_index(self._index)
         return self._index
 
     def configure_index(

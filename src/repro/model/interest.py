@@ -87,7 +87,7 @@ class TabulatedInterest(InterestFunction):
 
     def __init__(
         self, values: Mapping[tuple[int, int], float], default: float = 0.0
-    ):
+    ) -> None:
         self._values: dict[tuple[int, int], float] = {}
         for (event_id, user_id), value in values.items():
             if not 0.0 <= value <= 1.0:

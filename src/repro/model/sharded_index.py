@@ -62,7 +62,9 @@ class ShardedInstanceIndex(BaseInstanceIndex):
 
     PARITY_ARRAYS = BaseInstanceIndex.PARITY_ARRAYS
 
-    def __init__(self, instance: "IGEPAInstance", shard_size: int | None = None):
+    def __init__(
+        self, instance: "IGEPAInstance", shard_size: int | None = None
+    ) -> None:
         self._build_primary(instance)
         self._shard_size = self._resolve_shard_size(shard_size)
         self.bid_indptr, self.bid_indices, self.bid_si = self._build_csr()

@@ -7,7 +7,6 @@ structure, seeded random-graph generators used by the synthetic workloads, and
 the network metrics the paper relies on.
 """
 
-from repro.social.graph import EdgelessGraph, Graph
 from repro.social.generators import (
     barabasi_albert_graph,
     complete_graph,
@@ -16,6 +15,7 @@ from repro.social.generators import (
     graph_from_edges,
     watts_strogatz_graph,
 )
+from repro.social.graph import EdgelessGraph, Graph
 from repro.social.metrics import (
     average_degree,
     clustering_coefficient,

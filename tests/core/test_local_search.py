@@ -1,6 +1,5 @@
 """Unit tests for the local-search improvement layer."""
 
-import pytest
 
 from repro.core import (
     ExactILP,

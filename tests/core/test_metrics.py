@@ -13,7 +13,7 @@ from repro.core import (
     user_utilities,
 )
 from repro.core.metrics import event_social_cohesion
-from repro.datagen import generate_synthetic, SyntheticConfig
+from repro.datagen import SyntheticConfig, generate_synthetic
 from repro.model import Arrangement, Event, IGEPAInstance, MatrixConflict, TabulatedInterest, User
 from repro.social import Graph
 from tests.util import tiny_instance

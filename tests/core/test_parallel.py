@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
+import numpy as np
 import pytest
 
 from repro.core import GGGreedy, LocalSearch, parallel_repair
-from repro.core.parallel import scan_shard, _shard_payload
+from repro.core.parallel import _shard_payload, scan_shard
 from repro.datagen import (
     ChurnConfig,
     SyntheticConfig,
@@ -16,8 +17,6 @@ from repro.datagen import (
 )
 from repro.experiments.replay import replay_trace
 from repro.model.delta import apply_delta
-
-import numpy as np
 
 CONFIG = SyntheticConfig(num_users=300, num_events=40)
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datagen import MeetupConfig, SF_DEFAULTS, generate_meetup
+from repro.datagen import SF_DEFAULTS, MeetupConfig, generate_meetup
 from repro.model import TimeIntervalConflict
 
 SMALL = MeetupConfig(num_events=25, num_users=80, num_groups=6)

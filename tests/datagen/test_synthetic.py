@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datagen import SyntheticConfig, TABLE1_DEFAULTS, generate_synthetic
-from repro.model import MatrixConflict
+from repro.datagen import TABLE1_DEFAULTS, SyntheticConfig, generate_synthetic
 
 
 class TestTable1Defaults:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import GGGreedy, LPPacking, LocalSearch
+from repro.core import GGGreedy, LocalSearch, LPPacking
 from repro.datagen import (
     ChurnConfig,
     SyntheticConfig,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import GGGreedy, LPPacking, LocalSearch, RandomU, RandomV
+from repro.core import GGGreedy, LocalSearch, LPPacking, RandomU, RandomV
 from repro.datagen import (
     ChurnConfig,
     SyntheticConfig,

@@ -12,10 +12,10 @@ from repro.model import (
     InstanceIndex,
     ShardedInstanceIndex,
 )
+from repro.model.conflicts import MatrixConflict
 from repro.model.entities import Event, User
 from repro.model.index import DENSE_CELL_CAP, build_degrees
 from repro.model.interest import TabulatedInterest
-from repro.model.conflicts import MatrixConflict
 from repro.social.generators import empty_graph
 
 CONFIG = SyntheticConfig(num_users=150, num_events=30)
