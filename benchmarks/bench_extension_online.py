@@ -24,6 +24,22 @@ def _run_comparison():
     return bound, offline, greedy, random_online
 
 
+def _run_cache_microbench():
+    """Before/after the admissible-set cache, counted not timed.
+
+    The same users are served across all repetitions, so from repetition
+    two onward every enumeration should come from the cache (nothing
+    churns between runs).  Counting enumerations instead of wall time
+    keeps the assertion load-independent.
+    """
+    instance = generate_synthetic(CONFIG, seed=BENCH_SEED)
+    cached = OnlineGreedy(cache_admissible=True)
+    uncached = OnlineGreedy(cache_admissible=False)
+    with_cache = competitive_ratio(instance, cached, repetitions=RUNS, seed=0)
+    without_cache = competitive_ratio(instance, uncached, repetitions=RUNS, seed=0)
+    return cached, uncached, with_cache, without_cache
+
+
 def bench_extension_online(bench_once):
     bound, offline, greedy, random_online = bench_once(_run_comparison)
 
@@ -32,6 +48,19 @@ def bench_extension_online(bench_once):
     # Online greedy should retain a large fraction of the offline value on
     # these workloads (no adversarial arrival order).
     assert greedy["mean_ratio"] >= 0.5
+
+    # Count-based, not timed — pytest-benchmark allows one timed call per
+    # test, and enumeration counts are what the cache contract promises.
+    cached, uncached, with_cache, without_cache = _run_cache_microbench()
+    # Identical decisions: the cache may only skip recomputation.
+    assert with_cache["utilities"] == without_cache["utilities"]
+    assert uncached.cache_hits == 0 and uncached.cache_misses == 0
+    # Every user enumerates once; repetitions 2..N hit the memoized sets.
+    assert cached.cache_misses == CONFIG.num_users
+    assert cached.cache_hits == (RUNS - 1) * CONFIG.num_users
+    enumerations_saved = cached.cache_hits / (
+        cached.cache_hits + cached.cache_misses
+    )
 
     lines = [
         f"Extension: online arrivals ({RUNS} random orders; offline LP* = {bound:.2f})",
@@ -43,4 +72,9 @@ def bench_extension_online(bench_once):
             f"{name:>16} {report['mean_utility']:>13.2f} "
             f"{report['mean_ratio']:>11.1%} {report['worst_ratio']:>12.1%}"
         )
+    lines.append(
+        f"admissible-set cache: {cached.cache_misses} enumerations with cache "
+        f"vs {RUNS * CONFIG.num_users} without "
+        f"({enumerations_saved:.1%} saved, identical utilities)"
+    )
     write_report("extension_online", "\n".join(lines))

@@ -925,11 +925,15 @@ class ShardWorkerRule(Rule):
 
 
 #: Modules sanctioned to read monotonic timers for timing *reports*.
+#: ``service/clock.py`` is the serving loop's *only* timer access: every
+#: other service module takes time through the injected Clock, so decision
+#: time stays virtual (replayable) and measurement time stays report-only.
 TIMING_REPORT_MODULES = (
     "repro/experiments/replay.py",
     "repro/experiments/simulate.py",
     "repro/experiments/runner.py",
     "repro/core/base.py",
+    "repro/service/clock.py",
 )
 
 _WALL_CLOCK_CALLS = {
@@ -973,7 +977,7 @@ class WallClockRule(Rule):
         "thread simulated time through the trace/config; for runtime "
         "reports use time.perf_counter() inside the timing-report "
         "whitelist (experiments/replay.py, experiments/simulate.py, "
-        "experiments/runner.py, core/base.py)"
+        "experiments/runner.py, core/base.py, service/clock.py)"
     )
     module_suffixes = None
 

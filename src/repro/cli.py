@@ -10,6 +10,9 @@ Subcommands:
   against full recompute, batch by batch.
 * ``simulate`` — the dynamic platform: online arrivals under event churn,
   capacity/interest deltas and a defragmentation schedule, tick by tick.
+* ``serve`` — arrangement as a service: the same pipeline as an asyncio
+  serving loop with micro-batching, admission control and latency SLOs;
+  replays a generated request trace, or JSON-lines requests from stdin.
 * ``lint`` — the AST-based invariant checker guarding the array/columnar
   contracts (codes IGP001-IGP008; see ``repro.analysis_tools``).
 """
@@ -218,6 +221,113 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"report written to {args.out}")
     # A failed parity check must fail the command, not just print False.
+    return 0 if (not args.check_parity or report.all_parity) else 1
+
+
+ADMISSION_POLICIES = ["admit-all", "reject", "degrade", "queue"]
+
+
+def _build_admission(args: argparse.Namespace):
+    from repro.service import (
+        AdmitAll,
+        DeadlineQueue,
+        DegradeOnOverload,
+        RejectOnOverload,
+    )
+
+    if args.admission == "reject":
+        return RejectOnOverload(args.max_serve)
+    if args.admission == "degrade":
+        return DegradeOnOverload(args.max_serve)
+    if args.admission == "queue":
+        return DeadlineQueue(args.max_serve, args.deadline)
+    return AdmitAll()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy: the service stack (asyncio loop, wire format) is only needed
+    # here.
+    from repro.datagen.churn import generate_request_trace
+    from repro.experiments.persistence import save_serve_report
+    from repro.experiments.reporting import format_serve_table
+    from repro.service import ServiceConfig, TickEngine, VirtualClock, serve_requests
+    from repro.service.wire import request_from_dict, response_to_dict
+
+    config = ServiceConfig(
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        admission=_build_admission(args),
+        defrag_grace=args.defrag_grace,
+    )
+
+    def build_engine(initial):
+        _configure_shards(initial, args.shards)
+        return TickEngine(
+            initial,
+            online=ONLINE_ALGORITHMS[args.algorithm](),
+            seed=args.seed,
+            defrag=_build_defrag(args),
+            oracle=REPLAY_ALGORITHMS[args.oracle](),
+            oracle_every=args.oracle_every,
+            defrag_lp=not args.no_defrag_lp,
+            defrag_lp_backend=args.defrag_lp_backend,
+            check_parity=args.check_parity,
+            clock=VirtualClock(),
+            switching_penalty=args.switching_penalty,
+        )
+
+    if args.stdin:
+        if not args.instance:
+            print("--stdin requires --instance INSTANCE.json", file=sys.stderr)
+            return 2
+        instance = IGEPAInstance.load(args.instance)
+        requests = (
+            request_from_dict(json.loads(line))
+            for line in sys.stdin
+            if line.strip()
+        )
+        report, responses = serve_requests(
+            build_engine(instance), requests, config=config
+        )
+        for response in responses:
+            print(json.dumps(response_to_dict(response)))
+        print(format_serve_table(report), file=sys.stderr)
+    else:
+        synthetic = SyntheticConfig(
+            num_events=args.events,
+            num_users=args.users,
+            conflict_probability=args.pcf,
+        )
+        instance = generate_synthetic(synthetic, seed=args.seed)
+        churn = ChurnConfig(
+            num_batches=args.batches,
+            user_arrival_rate=args.arrival_rate,
+            user_departure_rate=args.departure_rate,
+            rebid_rate=args.rebid_rate,
+            event_open_rate=args.event_rate,
+            event_close_rate=args.event_rate,
+            drift_rate=args.drift_rate,
+            capacity_shock_rate=args.capacity_shock_rate,
+            burst_every=args.burst_every,
+            base=synthetic,
+        )
+        trace = generate_churn_trace(instance, churn, seed=args.seed + 1)
+        request_trace = generate_request_trace(
+            trace, batch_seconds=args.batch_seconds, seed=args.seed + 2
+        )
+        report, _responses = serve_requests(
+            build_engine(request_trace.initial),
+            request_trace.requests,
+            config=config,
+        )
+        print(format_serve_table(report))
+    if args.check_parity:
+        print(f"index parity (bit-identical): {report.all_parity}")
+    if args.out:
+        save_serve_report(report, args.out)
+        print(f"report written to {args.out}")
+    if not report.all_feasible:
+        return 1
     return 0 if (not args.check_parity or report.all_parity) else 1
 
 
@@ -459,6 +569,168 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("--out", help="also write the report as JSON")
     sub.set_defaults(func=_cmd_simulate)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help=(
+            "arrangement as a service: asyncio loop with micro-batching, "
+            "admission control and latency SLOs"
+        ),
+    )
+    sub.add_argument("--users", type=int, default=2000, help="initial |U|")
+    sub.add_argument("--events", type=int, default=200, help="initial |V|")
+    sub.add_argument(
+        "--batches", type=int, default=20, help="churn batches behind the trace"
+    )
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument(
+        "--algorithm",
+        choices=sorted(ONLINE_ALGORITHMS),
+        default="online-greedy",
+        help="online policy serving admitted arrivals",
+    )
+    sub.add_argument(
+        "--oracle",
+        choices=sorted(REPLAY_ALGORITHMS),
+        default="gg+ls",
+        help="full re-solve algorithm behind the retention curve",
+    )
+    sub.add_argument(
+        "--oracle-every",
+        type=int,
+        default=5,
+        help="run the oracle every k-th tick (0: never)",
+    )
+    sub.add_argument(
+        "--defrag",
+        choices=["none", "periodic", "retention"],
+        default="none",
+        help="defragmentation schedule (background, cancellable)",
+    )
+    sub.add_argument(
+        "--defrag-period", type=int, default=10, help="ticks between defrags"
+    )
+    sub.add_argument(
+        "--defrag-threshold",
+        type=float,
+        default=0.95,
+        help="retention fraction that trips the retention schedule",
+    )
+    sub.add_argument(
+        "--no-defrag-lp",
+        action="store_true",
+        help="skip the warm-started LP re-solve during defrag passes",
+    )
+    sub.add_argument(
+        "--defrag-lp-backend",
+        default="auto",
+        help="LP backend for the defrag re-solve",
+    )
+    sub.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="micro-batch size cap (flush on reaching it)",
+    )
+    sub.add_argument(
+        "--max-wait",
+        type=float,
+        default=1.0,
+        help="decision-time seconds before a pending batch flushes",
+    )
+    sub.add_argument(
+        "--admission",
+        choices=ADMISSION_POLICIES,
+        default="admit-all",
+        help="admission-control policy under burst",
+    )
+    sub.add_argument(
+        "--max-serve",
+        type=int,
+        default=32,
+        help="arrivals served in full per tick (overload policies)",
+    )
+    sub.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="queue deadline in decision-time seconds (queue policy)",
+    )
+    sub.add_argument(
+        "--switching-penalty",
+        type=float,
+        default=0.0,
+        help="utility cost per re-seated (user, event) pair during defrag",
+    )
+    sub.add_argument(
+        "--defrag-grace",
+        type=float,
+        default=None,
+        help=(
+            "supersede a running defrag when the next batch lands within "
+            "this many seconds (default: --max-wait)"
+        ),
+    )
+    sub.add_argument(
+        "--batch-seconds",
+        type=float,
+        default=1.0,
+        help="decision-time window of one generated churn batch",
+    )
+    sub.add_argument(
+        "--arrival-rate", type=float, default=20.0, help="user arrivals/batch"
+    )
+    sub.add_argument(
+        "--departure-rate", type=float, default=20.0, help="user departures/batch"
+    )
+    sub.add_argument("--rebid-rate", type=float, default=40.0, help="re-bids/batch")
+    sub.add_argument(
+        "--event-rate", type=float, default=1.0, help="event opens and closes/batch"
+    )
+    sub.add_argument(
+        "--drift-rate",
+        type=float,
+        default=20.0,
+        help="existing bid pairs re-sampling their SI value per batch",
+    )
+    sub.add_argument(
+        "--capacity-shock-rate",
+        type=float,
+        default=2.0,
+        help="events re-sampling their capacity per batch",
+    )
+    sub.add_argument(
+        "--burst-every",
+        type=int,
+        default=0,
+        help="every k-th batch is an adversarial burst (0: never)",
+    )
+    sub.add_argument("--pcf", type=float, default=0.3, help="conflict probability")
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition users into N index shards (0: size heuristic)",
+    )
+    sub.add_argument(
+        "--check-parity",
+        action="store_true",
+        help="verify the patched index equals a from-scratch build per tick",
+    )
+    sub.add_argument(
+        "--stdin",
+        action="store_true",
+        help=(
+            "read JSON-lines requests from stdin instead of generating a "
+            "trace (answers stream to stdout; table to stderr)"
+        ),
+    )
+    sub.add_argument(
+        "--instance",
+        help="instance JSON written by 'generate' (required with --stdin)",
+    )
+    sub.add_argument("--out", help="also write the serve report as JSON")
+    sub.set_defaults(func=_cmd_serve)
 
     sub = subparsers.add_parser(
         "lint",

@@ -7,9 +7,16 @@ implements that variant on top of the IGEPA model as an extension feature:
 
 * :class:`OnlineGreedy` — on arrival, give the user their *heaviest feasible
   admissible event set* under the remaining event capacities (brute force
-  over ``A_u``, which the paper's few-bids assumption keeps small);
+  over ``A_u``, which the paper's few-bids assumption keeps small).  The
+  enumeration is memoized per user behind a content fingerprint (capacity,
+  bid list, conflict submatrix), so re-serving a user — repeated
+  competitive-ratio runs, the serving loop's requeues — skips the brute
+  force until churn actually changes their options;
 * :class:`OnlineRandom` — on arrival, walk the user's bids in random order
   and take whatever fits (the natural online baseline);
+* :func:`serve_greedy_walk` — the *degraded* serving path: a single
+  descending-weight bid-walk with no enumeration at all, used by admission
+  control under burst;
 * :func:`competitive_ratio` — empirical ratio of an online algorithm against
   the offline LP upper bound.
 
@@ -118,15 +125,105 @@ class _OnlineAlgorithm(ArrangementAlgorithm):
         self._serve(instance, arrangement, user_id, rng)
         return sorted(arrangement.events_of(user_id) - before)
 
+    def serve_batch(
+        self,
+        instance: IGEPAInstance,
+        arrangement: Arrangement,
+        user_ids: Sequence[int],
+        rng: np.random.Generator | None = None,
+    ) -> dict[int, list[int]]:
+        """Serve a micro-batch of arrivals in the given order.
+
+        The batch-aware entry point the serving tick uses: one RNG draw
+        sequence across the batch, identical to serving the users through
+        :meth:`serve` one by one (which it is — batching groups the
+        *platform work*, not the assignment decisions).
+
+        Returns:
+            ``user_id -> newly assigned event ids`` per arrival.
+        """
+        if rng is None:
+            rng = self._rng(None)
+        return {
+            user_id: self.serve(instance, arrangement, user_id, rng)
+            for user_id in user_ids
+        }
+
+    def forget_users(self, user_ids: Sequence[int]) -> None:
+        """Drop any per-user serving state (cache hygiene hook).
+
+        Called by churn application for removed users; the base algorithms
+        keep no state, so this is a no-op unless a subclass memoizes.
+        """
+
 
 class OnlineGreedy(_OnlineAlgorithm):
     """Serve each arrival with their heaviest feasible admissible set.
 
     Feasibility is evaluated against the event capacities *remaining at
     arrival time*; the choice is irrevocable.
+
+    The admissible-set enumeration — the exponential part of an arrival —
+    is cached per user behind a content fingerprint of everything the
+    enumeration reads: the user's capacity, their bid list, and the
+    conflict submatrix over their bid events.  Any churn that changes the
+    enumeration (re-bids, capacity shocks, conflict toggles among the
+    user's events) changes the fingerprint and misses the cache, so no
+    explicit invalidation wiring is needed for correctness;
+    :meth:`forget_users` bounds memory when users depart.  Set
+    ``cache_admissible=False`` to force the PR 5 brute-force path
+    (``bench_extension_online`` measures the difference).
     """
 
     name = "online-greedy"
+
+    def __init__(
+        self,
+        arrival_order: Sequence[int] | None = None,
+        seed: int | None = None,
+        max_sets_per_user: int = DEFAULT_MAX_SETS_PER_USER,
+        cache_admissible: bool = True,
+    ):
+        super().__init__(
+            arrival_order=arrival_order,
+            seed=seed,
+            max_sets_per_user=max_sets_per_user,
+        )
+        self.cache_admissible = cache_admissible
+        self._set_cache: dict[int, tuple[object, tuple[tuple[int, ...], ...]]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def forget_users(self, user_ids: Sequence[int]) -> None:
+        for user_id in user_ids:
+            self._set_cache.pop(user_id, None)
+
+    def _admissible_sets(
+        self, instance: IGEPAInstance, user
+    ) -> tuple[tuple[int, ...], ...]:
+        """The user's admissible sets, memoized behind a content key."""
+        if not self.cache_admissible:
+            return tuple(
+                enumerate_admissible_sets(instance, user, self.max_sets_per_user)
+            )
+        index = instance.index
+        event_pos = index.event_pos
+        positions = [event_pos[event_id] for event_id in user.bids]
+        fingerprint = (
+            user.capacity,
+            user.bids,
+            index.conflict_matrix[np.ix_(positions, positions)].tobytes(),
+        )
+        cached = self._set_cache.get(user.user_id)
+        if cached is not None and cached[0] == fingerprint:
+            self.cache_hits += 1
+            return cached[1]
+        self.cache_misses += 1
+        sets = tuple(
+            enumerate_admissible_sets(instance, user, self.max_sets_per_user)
+        )
+        self._set_cache[user.user_id] = (fingerprint, sets)
+        return sets
 
     def _serve(
         self,
@@ -144,9 +241,7 @@ class OnlineGreedy(_OnlineAlgorithm):
         event_capacity = index.event_capacity
         best_set: tuple[int, ...] | None = None
         best_weight = 0.0
-        for events in enumerate_admissible_sets(
-            instance, user, self.max_sets_per_user
-        ):
+        for events in self._admissible_sets(instance, user):
             if any(
                 attendance[event_pos[event_id]] >= event_capacity[event_pos[event_id]]
                 for event_id in events
@@ -181,6 +276,46 @@ class OnlineRandom(_OnlineAlgorithm):
                 break
             if arrangement.can_add(event_id, user_id):
                 arrangement.add(event_id, user_id, check=False)
+
+
+def serve_greedy_walk(
+    instance: IGEPAInstance,
+    arrangement: Arrangement,
+    user_id: int,
+) -> list[int]:
+    """Degraded serving: one descending-weight bid-walk, no enumeration.
+
+    Admission control's burst fallback — O(bids) feasibility probes instead
+    of enumerating ``A_u``, deterministic (no RNG), all Definition 4
+    constraints respected via ``can_add``.  The greedy walk can miss the
+    heaviest admissible *set* (it commits bid by bid), which is exactly the
+    quality the platform trades for answering under overload.
+
+    Returns:
+        The event ids newly assigned, sorted (empty when nothing fit).
+
+    Raises:
+        ValueError: on unknown users or an arrangement bound to a
+            different instance.
+    """
+    if user_id not in instance.user_by_id:
+        raise ValueError(f"unknown user id {user_id}")
+    if arrangement.instance is not instance:
+        raise ValueError("arrangement belongs to a different instance")
+    user = instance.user_by_id[user_id]
+    index = instance.index
+    upos = index.user_pos[user_id]
+    weight_of = index.user_weight_by_event_id(upos)
+    # Heaviest bid first; event id breaks ties so the walk is deterministic.
+    bids = sorted(user.bids, key=lambda event_id: (-weight_of[event_id], event_id))
+    added: list[int] = []
+    for event_id in bids:
+        if arrangement.load(user_id) >= user.capacity:
+            break
+        if arrangement.can_add(event_id, user_id):
+            arrangement.add(event_id, user_id, check=False)
+            added.append(event_id)
+    return sorted(added)
 
 
 #: Relative slack granted to ratios above 1.0 before they are treated as a

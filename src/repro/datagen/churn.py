@@ -482,6 +482,131 @@ def _generate_batch(
     return delta
 
 
+@dataclass
+class RequestTrace:
+    """A serving workload: the initial instance plus timestamped requests.
+
+    The request-level view of a :class:`ChurnTrace` — each batch's new
+    users become individual :class:`~repro.service.requests.ArrivalRequest`
+    objects spread over the batch's time window, and everything else the
+    batch did becomes one :class:`~repro.service.requests.ChurnRequest` at
+    the window's start.  Replaying the requests through the service's
+    micro-batcher reconstitutes ticks from timestamps alone.
+
+    Attributes:
+        initial: the instance at time zero.
+        requests: arrival/churn requests in timestamp order.
+        config: the originating churn configuration.
+        seed: the request-level seed (inter-arrival jitter).
+    """
+
+    initial: IGEPAInstance
+    requests: list = field(default_factory=list)
+    config: ChurnConfig = ChurnConfig()
+    seed: int | None = None
+
+    def summary(self) -> dict:
+        from repro.service.requests import ArrivalRequest
+
+        arrivals = sum(
+            1 for request in self.requests if isinstance(request, ArrivalRequest)
+        )
+        return {
+            "requests": len(self.requests),
+            "arrivals": arrivals,
+            "churn_requests": len(self.requests) - arrivals,
+            "horizon_seconds": (
+                self.requests[-1].timestamp if self.requests else 0.0
+            ),
+        }
+
+
+def generate_request_trace(
+    trace: ChurnTrace,
+    *,
+    batch_seconds: float = 1.0,
+    seed: int | None = None,
+) -> RequestTrace:
+    """Explode a churn trace into a timestamped request stream.
+
+    Batch ``b`` owns the decision-time window ``[b·batch_seconds,
+    (b+1)·batch_seconds)``.  Its non-arrival operations land as one
+    :class:`~repro.service.requests.ChurnRequest` at the window start; each
+    new user becomes an :class:`~repro.service.requests.ArrivalRequest`
+    carrying exactly their interest (and degree-override) entries, placed
+    inside the window with exponential inter-arrival gaps (the order-
+    statistics construction, so arrivals never leak past their window and
+    replay order equals timestamp order).  Burst batches compress the gaps
+    by the configured ``burst_user_multiplier`` — the whole clump lands in
+    the first sliver of the window, which is what stresses micro-batch
+    sizing and admission control.
+
+    Determinism: same trace, ``seed`` and ``batch_seconds`` give the same
+    request stream; replaying it through a virtual clock gives the same
+    ticks.
+    """
+    from repro.service.requests import ArrivalRequest, ChurnRequest
+
+    if batch_seconds <= 0.0:
+        raise ValueError(f"batch_seconds must be > 0, got {batch_seconds}")
+    rng = np.random.default_rng(seed)
+    config = trace.config
+    requests: list = []
+    for batch, delta in enumerate(trace.deltas):
+        start = batch * batch_seconds
+        burst = (
+            config.burst_every > 0 and (batch + 1) % config.burst_every == 0
+        )
+        arrival_ids = {user.user_id for user in delta.add_users}
+        arrival_interest: dict[int, list[tuple[int, int, float]]] = {
+            user_id: [] for user_id in arrival_ids
+        }
+        remainder_interest: list[tuple[int, int, float]] = []
+        for entry in delta.interest:
+            if entry[1] in arrival_ids:
+                arrival_interest[entry[1]].append(entry)
+            else:
+                remainder_interest.append(entry)
+        arrival_degrees: dict[int, list[tuple[int, float]]] = {
+            user_id: [] for user_id in arrival_ids
+        }
+        remainder_degrees: list[tuple[int, float]] = []
+        for entry in delta.degrees:
+            if entry[0] in arrival_ids:
+                arrival_degrees[entry[0]].append(entry)
+            else:
+                remainder_degrees.append(entry)
+        remainder = replace(
+            delta,
+            add_users=(),
+            interest=tuple(remainder_interest),
+            degrees=tuple(remainder_degrees),
+        )
+        requests.append(ChurnRequest(timestamp=start, delta=remainder))
+        count = len(delta.add_users)
+        if not count:
+            continue
+        # Order-statistics placement: n+1 exponential gaps normalized to
+        # the window put n arrivals inside it with exponential spacing.
+        gaps = rng.exponential(size=count + 1)
+        offsets = np.cumsum(gaps[:count]) / float(np.sum(gaps))
+        compression = config.burst_user_multiplier if burst else 1.0
+        compression = max(compression, 1.0)
+        for user, offset in zip(delta.add_users, offsets):
+            requests.append(
+                ArrivalRequest(
+                    timestamp=start + batch_seconds * float(offset) / compression,
+                    user=user,
+                    interest=tuple(arrival_interest[user.user_id]),
+                    degrees=tuple(arrival_degrees[user.user_id]),
+                )
+            )
+    requests.sort(key=lambda request: request.timestamp)
+    return RequestTrace(
+        initial=trace.initial, requests=requests, config=config, seed=seed
+    )
+
+
 def generate_churn_trace(
     instance: IGEPAInstance,
     config: ChurnConfig | None = None,

@@ -37,6 +37,31 @@ def report_to_dict(
     return payload
 
 
+def save_serve_report(report, path: str | Path) -> None:
+    """Write a :class:`~repro.service.report.ServeReport` as JSON (the
+    BENCH_serve.json / nightly-soak artifact)."""
+    Path(path).write_text(json.dumps(report.to_dict(), indent=1))
+
+
+def load_serve_payload(path: str | Path) -> dict:
+    """Read a serve report written by :func:`save_serve_report`.
+
+    Returns the raw envelope dict (summary fields at the top level, tick
+    records under ``ticks``), validated for version and kind.
+
+    Raises:
+        ValueError: on unknown format versions or non-serve payloads.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {payload.get('format_version')!r}"
+        )
+    if payload.get("kind") != "serve":
+        raise ValueError(f"not a serve payload (kind={payload.get('kind')!r})")
+    return payload
+
+
 def stats_to_dict(stats: AlgorithmStats) -> dict:
     """Serialize one algorithm's repetition statistics."""
     return {

@@ -35,6 +35,13 @@ module closes that gap with a clocked loop over a churn trace:
    the per-tick utility gap into **repair debt** (the utility a
    defragmentation pass could reclaim).
 
+The five stages themselves now live in
+:class:`repro.service.engine.TickEngine`; this module is the *synchronous
+driver* over that engine, preserving PR 5's report shapes, seed threading
+and audits bit-for-bit.  The asyncio serving loop
+(:class:`repro.service.loop.ArrangementService`) drives the same engine
+request-by-request; ``igepa serve`` is its front end.
+
 Every tick is audited: the repaired arrangement must pass the full
 Definition 4 feasibility check, and (``check_parity``) the patched index
 must be bit-identical to a from-scratch build.
@@ -49,15 +56,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.base import ArrangementAlgorithm
-from repro.core.baselines import GGGreedy
-from repro.core.local_search import LocalSearch, improve
-from repro.core.lp_packing import LPPacking
-from repro.core.online import OnlineGreedy, _OnlineAlgorithm
-from repro.core.repair import repair
+from repro.core.online import _OnlineAlgorithm
 from repro.datagen.churn import ChurnTrace
 from repro.experiments.persistence import report_to_dict
-from repro.experiments.replay import fresh_index_like, index_parity_mismatches
-from repro.model.delta import apply_delta
+from repro.service.defrag import DefragSchedule, PeriodicDefrag, RetentionDefrag
+from repro.service.engine import TickEngine
+
+__all__ = [
+    "DefragSchedule",
+    "PeriodicDefrag",
+    "RetentionDefrag",
+    "SimulationInfeasibleError",
+    "SimulationReport",
+    "TickRecord",
+    "format_simulation_table",
+    "simulate",
+]
 
 
 class SimulationInfeasibleError(RuntimeError):
@@ -70,75 +84,6 @@ class SimulationInfeasibleError(RuntimeError):
     def __init__(self, message: str, report: "SimulationReport"):
         super().__init__(message)
         self.report = report
-
-
-# ----------------------------------------------------------------------
-# Defragmentation schedules
-# ----------------------------------------------------------------------
-class DefragSchedule:
-    """When the platform pays for a full-scope defragmentation pass.
-
-    The base schedule never defragments — the "defrag off" baseline the
-    dynamic bench compares against.  Subclasses override
-    :meth:`should_run`; it is consulted once per tick, after arrivals and
-    targeted repair.
-    """
-
-    name = "none"
-
-    def should_run(
-        self, tick: int, utility: float, oracle_utility: float | None
-    ) -> bool:
-        """Decide from online-observable state only.
-
-        Args:
-            tick: 0-based tick number.
-            utility: the arrangement's utility after this tick's repair.
-            oracle_utility: the most recent oracle re-solve utility (from a
-                *previous* tick; None before the first oracle run).
-        """
-        return False
-
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}({self.name!r})"
-
-
-class PeriodicDefrag(DefragSchedule):
-    """Defragment every ``period``-th tick, unconditionally."""
-
-    def __init__(self, period: int):
-        if period < 1:
-            raise ValueError(f"period must be >= 1, got {period}")
-        self.period = period
-        self.name = f"periodic-{period}"
-
-    def should_run(
-        self, tick: int, utility: float, oracle_utility: float | None
-    ) -> bool:
-        return (tick + 1) % self.period == 0
-
-
-class RetentionDefrag(DefragSchedule):
-    """Defragment when utility falls below ``threshold`` × the last oracle.
-
-    Before the first oracle measurement the trigger never fires — run the
-    simulation with ``oracle_every`` set, or nothing will trip it.
-    """
-
-    def __init__(self, threshold: float = 0.95):
-        if not 0.0 < threshold <= 1.0:
-            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
-        self.threshold = threshold
-        self.name = f"retention-{threshold:g}"
-
-    def should_run(
-        self, tick: int, utility: float, oracle_utility: float | None
-    ) -> bool:
-        return (
-            oracle_utility is not None
-            and oracle_utility > 0.0
-            and utility / oracle_utility < self.threshold
-        )
 
 
 # ----------------------------------------------------------------------
@@ -355,7 +300,7 @@ def format_simulation_table(report: SimulationReport) -> str:
 
 
 # ----------------------------------------------------------------------
-# The simulation loop
+# The simulation loop: a synchronous driver over TickEngine
 # ----------------------------------------------------------------------
 def simulate(
     trace: ChurnTrace,
@@ -412,20 +357,14 @@ def simulate(
             feasibility audit (never expected; a delta/repair invariant
             would be broken).  The partial report rides on the exception.
     """
-    if online is None:
-        online = OnlineGreedy()
-    if oracle is None:
-        oracle = LocalSearch(GGGreedy())
-    if defrag is None:
-        defrag = DefragSchedule()
     executor = None
     if workers:
         from concurrent.futures import ProcessPoolExecutor
 
         executor = ProcessPoolExecutor(max_workers=workers)
     try:
-        return _simulate(
-            trace,
+        engine = TickEngine(
+            trace.initial,
             online,
             seed=seed,
             defrag=defrag,
@@ -437,142 +376,48 @@ def simulate(
             executor=executor,
             check_parity=check_parity,
         )
+        return _simulate(trace, engine)
     finally:
         if executor is not None:
             executor.shutdown()
 
 
-def _defragment(result, arrangement, executor, max_passes, lp_resolver, seed):
-    """One full-scope defragmentation pass.
-
-    Returns ``(arrangement, moves, utility)`` — the (possibly replaced)
-    arrangement and its utility, so the caller never re-scans it.
-    """
-    if executor is not None:
-        from repro.core.parallel import parallel_repair
-
-        moves = dict(
-            parallel_repair(
-                result, executor, max_passes=max_passes, full_scope=True
-            )
-        )
-    else:
-        moves = dict(
-            improve(result.instance, arrangement, max_passes=max_passes)
-        )
-    utility = arrangement.utility()
-    if lp_resolver is not None:
-        lp_result = lp_resolver.solve(result.instance, seed=seed)
-        moves["lp_utility"] = lp_result.utility
-        moves["lp_adopted"] = lp_result.utility > utility
-        if moves["lp_adopted"]:
-            arrangement = lp_result.arrangement
-            utility = lp_result.utility
-    return arrangement, moves, utility
-
-
-def _simulate(
-    trace: ChurnTrace,
-    online: _OnlineAlgorithm,
-    *,
-    seed: int,
-    defrag: DefragSchedule,
-    oracle: ArrangementAlgorithm,
-    oracle_every: int,
-    defrag_lp: bool,
-    defrag_lp_backend: str,
-    max_passes: int,
-    executor,
-    check_parity: bool,
-) -> SimulationReport:
-    if executor is not None:
-        from repro.core.parallel import parallel_repair
-    rng = np.random.default_rng(seed)
-    started = time.perf_counter()
-    initial = online.solve(trace.initial, seed=seed)
-    initial_seconds = time.perf_counter() - started
-
+def _simulate(trace: ChurnTrace, engine: TickEngine) -> SimulationReport:
+    initial_utility, initial_seconds = engine.bootstrap()
     report = SimulationReport(
-        online_algorithm=online.name,
-        oracle_algorithm=oracle.name,
-        defrag_schedule=defrag.name,
-        initial_utility=initial.utility,
+        online_algorithm=engine.online.name,
+        oracle_algorithm=engine.oracle.name,
+        defrag_schedule=engine.defrag.name,
+        initial_utility=initial_utility,
         initial_seconds=initial_seconds,
     )
-    # The warm-started LP re-solver is one object across the horizon, so
-    # each defrag's final simplex basis crashes the next defrag's solve
-    # (whenever a revised-simplex backend runs; HiGHS ignores the hint).
-    lp_resolver = (
-        LPPacking(alpha=1.0, lp_backend=defrag_lp_backend, warm_start=True)
-        if defrag_lp
-        else None
-    )
-    instance = trace.initial
-    arrangement = initial.arrangement
-    oracle_reference: float | None = None
     last_tick = len(trace.deltas) - 1
     for tick, delta in enumerate(trace.deltas):
         tick_started = time.perf_counter()
-        result = apply_delta(instance, delta, arrangement)
-        arrangement = result.arrangement
+        result = engine.apply_churn(delta)
+        accepted = engine.serve_arrivals(result, delta)
+        repair_moves = engine.repair(result)
 
-        # Arrivals are served online, in arrival order, and excluded from
-        # the repair's user-side scan so their assignment is the online
-        # policy's decision, not a re-optimized one.  Event-side moves
-        # (refill/evict) still treat them like any other bidder — the
-        # acceptance metric is the admission answer at arrival time.
-        accepted = 0
-        for user in delta.add_users:
-            if online.serve(result.instance, arrangement, user.user_id, rng):
-                accepted += 1
-        result.touched_users.difference_update(
-            user.user_id for user in delta.add_users
-        )
-
-        if executor is not None:
-            repair_moves = parallel_repair(result, executor, max_passes=max_passes)
-        else:
-            repair_moves = repair(result, max_passes=max_passes)
-
-        utility = arrangement.utility()
-        defragged = defrag.should_run(tick, utility, oracle_reference)
+        utility = engine.utility()
+        defragged = engine.should_defrag(tick, utility)
         defrag_moves = None
         if defragged:
-            arrangement, defrag_moves, utility = _defragment(
-                result,
-                arrangement,
-                executor,
-                max_passes,
-                lp_resolver,
-                seed + 100_003 + tick,
-            )
-            result.arrangement = arrangement
+            defrag_moves, utility = engine.defragment(result, tick)
         seconds = time.perf_counter() - tick_started
 
         tick_oracle: float | None = None
-        if oracle_every and ((tick + 1) % oracle_every == 0 or tick == last_tick):
-            tick_oracle = oracle.solve(result.instance, seed=seed + 1 + tick).utility
-            oracle_reference = tick_oracle
-        repair_debt = (
-            max(0.0, oracle_reference - utility)
-            if oracle_reference is not None
-            else None
-        )
+        if engine.should_run_oracle(tick, last_tick):
+            tick_oracle = engine.oracle_solve(tick)
+        repair_debt = engine.repair_debt(utility)
 
-        parity: list[str] | None = None
-        if check_parity:
-            parity = index_parity_mismatches(
-                result.instance.index,
-                fresh_index_like(result.instance.index, result.instance),
-            )
-        feasible = arrangement.is_feasible()
+        feasible, parity = engine.audit(result)
         report.records.append(
             TickRecord(
                 tick=tick,
                 operations=delta.summary(),
                 num_users=result.instance.num_users,
                 num_events=result.instance.num_events,
-                num_pairs=len(arrangement),
+                num_pairs=len(engine.arrangement),
                 arrivals=len(delta.add_users),
                 accepted=accepted,
                 dropped_pairs=len(result.dropped_pairs),
@@ -592,8 +437,7 @@ def _simulate(
             # so the failing tick stays inspectable.
             raise SimulationInfeasibleError(
                 f"tick {tick}: arrangement is infeasible: "
-                f"{arrangement.violations()[:5]}",
+                f"{engine.arrangement.violations()[:5]}",
                 report,
             )
-        instance = result.instance
     return report

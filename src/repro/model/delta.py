@@ -1050,6 +1050,200 @@ def _carry_arrangement(
     return carried, dropped, touched_users, touched_events
 
 
+def coalesce_deltas(deltas: Sequence[Delta]) -> Delta:
+    """Fold a sequence of deltas into one equivalent batch.
+
+    The serving loop's micro-batcher groups several ingress operations —
+    churn requests plus per-arrival registrations — into one tick, which
+    must apply as a *single* delta.  Given deltas that would be valid
+    applied sequentially from some instance, the coalesced delta is valid
+    against that same instance and produces a successor whose index is
+    bit-identical to the sequential application's
+    (``tests/model/test_delta.py`` asserts this array by array).
+
+    Folding rules (everything else concatenates in encounter order):
+
+    * operations on entities *added within the window* fold into their
+      :class:`User`/:class:`Event` objects — later bids, bid withdrawals
+      and capacity changes rewrite the added object; removing a
+      window-added entity erases it and every pending operation on it;
+    * a bid **added then removed** within the window cancels; a bid
+      **removed then re-added** keeps *both* operations — cancelling the
+      pair would splice the bid back at its old list position, while the
+      sequential application re-appends it at the end (``add_bids`` after
+      an earlier removal of the same pair is explicitly legal);
+    * a conflict **removed then re-added** (or added then removed) cancels
+      — the relation is a set, so net-unchanged pairs need no edit;
+    * conflict edits and bids referencing events that do not survive the
+      window are dropped (the sequential application prunes them when the
+      event closes; a coalesced delta carrying them would fail
+      validation);
+    * capacity changes on pre-window entities are last-wins;
+    * ``interest`` entries all survive (later entries overwrite earlier
+      ones in application order, and entries on removed entities merge
+      into the unpruned interest table exactly as sequential application
+      leaves them); ``degrees`` entries are filtered to users surviving
+      the window.
+
+    Raises:
+        DeltaError: when an id removed within the window is re-added later
+            in it (id reuse; the churn generator never emits this, and a
+            coalesced delta cannot express it).
+    """
+    added_users: dict[int, User] = {}
+    added_user_bids: dict[int, list[int]] = {}
+    ever_added_users: set[int] = set()
+    removed_users: list[int] = []
+    removed_user_set: set[int] = set()
+    added_events: dict[int, Event] = {}
+    removed_events: list[int] = []
+    removed_event_set: set[int] = set()
+    add_bids: list[tuple[int, int]] = []
+    remove_bids: list[tuple[int, int]] = []
+    added_conflicts: list[tuple[int, int]] = []
+    removed_conflicts: list[tuple[int, int]] = []
+    user_caps: dict[int, int] = {}
+    event_caps: dict[int, int] = {}
+    interest: list[tuple[int, int, float]] = []
+    degrees: list[tuple[int, float]] = []
+
+    def drop_event_refs(event_id: int) -> None:
+        """Prune pending operations referencing a closing event."""
+        nonlocal add_bids, added_conflicts, removed_conflicts, added_user_bids
+        add_bids = [pair for pair in add_bids if pair[1] != event_id]
+        added_user_bids = {
+            user_id: [e for e in bids if e != event_id]
+            for user_id, bids in added_user_bids.items()
+        }
+        added_conflicts = [
+            pair for pair in added_conflicts if event_id not in pair
+        ]
+        removed_conflicts = [
+            pair for pair in removed_conflicts if event_id not in pair
+        ]
+        event_caps.pop(event_id, None)
+
+    for delta in deltas:
+        for user_id, event_id in delta.remove_bids:
+            if user_id in added_users:
+                added_user_bids[user_id].remove(event_id)
+            elif (user_id, event_id) in add_bids:
+                # added-then-removed within the window: cancels
+                add_bids.remove((user_id, event_id))
+            else:
+                remove_bids.append((user_id, event_id))
+        for user_id, event_id in delta.add_bids:
+            if user_id in added_users:
+                added_user_bids[user_id].append(event_id)
+            else:
+                # kept even after a same-pair removal above: the sequential
+                # application appends the re-added bid at the end of the
+                # user's list, which is exactly what remove+add expresses
+                add_bids.append((user_id, event_id))
+        for user_id in delta.remove_users:
+            if user_id in added_users:
+                del added_users[user_id]
+                del added_user_bids[user_id]
+            else:
+                removed_users.append(user_id)
+                removed_user_set.add(user_id)
+                add_bids[:] = [p for p in add_bids if p[0] != user_id]
+                remove_bids[:] = [p for p in remove_bids if p[0] != user_id]
+                user_caps.pop(user_id, None)
+        for event_id in delta.remove_events:
+            if event_id in added_events:
+                del added_events[event_id]
+            else:
+                if event_id in removed_event_set:
+                    raise DeltaError(
+                        f"event {event_id} removed twice in one window "
+                        "(id reuse cannot be coalesced)"
+                    )
+                removed_events.append(event_id)
+                removed_event_set.add(event_id)
+            drop_event_refs(event_id)
+        for event in delta.add_events:
+            if event.event_id in removed_event_set:
+                raise DeltaError(
+                    f"event id {event.event_id} reused within a coalescing "
+                    "window"
+                )
+            added_events[event.event_id] = event
+        for user in delta.add_users:
+            if user.user_id in removed_user_set:
+                raise DeltaError(
+                    f"user id {user.user_id} reused within a coalescing "
+                    "window"
+                )
+            added_users[user.user_id] = user
+            added_user_bids[user.user_id] = list(user.bids)
+            ever_added_users.add(user.user_id)
+        for pair in delta.add_conflicts:
+            mirror = (pair[1], pair[0])
+            if pair in removed_conflicts or mirror in removed_conflicts:
+                # removed-then-re-added: net unchanged against the base
+                if pair in removed_conflicts:
+                    removed_conflicts.remove(pair)
+                else:
+                    removed_conflicts.remove(mirror)
+            else:
+                added_conflicts.append(pair)
+        for pair in delta.remove_conflicts:
+            mirror = (pair[1], pair[0])
+            if pair in added_conflicts or mirror in added_conflicts:
+                # added-then-removed: net unchanged against the base
+                if pair in added_conflicts:
+                    added_conflicts.remove(pair)
+                else:
+                    added_conflicts.remove(mirror)
+            else:
+                removed_conflicts.append(pair)
+        for user_id, capacity in delta.set_user_capacity:
+            if user_id in added_users:
+                added_users[user_id] = replace(
+                    added_users[user_id], capacity=capacity
+                )
+            else:
+                user_caps[user_id] = capacity
+        for event_id, capacity in delta.set_event_capacity:
+            if event_id in added_events:
+                added_events[event_id] = replace(
+                    added_events[event_id], capacity=capacity
+                )
+            else:
+                event_caps[event_id] = capacity
+        interest.extend(delta.interest)
+        degrees.extend(delta.degrees)
+
+    return Delta(
+        add_users=tuple(
+            replace(user, bids=tuple(added_user_bids[user_id]))
+            for user_id, user in added_users.items()
+        ),
+        remove_users=tuple(removed_users),
+        add_events=tuple(added_events.values()),
+        remove_events=tuple(removed_events),
+        add_bids=tuple(add_bids),
+        remove_bids=tuple(remove_bids),
+        add_conflicts=tuple(added_conflicts),
+        remove_conflicts=tuple(removed_conflicts),
+        set_user_capacity=tuple(user_caps.items()),
+        set_event_capacity=tuple(event_caps.items()),
+        interest=tuple(interest),
+        degrees=tuple(
+            (user_id, value)
+            for user_id, value in degrees
+            # survivors: window-added users still present, or pre-window
+            # users not removed (added-then-removed users are in neither)
+            if user_id in added_users
+            or (
+                user_id not in removed_user_set
+                and user_id not in ever_added_users
+            )
+        ),
+    )
+
+
 def apply_delta(
     instance: IGEPAInstance,
     delta: Delta,

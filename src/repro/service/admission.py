@@ -1,0 +1,126 @@
+"""Admission control: what the platform answers under burst.
+
+A flushed tick may carry more arrivals than the serving budget allows.
+The admission policy partitions the tick's arrivals — queued leftovers
+first, then new ones, in timestamp order — into four outcomes:
+
+* **serve** — full online serving (admissible-set enumeration);
+* **degrade** — served by the cheap greedy bid-walk
+  (:func:`repro.core.online.serve_greedy_walk`): an answer now, at lower
+  quality, instead of a rejection;
+* **requeue** — held for the next tick (queue-with-deadline);
+* **reject** — turned away (``rejected`` for overload, ``expired`` for a
+  queued arrival past its deadline).
+
+Whatever the outcome, the arrival *is registered* on the platform (its
+delta applies), so later churn referencing the user stays valid; only the
+assignment work is controlled.  Policies are pure functions of the batch
+and decision time — deterministic under replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.requests import ArrivalRequest
+
+
+@dataclass
+class AdmissionDecision:
+    """Partition of one tick's arrivals (each arrival in exactly one
+    bucket)."""
+
+    serve: list[ArrivalRequest] = field(default_factory=list)
+    degrade: list[ArrivalRequest] = field(default_factory=list)
+    requeue: list[ArrivalRequest] = field(default_factory=list)
+    reject: list[ArrivalRequest] = field(default_factory=list)
+    expire: list[ArrivalRequest] = field(default_factory=list)
+
+
+class AdmissionPolicy:
+    """Base policy: serve everything (no admission control)."""
+
+    name = "admit-all"
+
+    def decide(
+        self, arrivals: list[ArrivalRequest], now: float
+    ) -> AdmissionDecision:
+        """Partition ``arrivals`` (oldest first) at decision time ``now``."""
+        return AdmissionDecision(serve=list(arrivals))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class AdmitAll(AdmissionPolicy):
+    """Explicit alias of the base policy."""
+
+
+class _OverloadPolicy(AdmissionPolicy):
+    """Shared shape: the first ``max_serve`` arrivals are served in full,
+    the overflow goes to the subclass's bucket."""
+
+    def __init__(self, max_serve: int):
+        if max_serve < 1:
+            raise ValueError(f"max_serve must be >= 1, got {max_serve}")
+        self.max_serve = max_serve
+
+    def _overflow(
+        self, decision: AdmissionDecision, arrival: ArrivalRequest, now: float
+    ) -> None:
+        raise NotImplementedError
+
+    def decide(
+        self, arrivals: list[ArrivalRequest], now: float
+    ) -> AdmissionDecision:
+        decision = AdmissionDecision()
+        for position, arrival in enumerate(arrivals):
+            if position < self.max_serve:
+                decision.serve.append(arrival)
+            else:
+                self._overflow(decision, arrival, now)
+        return decision
+
+
+class RejectOnOverload(_OverloadPolicy):
+    """Overflow arrivals are rejected outright (answered immediately)."""
+
+    def __init__(self, max_serve: int):
+        super().__init__(max_serve)
+        self.name = f"reject>{max_serve}"
+
+    def _overflow(self, decision, arrival, now):
+        decision.reject.append(arrival)
+
+
+class DegradeOnOverload(_OverloadPolicy):
+    """Overflow arrivals are served by the cheap greedy bid-walk."""
+
+    def __init__(self, max_serve: int):
+        super().__init__(max_serve)
+        self.name = f"degrade>{max_serve}"
+
+    def _overflow(self, decision, arrival, now):
+        decision.degrade.append(arrival)
+
+
+class DeadlineQueue(_OverloadPolicy):
+    """Overflow arrivals queue for the next tick, up to a deadline.
+
+    A queued arrival re-enters admission ahead of newer arrivals; once its
+    decision-time age exceeds ``deadline`` it is answered ``expired``
+    instead of queueing again.
+    """
+
+    def __init__(self, max_serve: int, deadline: float):
+        super().__init__(max_serve)
+        if deadline <= 0.0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        self.deadline = deadline
+        self.name = f"queue>{max_serve}@{deadline:g}s"
+
+    def _overflow(self, decision, arrival, now):
+        if now - arrival.timestamp > self.deadline:
+            decision.expire.append(arrival)
+        else:
+            decision.requeue.append(arrival)

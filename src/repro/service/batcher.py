@@ -1,0 +1,91 @@
+"""Micro-batching: group ingress requests into ticks, deterministically.
+
+The serving loop amortizes per-tick costs (delta application, repair) over
+many requests, but cannot hold an arrival forever.  :class:`MicroBatcher`
+flushes a pending batch when either bound trips:
+
+* **max_batch** — the batch reached its size cap (flush *with* the
+  triggering request);
+* **max_wait** — the oldest pending request has waited ``max_wait``
+  seconds of *decision time* (flush *without* the triggering request,
+  which seeds the next batch).
+
+Both decisions read timestamps only — the request's own stamp and the
+clock's ``now()`` — never the machine clock, so a fixed trace flushed
+through a :class:`~repro.service.clock.VirtualClock` forms the same ticks
+on every run.  The batcher is synchronous and owns no tasks; the asyncio
+loop drives it with ``offer``/``poll``/``flush``.
+"""
+
+from __future__ import annotations
+
+from repro.service.requests import ArrivalRequest, ChurnRequest
+
+Request = ArrivalRequest | ChurnRequest
+
+
+class MicroBatcher:
+    """Accumulate requests; cut tick boundaries on size or age.
+
+    Args:
+        max_batch: flush when a batch reaches this many requests.
+        max_wait: flush when the oldest pending request is this many
+            decision-time seconds old.
+    """
+
+    def __init__(self, *, max_batch: int = 64, max_wait: float = 1.0):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0.0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._pending: list[Request] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def oldest_timestamp(self) -> float | None:
+        return self._pending[0].timestamp if self._pending else None
+
+    def due_at(self) -> float | None:
+        """Decision time at which the pending batch must flush (None when
+        empty).  Live drivers sleep until this; replay drivers compare it
+        against the next request's timestamp."""
+        if not self._pending:
+            return None
+        return self._pending[0].timestamp + self.max_wait
+
+    def due(self, now: float) -> bool:
+        """Whether the pending batch has aged past ``max_wait``."""
+        due_at = self.due_at()
+        return due_at is not None and now >= due_at
+
+    def poll(self, now: float) -> list[Request] | None:
+        """Flush the pending batch if it is due at ``now``."""
+        if self.due(now):
+            return self.flush()
+        return None
+
+    def offer(self, request: Request) -> list[list[Request]]:
+        """Add one request; return every batch it caused to flush (0–2).
+
+        An aged pending batch flushes *before* the new request joins (the
+        request arrived after that tick's window closed); a size-capped
+        batch flushes *with* it.
+        """
+        flushed: list[list[Request]] = []
+        batch = self.poll(request.timestamp)
+        if batch:
+            flushed.append(batch)
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            flushed.append(self.flush())
+        return flushed
+
+    def flush(self) -> list[Request]:
+        """Cut the pending batch unconditionally (drain/shutdown path)."""
+        batch = self._pending
+        self._pending = []
+        return batch

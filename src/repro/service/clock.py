@@ -1,0 +1,95 @@
+"""The service's two notions of time: decision time vs measurement time.
+
+The serving loop needs time for two very different jobs:
+
+* **decision time** — when to flush a micro-batch, whether a queued arrival
+  has missed its deadline.  Decisions must be *deterministic per seed*:
+  replaying the same timestamped request trace must form the same ticks and
+  give the same answers, bit for bit.  Decision time therefore comes from
+  the **trace's own virtual timestamps** (:class:`VirtualClock`), never
+  from the machine.
+* **measurement time** — how long one arrival waited for its answer, how
+  many arrivals per second the loop sustains.  Measurements ride on the
+  monotonic timer and land in :class:`~repro.service.report.ServeReport`;
+  they are *never* consulted by a decision.
+
+:class:`Clock` fixes that split in the API itself: ``now()`` is decision
+time, ``perf()`` is measurement time.  Under :class:`VirtualClock` the two
+are independent (virtual decisions, real measurements); under
+:class:`MonotonicClock` (live serving off stdin) both read the monotonic
+timer.
+
+This module is the **only** place in ``repro.service`` allowed to touch
+:func:`time.monotonic`/:func:`time.perf_counter` — the IGP007 lint rule
+whitelists exactly this file, so any timer read elsewhere in the service
+fails ``igepa lint``.  Wall-clock (``time.time``) stays banned here too.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Decision time (``now``) and measurement time (``perf``)."""
+
+    def now(self) -> float:
+        """Decision time, in seconds.  Deterministic under replay."""
+        ...
+
+    def perf(self) -> float:
+        """Measurement time, in seconds.  Monotonic; report-only."""
+        ...
+
+
+class VirtualClock:
+    """Deterministic decision time driven by the request trace.
+
+    The replay driver advances the clock to each request's timestamp before
+    offering it to the micro-batcher, so flush-on-max-wait and
+    queue-deadline decisions depend only on the trace — fixed-seed runs are
+    bit-reproducible.  ``perf()`` still reads the monotonic timer, so
+    latency *measurements* stay real while decisions stay virtual.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move decision time forward (monotonically) to ``timestamp``."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+
+    def advance(self, seconds: float) -> None:
+        """Move decision time forward by ``seconds`` (negative: no-op)."""
+        if seconds > 0:
+            self._now += float(seconds)
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class MonotonicClock:
+    """Live serving: decisions and measurements both monotonic.
+
+    Used by the stdin front end (``igepa serve --stdin``), where requests
+    arrive in real time and there is no trace to replay.  Runs under this
+    clock are *not* reproducible — that is inherent to live traffic, not a
+    bug; every correctness audit (feasibility, parity) still applies.
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return "MonotonicClock()"

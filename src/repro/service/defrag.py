@@ -1,0 +1,77 @@
+"""Defragmentation schedules: when the platform pays for a full-scope pass.
+
+Moved here from :mod:`repro.experiments.simulate` (which re-exports them
+unchanged) so the asyncio serving loop and the synchronous simulation
+driver consult one policy surface.  A schedule sees only online-observable
+state — the tick number, the arrangement's utility after repair, and the
+most recent oracle re-solve — and answers one question: run the expensive
+full-scope defragmentation now?
+"""
+
+from __future__ import annotations
+
+
+class DefragSchedule:
+    """When the platform pays for a full-scope defragmentation pass.
+
+    The base schedule never defragments — the "defrag off" baseline the
+    dynamic bench compares against.  Subclasses override
+    :meth:`should_run`; it is consulted once per tick, after arrivals and
+    targeted repair.
+    """
+
+    name = "none"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        """Decide from online-observable state only.
+
+        Args:
+            tick: 0-based tick number.
+            utility: the arrangement's utility after this tick's repair.
+            oracle_utility: the most recent oracle re-solve utility (from a
+                *previous* tick; None before the first oracle run).
+        """
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PeriodicDefrag(DefragSchedule):
+    """Defragment every ``period``-th tick, unconditionally."""
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+        self.name = f"periodic-{period}"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        return (tick + 1) % self.period == 0
+
+
+class RetentionDefrag(DefragSchedule):
+    """Defragment when utility falls below ``threshold`` × the last oracle.
+
+    Before the first oracle measurement the trigger never fires — run the
+    simulation with ``oracle_every`` set, or nothing will trip it.
+    """
+
+    def __init__(self, threshold: float = 0.95):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.name = f"retention-{threshold:g}"
+
+    def should_run(
+        self, tick: int, utility: float, oracle_utility: float | None
+    ) -> bool:
+        return (
+            oracle_utility is not None
+            and oracle_utility > 0.0
+            and utility / oracle_utility < self.threshold
+        )

@@ -1,0 +1,376 @@
+"""The five-stage tick pipeline as a reusable engine.
+
+PR 5's :func:`repro.experiments.simulate.simulate` ran churn → arrivals →
+repair → defragmentation → oracle as one closed loop.  :class:`TickEngine`
+extracts those stages into methods over explicit live state (instance,
+arrangement, RNG, warm LP basis, oracle reference), so two drivers can
+share them without re-implementing the invariants:
+
+* the **synchronous driver** (``experiments.simulate``) calls the stages
+  back-to-back per churn batch — bit-identical to the PR 5 loop, same seed
+  threading, same reports;
+* the **asyncio serving loop** (:mod:`repro.service.loop`) interleaves
+  them: arrivals are answered per-request between stage boundaries, and
+  defragmentation runs through :meth:`iter_defrag_passes` so the loop can
+  cancel it at a pass boundary (every pass is feasibility-preserving, so
+  cancellation can never strand an infeasible arrangement).
+
+Determinism contract (unchanged from PR 5): the engine's RNG is consumed
+*only* by ``serve`` calls in arrival order; the oracle re-solve derives
+``seed + 1 + tick`` and the defrag LP ``seed + 100_003 + tick``; the
+warm-started LP resolver is one object across the horizon so each defrag's
+final simplex basis warm-starts the next.  All timing goes through the
+injected :class:`~repro.service.clock.Clock`'s ``perf()`` — measurement
+only, never a decision input.
+
+**Revocable assignments** ride on defragmentation: re-seating an
+already-served arrival pays ``switching_penalty`` per changed (user, event)
+pair into the adoption objective, so the LP candidate wins only on *net*
+gain.  With the default penalty of 0 the gate reduces exactly to PR 5's
+``lp_utility > utility``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.base import ArrangementAlgorithm
+from repro.core.baselines import GGGreedy
+from repro.core.local_search import LocalSearch, improve
+from repro.core.lp_packing import LPPacking
+from repro.core.online import OnlineGreedy, _OnlineAlgorithm
+from repro.core.repair import repair as targeted_repair
+from repro.model.arrangement import Arrangement
+from repro.model.delta import Delta, DeltaResult, apply_delta
+from repro.model.instance import IGEPAInstance
+from repro.service.clock import Clock, MonotonicClock
+from repro.service.defrag import DefragSchedule
+
+
+class TickEngine:
+    """Live pipeline state plus the five stages as methods.
+
+    Args:
+        initial: the platform's starting instance (the trace's ``initial``).
+        online: arrival-serving policy; also produces the bootstrap
+            arrangement (default :class:`~repro.core.online.OnlineGreedy`).
+        seed: RNG seed; per-tick oracle/defrag seeds derive from it.
+        defrag: defragmentation schedule (default: never).
+        oracle: full re-solve algorithm for retention (default ``gg+ls``).
+        oracle_every: oracle cadence in ticks (0: never).
+        defrag_lp: run the warm-started LP re-solve during defrag and adopt
+            its arrangement on net gain.
+        defrag_lp_backend: backend for that re-solve (see ``simulate``).
+        max_passes: local-search pass cap for repair and defrag sweeps.
+        executor: process pool for shard-parallel repair (None: serial).
+        check_parity: rebuild the index from scratch in :meth:`audit` and
+            compare against the patched one.
+        clock: time source; ``perf()`` is used for measurements only.
+        switching_penalty: utility cost per re-seated (user, event) pair of
+            a *served* user during defragmentation (0: revocation is free,
+            PR 5 behavior).
+    """
+
+    def __init__(
+        self,
+        initial: IGEPAInstance,
+        online: _OnlineAlgorithm | None = None,
+        *,
+        seed: int = 0,
+        defrag: DefragSchedule | None = None,
+        oracle: ArrangementAlgorithm | None = None,
+        oracle_every: int = 0,
+        defrag_lp: bool = True,
+        defrag_lp_backend: str = "auto",
+        max_passes: int = 20,
+        executor=None,
+        check_parity: bool = False,
+        clock: Clock | None = None,
+        switching_penalty: float = 0.0,
+    ):
+        if switching_penalty < 0.0:
+            raise ValueError(
+                f"switching_penalty must be >= 0, got {switching_penalty}"
+            )
+        self.instance = initial
+        self.online = online if online is not None else OnlineGreedy()
+        self.oracle = oracle if oracle is not None else LocalSearch(GGGreedy())
+        self.defrag = defrag if defrag is not None else DefragSchedule()
+        self.seed = seed
+        self.oracle_every = oracle_every
+        self.max_passes = max_passes
+        self.executor = executor
+        self.check_parity = check_parity
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.switching_penalty = switching_penalty
+        self.rng = np.random.default_rng(seed)
+        # One resolver across the horizon: each defrag's final simplex basis
+        # warm-starts the next (when a revised-simplex backend runs).
+        self.lp_resolver = (
+            LPPacking(alpha=1.0, lp_backend=defrag_lp_backend, warm_start=True)
+            if defrag_lp
+            else None
+        )
+        self.arrangement: Arrangement | None = None
+        self.oracle_reference: float | None = None
+        self.switching_spend_total = 0.0
+        self.switching_pairs_total = 0
+
+    # ------------------------------------------------------------------
+    # Stage 0: bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap(self) -> tuple[float, float]:
+        """Solve the initial arrangement (the pre-trace population arrived
+        online too).  Returns ``(utility, seconds)``."""
+        started = self.clock.perf()
+        initial = self.online.solve(self.instance, seed=self.seed)
+        self.arrangement = initial.arrangement
+        return initial.utility, self.clock.perf() - started
+
+    # ------------------------------------------------------------------
+    # Stage 1: churn
+    # ------------------------------------------------------------------
+    def apply_churn(self, delta: Delta) -> DeltaResult:
+        """Apply one churn batch; the engine advances to the successor
+        instance and the carried (pair-shed) arrangement."""
+        result = apply_delta(self.instance, delta, self.arrangement)
+        self.instance = result.instance
+        self.arrangement = result.arrangement
+        # Cache hygiene: departed users can never be served again, so any
+        # memoized per-user serving state (admissible-set cache) is dead.
+        if delta.remove_users:
+            self.online.forget_users(delta.remove_users)
+        return result
+
+    # ------------------------------------------------------------------
+    # Stage 2: arrivals
+    # ------------------------------------------------------------------
+    def serve_one(self, user_id: int) -> list[int]:
+        """Serve one arrival against the live arrangement, consuming the
+        engine RNG.  Returns the newly assigned event ids (sorted; empty =
+        nothing fit)."""
+        return self.online.serve(self.instance, self.arrangement, user_id, self.rng)
+
+    def exclude_from_repair(
+        self, result: DeltaResult, user_ids: Iterable[int]
+    ) -> None:
+        """Drop arrivals from the repair's user-side scan so the online
+        policy's choice is never improved upon on their behalf (event-side
+        refill/evict still treats them like any other bidder)."""
+        result.touched_users.difference_update(user_ids)
+
+    def serve_arrivals(self, result: DeltaResult, delta: Delta) -> int:
+        """The PR 5 arrival stage: serve the delta's new users in arrival
+        order, then exclude them from the repair scan.  Returns the number
+        accepted (assigned at least one event at arrival time)."""
+        accepted = 0
+        for user in delta.add_users:
+            if self.serve_one(user.user_id):
+                accepted += 1
+        self.exclude_from_repair(
+            result, (user.user_id for user in delta.add_users)
+        )
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Stage 3: targeted repair
+    # ------------------------------------------------------------------
+    def repair(self, result: DeltaResult) -> dict:
+        """Re-optimize the churned scope (shard-parallel when configured)."""
+        if self.executor is not None:
+            from repro.core.parallel import parallel_repair
+
+            return parallel_repair(result, self.executor, max_passes=self.max_passes)
+        return targeted_repair(result, max_passes=self.max_passes)
+
+    # ------------------------------------------------------------------
+    # Stage 4: defragmentation (+ revocation accounting)
+    # ------------------------------------------------------------------
+    def should_defrag(self, tick: int, utility: float) -> bool:
+        return self.defrag.should_run(tick, utility, self.oracle_reference)
+
+    def assignment_snapshot(
+        self, user_ids: Iterable[int]
+    ) -> dict[int, frozenset[int]]:
+        """Snapshot the given users' assignments (for switching-cost diffs
+        across a defrag pass).  Unknown ids are skipped — a served arrival
+        may have been churned off the platform since."""
+        return {
+            user_id: frozenset(self.arrangement.events_of(user_id))
+            for user_id in user_ids
+            if user_id in self.instance.user_by_id
+        }
+
+    def switching_pairs(
+        self,
+        snapshot: dict[int, frozenset[int]],
+        arrangement: Arrangement | None = None,
+    ) -> int:
+        """Count (user, event) pairs that changed against ``snapshot``."""
+        arrangement = arrangement if arrangement is not None else self.arrangement
+        return sum(
+            len(before ^ arrangement.events_of(user_id))
+            for user_id, before in snapshot.items()
+        )
+
+    def record_switching(
+        self, moves: dict, snapshot: dict[int, frozenset[int]]
+    ) -> float:
+        """Charge switching costs against ``snapshot`` without an LP step
+        (a superseded defrag still pays for the re-seating its completed
+        passes did).  Mutates ``moves`` and returns the spend."""
+        pairs = self.switching_pairs(snapshot)
+        spend = self.switching_penalty * pairs
+        moves["switching_pairs"] = pairs
+        moves["switching_spend"] = spend
+        self.switching_pairs_total += pairs
+        self.switching_spend_total += spend
+        return spend
+
+    def iter_defrag_passes(self, result: DeltaResult) -> Iterator[dict]:
+        """Full-scope improvement, one pass per iteration.
+
+        Yields each pass's move counts so the asyncio loop can insert a
+        cancellation point between passes; every pass leaves the
+        arrangement feasible (all moves are feasibility-checked), so
+        abandoning the generator mid-defrag is always safe.  Driving it to
+        exhaustion selects exactly the moves of one
+        ``improve(max_passes=N)`` call: the pass scans depend only on the
+        arrangement state, which each pass leaves exactly where a combined
+        run's pass would.
+        """
+        for _ in range(self.max_passes):
+            counts = improve(result.instance, self.arrangement, max_passes=1)
+            moved = (
+                counts["adds"]
+                + counts["refills"]
+                + counts["upgrades"]
+                + counts["evictions"]
+            )
+            yield counts
+            if moved == 0:
+                break
+
+    def adopt_lp(
+        self,
+        result: DeltaResult,
+        tick: int,
+        moves: dict,
+        utility: float,
+        snapshot: dict[int, frozenset[int]] | None = None,
+    ) -> float:
+        """Defrag's LP step: warm-started re-solve, adopted on net gain.
+
+        With a switching ``snapshot``, each candidate's utility is charged
+        ``switching_penalty`` per re-seated pair before comparison; the
+        final arrangement's spend is recorded in ``moves`` and accumulated
+        on the engine.  Mutates ``moves`` in place and returns the (possibly
+        adopted) utility.
+        """
+        penalty = self.switching_penalty
+        spend = (
+            penalty * self.switching_pairs(snapshot)
+            if snapshot is not None
+            else 0.0
+        )
+        if self.lp_resolver is not None:
+            lp_result = self.lp_resolver.solve(
+                result.instance, seed=self.seed + 100_003 + tick
+            )
+            lp_spend = (
+                penalty * self.switching_pairs(snapshot, lp_result.arrangement)
+                if snapshot is not None
+                else 0.0
+            )
+            moves["lp_utility"] = lp_result.utility
+            moves["lp_adopted"] = lp_result.utility - lp_spend > utility - spend
+            if moves["lp_adopted"]:
+                self.arrangement = lp_result.arrangement
+                utility = lp_result.utility
+                spend = lp_spend
+        if snapshot is not None:
+            pairs = self.switching_pairs(snapshot)
+            moves["switching_pairs"] = pairs
+            moves["switching_spend"] = spend
+            self.switching_pairs_total += pairs
+            self.switching_spend_total += spend
+        result.arrangement = self.arrangement
+        return utility
+
+    def defragment(
+        self,
+        result: DeltaResult,
+        tick: int,
+        *,
+        served_users: Iterable[int] = (),
+    ) -> tuple[dict, float]:
+        """One full-scope defragmentation pass (PR 5's ``_defragment``).
+
+        Returns ``(moves, utility)`` for the (possibly LP-replaced)
+        arrangement.  ``served_users`` are charged switching costs for any
+        re-seating when a penalty is configured.
+        """
+        snapshot = (
+            self.assignment_snapshot(served_users)
+            if self.switching_penalty > 0.0
+            else None
+        )
+        if self.executor is not None:
+            from repro.core.parallel import parallel_repair
+
+            moves = dict(
+                parallel_repair(
+                    result, self.executor, max_passes=self.max_passes, full_scope=True
+                )
+            )
+        else:
+            moves = dict(
+                improve(result.instance, self.arrangement, max_passes=self.max_passes)
+            )
+        utility = self.arrangement.utility()
+        utility = self.adopt_lp(result, tick, moves, utility, snapshot)
+        return moves, utility
+
+    # ------------------------------------------------------------------
+    # Stage 5: oracle + audits
+    # ------------------------------------------------------------------
+    def should_run_oracle(self, tick: int, last_tick: int) -> bool:
+        return bool(self.oracle_every) and (
+            (tick + 1) % self.oracle_every == 0 or tick == last_tick
+        )
+
+    def oracle_solve(self, tick: int) -> float:
+        """Full re-solve of the current instance; updates the running
+        reference that retention, repair debt and :class:`RetentionDefrag`
+        read."""
+        utility = self.oracle.solve(self.instance, seed=self.seed + 1 + tick).utility
+        self.oracle_reference = utility
+        return utility
+
+    def repair_debt(self, utility: float) -> float | None:
+        """Utility a full defragmentation could reclaim (None before the
+        first oracle measurement)."""
+        if self.oracle_reference is None:
+            return None
+        return max(0.0, self.oracle_reference - utility)
+
+    def audit(self, result: DeltaResult) -> tuple[bool, list[str] | None]:
+        """End-of-tick audits: full Definition 4 feasibility, and (when
+        ``check_parity``) patched-vs-fresh index parity."""
+        parity: list[str] | None = None
+        if self.check_parity:
+            from repro.experiments.replay import (
+                fresh_index_like,
+                index_parity_mismatches,
+            )
+
+            parity = index_parity_mismatches(
+                result.instance.index,
+                fresh_index_like(result.instance.index, result.instance),
+            )
+        return self.arrangement.is_feasible(), parity
+
+    def utility(self) -> float:
+        return self.arrangement.utility()

@@ -1,0 +1,101 @@
+"""Ingress requests and responses of the arrangement service.
+
+Two request kinds land on the service's ingress queue, each stamped with a
+*decision-time* timestamp (virtual under replay, monotonic when live):
+
+* :class:`ArrivalRequest` — a user registering on the platform, carrying
+  their :class:`~repro.model.entities.User` object plus the interest (and
+  optional degree-override) entries backing their bids.  Every arrival is
+  *answered* with exactly one :class:`ServeResponse` — accepted, rejected,
+  degraded or expired, never silently dropped.
+* :class:`ChurnRequest` — everything else the platform does between
+  arrivals (events opening/closing, re-bids, capacity shocks, conflict
+  edits, interest drift), wrapped as a :class:`~repro.model.delta.Delta`.
+
+The micro-batcher groups both kinds into ticks; arrival registrations are
+folded with the churn deltas through
+:func:`~repro.model.delta.coalesce_deltas` so each tick applies one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.delta import Delta
+from repro.model.entities import User
+
+#: Admission outcomes an arrival can be answered with.
+OUTCOMES = ("accepted", "empty", "degraded", "rejected", "expired")
+
+
+@dataclass(frozen=True)
+class ArrivalRequest:
+    """One user arriving on the platform.
+
+    Attributes:
+        timestamp: decision-time arrival instant (drives micro-batch flush
+            and queue-deadline decisions).
+        user: the arriving user (fresh id; bids may reference events opened
+            by churn requests earlier in the same batch window).
+        interest: ``(event_id, user_id, SI)`` entries backing the user's
+            bids (required on tabulated-interest instances).
+        degrees: ``(user_id, D(G, u))`` overrides for instances built with
+            degree overrides.
+    """
+
+    timestamp: float
+    user: User
+    interest: tuple[tuple[int, int, float], ...] = ()
+    degrees: tuple[tuple[int, float], ...] = ()
+
+    def registration(self) -> Delta:
+        """The delta registering this user on the platform."""
+        return Delta(
+            add_users=(self.user,),
+            interest=self.interest,
+            degrees=self.degrees,
+        )
+
+
+@dataclass(frozen=True)
+class ChurnRequest:
+    """A platform-side churn batch landing on the ingress queue."""
+
+    timestamp: float
+    delta: Delta
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The service's answer to one arrival.
+
+    Attributes:
+        user_id: the arrival answered.
+        outcome: one of :data:`OUTCOMES` — ``accepted`` (assigned at least
+            one event), ``empty`` (served, nothing fit), ``degraded``
+            (served by the cheap greedy fallback under overload; may still
+            carry events), ``rejected`` (admission control turned the
+            arrival away), ``expired`` (queued past its deadline).  In
+            every case the user *is registered* on the platform — later
+            churn referencing them stays valid, and repair's event-side
+            moves may still seat them.
+        events: event ids assigned at serve time (sorted; empty unless
+            ``accepted``/``degraded``).
+        latency_seconds: monotonic time from ingress to answer
+            (measurement only — never a decision input).
+        tick: the tick that answered.
+        timestamp: decision time of the answer.
+        requeues: ticks the arrival spent queued before being answered.
+    """
+
+    user_id: int
+    outcome: str
+    events: tuple[int, ...]
+    latency_seconds: float
+    tick: int
+    timestamp: float
+    requeues: int = 0
+
+    @property
+    def assigned(self) -> bool:
+        return bool(self.events)

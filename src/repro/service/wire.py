@@ -1,0 +1,137 @@
+"""Wire format of the ``igepa serve`` JSON-lines front end.
+
+One JSON object per line on stdin, one answer per arrival on stdout:
+
+.. code-block:: json
+
+    {"type": "churn", "timestamp": 0.0,
+     "delta": {"add_events": [{"event_id": 200, "capacity": 30}],
+               "add_conflicts": [[3, 200]]}}
+    {"type": "arrival", "timestamp": 0.4,
+     "user": {"user_id": 2000, "capacity": 2, "bids": [3, 200]},
+     "interest": [[3, 2000, 0.8], [200, 2000, 0.5]]}
+
+Every delta field is optional and named exactly as on
+:class:`~repro.model.delta.Delta`; pairs are ``[user_id, event_id]`` for
+bids, ``[event_id, event_id]`` for conflicts, ``[id, value]``/
+``[event_id, user_id, SI]`` for capacities and interest.  Responses
+serialize :class:`~repro.service.requests.ServeResponse` verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.model.delta import Delta
+from repro.model.entities import Event, User
+from repro.service.requests import ArrivalRequest, ChurnRequest, ServeResponse
+
+
+def user_from_dict(payload: dict) -> User:
+    return User(
+        user_id=int(payload["user_id"]),
+        capacity=int(payload["capacity"]),
+        bids=tuple(int(event_id) for event_id in payload.get("bids", ())),
+    )
+
+
+def event_from_dict(payload: dict) -> Event:
+    return Event(
+        event_id=int(payload["event_id"]),
+        capacity=int(payload["capacity"]),
+    )
+
+
+def delta_from_dict(payload: dict) -> Delta:
+    """Parse a delta from its JSON field-by-field representation.
+
+    Raises:
+        KeyError: on unknown delta fields (typos should fail loudly, not
+            silently drop operations).
+    """
+    known = {
+        "add_users",
+        "remove_users",
+        "add_events",
+        "remove_events",
+        "add_bids",
+        "remove_bids",
+        "add_conflicts",
+        "remove_conflicts",
+        "set_user_capacity",
+        "set_event_capacity",
+        "interest",
+        "degrees",
+    }
+    unknown = set(payload) - known
+    if unknown:
+        raise KeyError(f"unknown delta fields: {sorted(unknown)}")
+    return Delta(
+        add_users=tuple(user_from_dict(u) for u in payload.get("add_users", ())),
+        remove_users=tuple(int(u) for u in payload.get("remove_users", ())),
+        add_events=tuple(event_from_dict(e) for e in payload.get("add_events", ())),
+        remove_events=tuple(int(e) for e in payload.get("remove_events", ())),
+        add_bids=tuple(
+            (int(u), int(e)) for u, e in payload.get("add_bids", ())
+        ),
+        remove_bids=tuple(
+            (int(u), int(e)) for u, e in payload.get("remove_bids", ())
+        ),
+        add_conflicts=tuple(
+            (int(a), int(b)) for a, b in payload.get("add_conflicts", ())
+        ),
+        remove_conflicts=tuple(
+            (int(a), int(b)) for a, b in payload.get("remove_conflicts", ())
+        ),
+        set_user_capacity=tuple(
+            (int(u), int(c)) for u, c in payload.get("set_user_capacity", ())
+        ),
+        set_event_capacity=tuple(
+            (int(e), int(c)) for e, c in payload.get("set_event_capacity", ())
+        ),
+        interest=tuple(
+            (int(e), int(u), float(v)) for e, u, v in payload.get("interest", ())
+        ),
+        degrees=tuple(
+            (int(u), float(d)) for u, d in payload.get("degrees", ())
+        ),
+    )
+
+
+def request_from_dict(payload: dict) -> ArrivalRequest | ChurnRequest:
+    """Parse one ingress line.
+
+    Raises:
+        ValueError: on a missing/unknown ``type`` tag.
+    """
+    kind = payload.get("type")
+    if kind == "arrival":
+        return ArrivalRequest(
+            timestamp=float(payload["timestamp"]),
+            user=user_from_dict(payload["user"]),
+            interest=tuple(
+                (int(e), int(u), float(v))
+                for e, u, v in payload.get("interest", ())
+            ),
+            degrees=tuple(
+                (int(u), float(d)) for u, d in payload.get("degrees", ())
+            ),
+        )
+    if kind == "churn":
+        return ChurnRequest(
+            timestamp=float(payload["timestamp"]),
+            delta=delta_from_dict(payload.get("delta", {})),
+        )
+    raise ValueError(f"unknown request type {kind!r}")
+
+
+def response_to_dict(response: ServeResponse) -> dict:
+    """Serialize one answer for the stdout side of the stream."""
+    return {
+        "type": "response",
+        "user_id": response.user_id,
+        "outcome": response.outcome,
+        "events": list(response.events),
+        "latency_seconds": response.latency_seconds,
+        "tick": response.tick,
+        "timestamp": response.timestamp,
+        "requeues": response.requeues,
+    }

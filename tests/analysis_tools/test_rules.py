@@ -270,6 +270,50 @@ class TestWallClock:
         )
         assert codes(src, "src/repro/experiments/replay.py") == []
 
+    def test_service_clock_module_may_read_monotonic_timers(self):
+        # service/clock.py is the serving loop's single sanctioned timer
+        # access: Clock.perf() feeds latency reports, never decisions.
+        src = (
+            "import time\n"
+            "class MonotonicClock:\n"
+            "    def now(self):\n"
+            "        return time.monotonic()\n"
+            "    def perf(self):\n"
+            "        return time.perf_counter()\n"
+        )
+        assert codes(src, "src/repro/service/clock.py") == []
+
+    def test_service_clock_module_still_bans_wall_clock(self):
+        src = (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        )
+        assert "IGP007" in codes(src, "src/repro/service/clock.py")
+
+    def test_rest_of_service_package_rejects_timer_reads(self):
+        # Everything else in repro/service must take time through the
+        # injected Clock — direct timer reads would leak wall time into
+        # batching/admission decisions and break replay determinism.
+        src = (
+            "import time\n"
+            "def flush_due():\n"
+            "    return time.perf_counter()\n"
+        )
+        for module in (
+            "src/repro/service/loop.py",
+            "src/repro/service/batcher.py",
+            "src/repro/service/admission.py",
+            "src/repro/service/engine.py",
+        ):
+            assert "IGP007" in codes(src, module)
+        wall = (
+            "import time\n"
+            "def cutoff():\n"
+            "    return time.time()\n"
+        )
+        assert "IGP007" in codes(wall, "src/repro/service/loop.py")
+
 
 class TestPublicApiAnnotations:
     API = "src/repro/solver/api.py"

@@ -119,6 +119,88 @@ class TestGenerateAndSolve:
         assert "alpha: 0.5" in capsys.readouterr().out
 
 
+class TestServeCommand:
+    def test_trace_mode_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--users", "60",
+                "--events", "12",
+                "--batches", "4",
+                "--arrival-rate", "4",
+                "--departure-rate", "2",
+                "--rebid-rate", "4",
+                "--max-batch", "8",
+                "--max-wait", "1.0",
+                "--admission", "queue",
+                "--max-serve", "3",
+                "--deadline", "2.0",
+                "--defrag", "periodic",
+                "--defrag-period", "2",
+                "--oracle-every", "2",
+                "--check-parity",
+                "--seed", "0",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "p50" in output and "p99" in output
+        assert "index parity (bit-identical): True" in output
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "serve"
+        assert payload["all_feasible"] is True
+        assert payload["admission_policy"].startswith("queue")
+
+    def test_stdin_mode_answers_on_stdout(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        instance_path = tmp_path / "instance.json"
+        main(
+            [
+                "generate", "synthetic",
+                "--out", str(instance_path),
+                "--seed", "3",
+                "--events", "6",
+                "--users", "10",
+            ]
+        )
+        capsys.readouterr()
+        lines = [
+            json.dumps(
+                {
+                    "type": "churn",
+                    "timestamp": 0.0,
+                    "delta": {"add_events": [{"event_id": 900, "capacity": 4}]},
+                }
+            ),
+            json.dumps(
+                {
+                    "type": "arrival",
+                    "timestamp": 0.2,
+                    "user": {"user_id": 9000, "capacity": 1, "bids": [900]},
+                    "interest": [[900, 9000, 0.7]],
+                }
+            ),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(["serve", "--stdin", "--instance", str(instance_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip().startswith("{")
+        ]
+        assert [r["user_id"] for r in responses] == [9000]
+        assert responses[0]["outcome"] in ("accepted", "empty")
+
+    def test_stdin_requires_instance(self, capsys):
+        assert main(["serve", "--stdin"]) == 2
+        assert "--instance" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_experiment_writes_report_file(self, tmp_path, capsys, monkeypatch):
         """Patch the registry to a fast stub; the CLI glue is what's tested."""

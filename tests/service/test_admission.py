@@ -1,0 +1,85 @@
+"""Admission-control policies: pure partitions of a tick's arrivals."""
+
+import pytest
+
+from repro.model import User
+from repro.service import (
+    AdmitAll,
+    DeadlineQueue,
+    DegradeOnOverload,
+    RejectOnOverload,
+)
+from repro.service.requests import ArrivalRequest
+
+
+def arrival(user_id, timestamp):
+    return ArrivalRequest(
+        timestamp=timestamp, user=User(user_id=user_id, capacity=1, bids=(1,))
+    )
+
+
+def ids(bucket):
+    return [request.user.user_id for request in bucket]
+
+
+class TestAdmitAll:
+    def test_everything_served(self):
+        batch = [arrival(i, float(i)) for i in range(5)]
+        decision = AdmitAll().decide(batch, now=10.0)
+        assert ids(decision.serve) == [0, 1, 2, 3, 4]
+        assert not (decision.degrade or decision.requeue or decision.reject)
+
+
+class TestOverloadPolicies:
+    def test_max_serve_must_be_positive(self):
+        for policy in (RejectOnOverload, DegradeOnOverload):
+            with pytest.raises(ValueError):
+                policy(0)
+        with pytest.raises(ValueError):
+            DeadlineQueue(0, deadline=1.0)
+        with pytest.raises(ValueError):
+            DeadlineQueue(1, deadline=0.0)
+
+    def test_reject_overflow(self):
+        batch = [arrival(i, float(i)) for i in range(4)]
+        decision = RejectOnOverload(2).decide(batch, now=5.0)
+        assert ids(decision.serve) == [0, 1]
+        assert ids(decision.reject) == [2, 3]
+
+    def test_degrade_overflow(self):
+        batch = [arrival(i, float(i)) for i in range(4)]
+        decision = DegradeOnOverload(3).decide(batch, now=5.0)
+        assert ids(decision.serve) == [0, 1, 2]
+        assert ids(decision.degrade) == [3]
+
+    def test_oldest_first_priority(self):
+        # Callers pass queued-then-new arrivals; the head of the list gets
+        # the serve slots, so queued arrivals outrank newer ones.
+        queued = arrival(7, 0.0)
+        fresh = arrival(8, 2.0)
+        decision = RejectOnOverload(1).decide([queued, fresh], now=2.0)
+        assert ids(decision.serve) == [7]
+        assert ids(decision.reject) == [8]
+
+
+class TestDeadlineQueue:
+    def test_overflow_requeues_until_deadline(self):
+        policy = DeadlineQueue(1, deadline=1.0)
+        batch = [arrival(0, 0.0), arrival(1, 0.2), arrival(2, 0.4)]
+        decision = policy.decide(batch, now=0.5)
+        assert ids(decision.serve) == [0]
+        assert ids(decision.requeue) == [1, 2]
+        assert decision.expire == []
+
+    def test_past_deadline_expires(self):
+        policy = DeadlineQueue(1, deadline=1.0)
+        stale = arrival(1, 0.0)
+        held = arrival(2, 1.5)
+        decision = policy.decide([arrival(0, 0.0), stale, held], now=2.0)
+        assert ids(decision.expire) == [1]
+        assert ids(decision.requeue) == [2]
+
+    def test_age_exactly_at_deadline_still_queues(self):
+        policy = DeadlineQueue(1, deadline=1.0)
+        decision = policy.decide([arrival(0, 0.0), arrival(1, 1.0)], now=2.0)
+        assert ids(decision.requeue) == [1]

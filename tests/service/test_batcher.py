@@ -1,0 +1,78 @@
+"""Micro-batcher tick boundaries: size-capped and age-capped flushes."""
+
+import pytest
+
+from repro.model import Delta
+from repro.service import ChurnRequest, MicroBatcher
+
+
+def churn(timestamp):
+    return ChurnRequest(timestamp=timestamp, delta=Delta())
+
+
+class TestValidation:
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0, max_wait=1.0)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=4, max_wait=-0.1)
+
+
+class TestSizeFlush:
+    def test_size_cap_flushes_with_triggering_request(self):
+        batcher = MicroBatcher(max_batch=3, max_wait=100.0)
+        assert batcher.offer(churn(0.0)) == []
+        assert batcher.offer(churn(0.1)) == []
+        flushed = batcher.offer(churn(0.2))
+        assert len(flushed) == 1
+        assert [r.timestamp for r in flushed[0]] == [0.0, 0.1, 0.2]
+        assert len(batcher) == 0
+
+    def test_batch_of_one(self):
+        batcher = MicroBatcher(max_batch=1, max_wait=100.0)
+        flushed = batcher.offer(churn(5.0))
+        assert len(flushed) == 1 and len(flushed[0]) == 1
+
+
+class TestAgeFlush:
+    def test_aged_batch_flushes_without_triggering_request(self):
+        batcher = MicroBatcher(max_batch=100, max_wait=1.0)
+        batcher.offer(churn(0.0))
+        batcher.offer(churn(0.5))
+        flushed = batcher.offer(churn(1.5))
+        assert len(flushed) == 1
+        assert [r.timestamp for r in flushed[0]] == [0.0, 0.5]
+        # The late request seeds the next batch.
+        assert len(batcher) == 1
+        assert batcher.oldest_timestamp == 1.5
+
+    def test_due_at_tracks_oldest_request(self):
+        batcher = MicroBatcher(max_batch=100, max_wait=2.0)
+        assert batcher.due_at() is None
+        batcher.offer(churn(3.0))
+        batcher.offer(churn(4.0))
+        assert batcher.due_at() == 5.0
+        assert not batcher.due(4.9)
+        assert batcher.due(5.0)
+
+    def test_poll_only_flushes_when_due(self):
+        batcher = MicroBatcher(max_batch=100, max_wait=1.0)
+        batcher.offer(churn(0.0))
+        assert batcher.poll(0.5) is None
+        batch = batcher.poll(1.0)
+        assert batch is not None and len(batch) == 1
+
+    def test_both_bounds_in_one_offer(self):
+        # An aged pending batch flushes first, then the new request fills
+        # a size-1 batch — two flushes from a single offer.
+        batcher = MicroBatcher(max_batch=1, max_wait=1.0)
+        flushed = batcher.offer(churn(0.0))
+        assert len(flushed) == 1
+
+    def test_flush_empties_unconditionally(self):
+        batcher = MicroBatcher(max_batch=100, max_wait=100.0)
+        batcher.offer(churn(0.0))
+        assert len(batcher.flush()) == 1
+        assert batcher.flush() == []

@@ -1,0 +1,58 @@
+"""DefragSchedule edge cases: pre-oracle retention, every-tick periodic."""
+
+import pytest
+
+from repro.service import DefragSchedule, PeriodicDefrag, RetentionDefrag
+
+
+class TestBase:
+    def test_never_runs(self):
+        schedule = DefragSchedule()
+        assert schedule.name == "none"
+        for tick in range(5):
+            assert not schedule.should_run(tick, 0.0, None)
+            assert not schedule.should_run(tick, 0.0, 100.0)
+
+
+class TestPeriodic:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PeriodicDefrag(0)
+
+    def test_every_tick(self):
+        # period=1 is the degenerate-but-legal always-on schedule the
+        # serving loop's supersession test leans on.
+        schedule = PeriodicDefrag(1)
+        assert all(schedule.should_run(tick, 1.0, None) for tick in range(10))
+
+    def test_cadence_is_one_based(self):
+        schedule = PeriodicDefrag(3)
+        fired = [tick for tick in range(9) if schedule.should_run(tick, 1.0, None)]
+        assert fired == [2, 5, 8]
+
+
+class TestRetention:
+    def test_threshold_bounds(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                RetentionDefrag(threshold=bad)
+        RetentionDefrag(threshold=1.0)  # inclusive upper bound
+
+    def test_never_fires_before_first_oracle(self):
+        # Before any oracle re-solve the reference is None; even a utility
+        # of zero must not trip the trigger.
+        schedule = RetentionDefrag(threshold=0.95)
+        for tick in range(5):
+            assert not schedule.should_run(tick, 0.0, None)
+
+    def test_zero_oracle_reference_is_inert(self):
+        # A zero-utility oracle (empty platform) must not divide by zero
+        # or fire spuriously.
+        schedule = RetentionDefrag(threshold=0.95)
+        assert not schedule.should_run(0, 0.0, 0.0)
+
+    def test_fires_below_threshold_only(self):
+        schedule = RetentionDefrag(threshold=0.9)
+        assert schedule.should_run(0, 89.9, 100.0)
+        assert not schedule.should_run(0, 90.0, 100.0)
+        assert not schedule.should_run(0, 100.0, 100.0)

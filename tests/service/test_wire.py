@@ -1,0 +1,74 @@
+"""JSON-lines wire format round trips for ``igepa serve --stdin``."""
+
+import json
+
+import pytest
+
+from repro.service.requests import ArrivalRequest, ChurnRequest, ServeResponse
+from repro.service.wire import (
+    delta_from_dict,
+    request_from_dict,
+    response_to_dict,
+)
+
+
+class TestRequests:
+    def test_arrival_parses(self):
+        request = request_from_dict(
+            {
+                "type": "arrival",
+                "timestamp": 0.4,
+                "user": {"user_id": 2000, "capacity": 2, "bids": [3, 200]},
+                "interest": [[3, 2000, 0.8], [200, 2000, 0.5]],
+            }
+        )
+        assert isinstance(request, ArrivalRequest)
+        assert request.user.user_id == 2000
+        assert request.user.bids == (3, 200)
+        assert request.interest == ((3, 2000, 0.8), (200, 2000, 0.5))
+        registration = request.registration()
+        assert registration.add_users[0].user_id == 2000
+
+    def test_churn_parses(self):
+        request = request_from_dict(
+            {
+                "type": "churn",
+                "timestamp": 0.0,
+                "delta": {
+                    "add_events": [{"event_id": 200, "capacity": 30}],
+                    "add_conflicts": [[3, 200]],
+                    "set_event_capacity": [[3, 7]],
+                },
+            }
+        )
+        assert isinstance(request, ChurnRequest)
+        assert request.delta.add_events[0].event_id == 200
+        assert request.delta.add_conflicts == ((3, 200),)
+        assert request.delta.set_event_capacity == ((3, 7),)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            request_from_dict({"type": "mystery", "timestamp": 0.0})
+
+    def test_unknown_delta_field_rejected(self):
+        # Typos must fail loudly, not silently drop operations.
+        with pytest.raises(KeyError):
+            delta_from_dict({"add_bid": [[1, 2]]})
+
+
+class TestResponses:
+    def test_response_serializes_to_json(self):
+        response = ServeResponse(
+            user_id=7,
+            outcome="accepted",
+            events=(2, 5),
+            latency_seconds=0.001,
+            tick=3,
+            timestamp=4.5,
+            requeues=1,
+        )
+        payload = json.loads(json.dumps(response_to_dict(response)))
+        assert payload["type"] == "response"
+        assert payload["user_id"] == 7
+        assert payload["events"] == [2, 5]
+        assert payload["requeues"] == 1
