@@ -1,4 +1,4 @@
-"""The repo-specific rules behind ``igepa lint`` (IGP001-IGP008).
+"""The repo-specific rules behind ``igepa lint`` (IGP001-IGP009).
 
 Each rule encodes one contract the array/columnar architecture depends on.
 Every finding carries a fix hint; sanctioned exceptions are marked per line
@@ -16,6 +16,7 @@ file-level escapes.
 | IGP006 | shard workers may not touch closure/global index state       |
 | IGP007 | no wall-clock reads in deterministic logic                   |
 | IGP008 | public API functions must be fully type-annotated            |
+| IGP009 | no from-scratch benchmark-LP rebuilds in tick-loop modules   |
 +--------+--------------------------------------------------------------+
 """
 
@@ -1086,6 +1087,60 @@ class PublicApiAnnotationRule(Rule):
             )
 
 
+#: Modules that drive the per-tick dynamic loop: LP work here repeats once
+#: per churn batch, so a from-scratch LP build is a per-tick O(instance)
+#: rebuild of state the incremental layer maintains in place.
+TICK_LOOP_MODULES = (
+    "repro/service/engine.py",
+    "repro/service/loop.py",
+    "repro/experiments/simulate.py",
+    "repro/experiments/replay.py",
+)
+
+#: Calls that construct the benchmark LP from scratch.
+_LP_REBUILD_CALLS = frozenset({"build_benchmark_lp"})
+
+
+class LPRebuildRule(Rule):
+    """IGP009: no from-scratch benchmark-LP rebuilds in tick-loop modules.
+
+    The tick loop re-solves the benchmark LP once per churn batch; calling
+    :func:`~repro.core.lp_formulation.build_benchmark_lp` there re-enumerates
+    every admissible set and re-emits the whole constraint matrix —
+    O(instance) work per tick that the incremental layer
+    (:class:`~repro.core.lp_incremental.IncrementalBenchmarkLP`, or
+    ``LPPacking(incremental=True)`` fed via ``observe_delta``) replaces
+    with a delta-sized patch and a warm re-solve.  Explicit from-scratch
+    baselines (speedup comparisons) are sanctioned per line.
+    """
+
+    code = "IGP009"
+    name = "tick-loop-lp-rebuild"
+    hint = (
+        "patch the LP across ticks instead: feed deltas through "
+        "LPPacking(incremental=True).observe_delta / "
+        "IncrementalBenchmarkLP, or mark an intentional from-scratch "
+        "baseline with '# igepa: ignore[IGP009]'"
+    )
+    module_suffixes = TICK_LOOP_MODULES
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) in _LP_REBUILD_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "from-scratch benchmark-LP build in a tick-loop "
+                        "module (rebuilds every admissible set per tick)",
+                    )
+                )
+        return findings
+
+
 #: Registry, in code order.  ``igepa lint --list-rules`` prints this.
 ALL_RULES: tuple[type[Rule], ...] = (
     HotPathLoopRule,
@@ -1096,4 +1151,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ShardWorkerRule,
     WallClockRule,
     PublicApiAnnotationRule,
+    LPRebuildRule,
 )

@@ -210,6 +210,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         oracle_every=args.oracle_every,
         defrag_lp=not args.no_defrag_lp,
         defrag_lp_backend=args.defrag_lp_backend,
+        defrag_lp_incremental=args.defrag_lp_incremental,
         workers=args.workers,
         check_parity=args.check_parity,
     )
@@ -271,6 +272,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             oracle_every=args.oracle_every,
             defrag_lp=not args.no_defrag_lp,
             defrag_lp_backend=args.defrag_lp_backend,
+            defrag_lp_incremental=args.defrag_lp_incremental,
             check_parity=args.check_parity,
             clock=VirtualClock(),
             switching_penalty=args.switching_penalty,
@@ -510,6 +512,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub.add_argument(
+        "--defrag-lp-incremental",
+        action="store_true",
+        help=(
+            "maintain the defrag LP as one delta-patched program re-solved "
+            "from the previous basis (dual simplex for capacity shocks)"
+        ),
+    )
+    sub.add_argument(
         "--arrival-rate", type=float, default=20.0, help="user arrivals/tick"
     )
     sub.add_argument(
@@ -625,6 +635,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--defrag-lp-backend",
         default="auto",
         help="LP backend for the defrag re-solve",
+    )
+    sub.add_argument(
+        "--defrag-lp-incremental",
+        action="store_true",
+        help=(
+            "maintain the defrag LP as one delta-patched program re-solved "
+            "from the previous basis (dual simplex for capacity shocks)"
+        ),
     )
     sub.add_argument(
         "--max-batch",

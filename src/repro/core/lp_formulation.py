@@ -17,6 +17,7 @@ arrangements.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,7 @@ def build_benchmark_lp(
     integer: bool = False,
     max_sets_per_user: int = DEFAULT_MAX_SETS_PER_USER,
     admissible: dict[int, list[tuple[int, ...]]] | None = None,
+    implied_upper: bool = False,
 ) -> BenchmarkLP:
     """Construct the benchmark LP (1)-(4) for ``instance``.
 
@@ -78,6 +80,15 @@ def build_benchmark_lp(
         integer: mark variables integral (the exact ILP of Lemma 1).
         max_sets_per_user: admissible-set explosion guard.
         admissible: pre-enumerated ``A_u`` (skips re-enumeration).
+        implied_upper: leave the variables' upper bounds at ``+inf`` and let
+            constraint (2) imply (4): every variable appears in its user's
+            row with coefficient 1 and rhs 1, so ``x ≤ 1`` holds at every
+            feasible point and the optimum is unchanged.  With no finite
+            upper bounds the standard form needs no synthetic ``ub`` rows
+            and presolve's implied-bound pass has nothing to do, which is
+            what lets the incremental path
+            (:class:`repro.core.lp_incremental.IncrementalBenchmarkLP`)
+            delta-patch the cached standard form in place.
 
     Raises:
         AdmissibleSetExplosion: propagated from enumeration.
@@ -144,7 +155,7 @@ def build_benchmark_lp(
                 index = lp.add_variable(
                     f"x[{user.user_id},{','.join(map(str, events))}]",
                     lower=0.0,
-                    upper=1.0,
+                    upper=math.inf if implied_upper else 1.0,
                     objective=weight,
                     is_integer=integer,
                 )

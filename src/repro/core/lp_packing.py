@@ -36,7 +36,9 @@ import numpy as np
 from repro.core.admissible import DEFAULT_MAX_SETS_PER_USER
 from repro.core.base import ArrangementAlgorithm
 from repro.core.lp_formulation import BenchmarkLP, build_benchmark_lp
+from repro.core.lp_incremental import IncrementalBenchmarkLP
 from repro.model.arrangement import Arrangement
+from repro.model.delta import Delta
 from repro.model.instance import IGEPAInstance
 from repro.solver.api import solve_lp
 
@@ -78,6 +80,17 @@ class LPPacking(ArrangementAlgorithm):
             default).  HiGHS presolves internally, so large scipy-backed
             solves can skip the duplicate pass — and its O(nnz) program
             rebuild — by passing False.
+        incremental: maintain one delta-patched benchmark LP across churn
+            (:class:`~repro.core.lp_incremental.IncrementalBenchmarkLP`)
+            instead of rebuilding per instance.  Feed each churn batch in
+            via :meth:`observe_delta`; a subsequent ``solve`` on the
+            successor instance then re-solves the *patched* program from
+            the previous optimal basis (dual simplex for capacity shocks,
+            warm primal otherwise).  Solving an instance the chain was not
+            advanced onto rebases the chain with a fresh build.  Overrides
+            ``lp_backend``/``warm_start``/``lp_presolve`` for the benchmark
+            solve — the incremental solver owns its own standard form,
+            basis and factorization.
 
     Raises:
         ValueError: on out-of-range ``alpha`` or unknown ``repair_order``.
@@ -95,6 +108,7 @@ class LPPacking(ArrangementAlgorithm):
         cache_lp: bool = True,
         warm_start: bool = False,
         lp_presolve: bool = True,
+        incremental: bool = False,
     ):
         super().__init__(seed=seed)
         if not 0.0 < alpha <= 1.0:
@@ -110,6 +124,9 @@ class LPPacking(ArrangementAlgorithm):
         self.cache_lp = cache_lp
         self.warm_start = warm_start
         self.lp_presolve = lp_presolve
+        self.incremental = incremental
+        self._incremental_lp: IncrementalBenchmarkLP | None = None
+        self._lp_diagnostics: dict | None = None
         self._warm_labels: tuple[str, ...] | None = None
         # Keyed by the live instance object (identity semantics).  A weak
         # mapping — not id() — because CPython reuses the ids of collected
@@ -211,8 +228,59 @@ class LPPacking(ArrangementAlgorithm):
         return survivors
 
     # ------------------------------------------------------------------
+    # Incremental churn feed
+    # ------------------------------------------------------------------
+    def observe_delta(self, delta: Delta, successor: IGEPAInstance) -> None:
+        """Advance the incremental LP chain across one churn batch.
+
+        Call right after :func:`repro.model.delta.apply_delta` with the
+        delta and the instance it produced — ``successor`` must descend
+        from the chain's current instance.  The next ``solve`` on
+        ``successor`` then re-solves the patched program from the previous
+        basis instead of rebuilding.  A no-op when ``incremental`` is off
+        or no LP has been built yet (the first solve anchors the chain).
+        """
+        if not self.incremental:
+            return
+        incremental = self._incremental_lp
+        if incremental is None:
+            return
+        # The cached tuple for the predecessor aliases the very structures
+        # the patch mutates in place — evict before patching.
+        self._lp_cache.pop(incremental.instance, None)
+        incremental.observe_delta(delta, successor)
+
+    # ------------------------------------------------------------------
     # Full solve
     # ------------------------------------------------------------------
+    def _solved_incremental(
+        self, instance: IGEPAInstance
+    ) -> tuple[BenchmarkLP, np.ndarray, float, int, str]:
+        """Warm re-solve of the delta-patched LP (``incremental=True``)."""
+        incremental = self._incremental_lp
+        if incremental is None or incremental.instance is not instance:
+            # First solve, or the chain was never advanced onto this
+            # instance via observe_delta: rebase with a fresh build.
+            incremental = IncrementalBenchmarkLP(
+                instance, max_sets_per_user=self.max_sets_per_user
+            )
+            self._incremental_lp = incremental
+        if incremental.benchmark.lp.num_variables == 0:
+            return incremental.benchmark, np.empty(0), 0.0, 0, "none"
+        solution = incremental.solve()
+        if not solution.is_optimal:
+            raise LPPackingError(
+                f"benchmark LP solve failed with status {solution.status.value}"
+            )
+        self._lp_diagnostics = solution.diagnostics
+        return (
+            incremental.benchmark,
+            solution.x,
+            solution.objective_value,
+            solution.iterations,
+            solution.backend,
+        )
+
     def _solved_benchmark(
         self, instance: IGEPAInstance
     ) -> tuple[BenchmarkLP, np.ndarray, float, int, str]:
@@ -220,6 +288,13 @@ class LPPacking(ArrangementAlgorithm):
         if self.cache_lp and instance in self._lp_cache:
             benchmark, x_star, objective, iterations = self._lp_cache[instance]
             return benchmark, x_star, objective, iterations, "cache"
+        if self.incremental:
+            benchmark, x_star, objective, iterations, backend = (
+                self._solved_incremental(instance)
+            )
+            if self.cache_lp:
+                self._lp_cache[instance] = (benchmark, x_star, objective, iterations)
+            return benchmark, x_star, objective, iterations, backend
         benchmark = build_benchmark_lp(
             instance, max_sets_per_user=self.max_sets_per_user
         )
@@ -272,4 +347,8 @@ class LPPacking(ArrangementAlgorithm):
             "alpha": self.alpha,
             "repair_order": self.repair_order,
         }
+        if self._lp_diagnostics is not None:
+            # Incremental re-solves report their dispatch mode and pivot
+            # counts (see IncrementalLPSolver._finish).
+            details["lp_diagnostics"] = self._lp_diagnostics
         return arrangement, details

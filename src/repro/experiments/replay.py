@@ -390,3 +390,123 @@ def _replay_trace(
         instance = result.instance
         arrangement = result.arrangement
     return report
+
+
+# ----------------------------------------------------------------------
+# LP re-solve comparison: delta-patched incremental vs warm rebuild
+# ----------------------------------------------------------------------
+def _rhs_only_delta(delta) -> bool:
+    """True when the delta is a pure capacity shock (RHS edits only)."""
+    return bool(delta.set_event_capacity) and not (
+        delta.add_users
+        or delta.remove_users
+        or delta.add_events
+        or delta.remove_events
+        or delta.add_bids
+        or delta.remove_bids
+        or delta.add_conflicts
+        or delta.remove_conflicts
+        or delta.set_user_capacity
+        or delta.interest
+        or delta.degrees
+    )
+
+
+def lp_resolve_comparison(
+    trace: ChurnTrace,
+    *,
+    backend: str = "revised-simplex-sparse",
+    max_sets_per_user: int | None = None,
+    tolerance: float = 1e-6,
+) -> dict:
+    """Time the benchmark-LP re-solve per churn batch, both ways.
+
+    * **patched** — one :class:`~repro.core.lp_incremental.
+      IncrementalBenchmarkLP` across the trace: each delta becomes an LP
+      patch and the re-solve starts from the previous optimal basis (dual
+      simplex when only the RHS moved, warm primal otherwise).
+    * **warm rebuild** — the pre-incremental baseline: rebuild the
+      benchmark LP for each successor from scratch and re-solve with the
+      previous solution's ``basis_labels`` as a crash hint
+      (``LPPacking(warm_start=True)``'s path).
+
+    Both sides must agree on the optimum to ``tolerance`` every batch —
+    the comparison doubles as an end-to-end correctness check.  Returns a
+    JSON-ready dict with per-batch timings and solver diagnostics
+    (``mode`` / ``dual_pivots`` / ``refactorizations`` — see
+    :meth:`repro.solver.patch.IncrementalLPSolver.solve`); ``rhs_only``
+    marks pure capacity-shock batches, which must ride the in-place dual
+    path (no phase 1, zero refactorizations).
+    """
+    from repro.core.admissible import DEFAULT_MAX_SETS_PER_USER
+    from repro.core.lp_formulation import build_benchmark_lp
+    from repro.core.lp_incremental import IncrementalBenchmarkLP
+    from repro.solver.api import solve_lp
+
+    if max_sets_per_user is None:
+        max_sets_per_user = DEFAULT_MAX_SETS_PER_USER
+    instance = trace.initial
+    started = time.perf_counter()
+    incremental = IncrementalBenchmarkLP(
+        instance, max_sets_per_user=max_sets_per_user
+    )
+    solution = incremental.solve()
+    initial_seconds = time.perf_counter() - started
+    assert solution.is_optimal, solution.status
+    labels = None
+    batches: list[dict] = []
+    for delta in trace.deltas:
+        successor = apply_delta(instance, delta).instance
+
+        started = time.perf_counter()
+        incremental.observe_delta(delta, successor)
+        patched = incremental.solve()
+        patch_seconds = time.perf_counter() - started
+        assert patched.is_optimal, patched.status
+
+        started = time.perf_counter()
+        # The from-scratch side IS the baseline under measurement here.
+        benchmark = build_benchmark_lp(  # igepa: ignore[IGP009]
+            successor, max_sets_per_user=max_sets_per_user
+        )
+        warm = solve_lp(benchmark.lp, backend=backend, warm_start=labels)
+        warm_seconds = time.perf_counter() - started
+        assert warm.is_optimal, warm.status
+        labels = warm.basis_labels
+
+        difference = abs(patched.objective_value - warm.objective_value)
+        assert difference <= tolerance, (
+            f"patched optimum {patched.objective_value!r} diverged from "
+            f"from-scratch {warm.objective_value!r} (|diff|={difference:g})"
+        )
+        diagnostics = dict(patched.diagnostics or {})
+        batches.append(
+            {
+                "patch_seconds": patch_seconds,
+                "warm_seconds": warm_seconds,
+                "objective": patched.objective_value,
+                "objective_diff": difference,
+                "rhs_only": _rhs_only_delta(delta),
+                "mode": diagnostics.get("mode"),
+                "dual_pivots": diagnostics.get("dual_pivots", 0),
+                "primal_pivots": diagnostics.get("primal_pivots", 0),
+                "phase1": diagnostics.get("phase1", False),
+                "refactorizations": diagnostics.get("refactorizations", 0),
+            }
+        )
+        instance = successor
+    mean_patch = float(np.mean([b["patch_seconds"] for b in batches]))
+    mean_warm = float(np.mean([b["warm_seconds"] for b in batches]))
+    return {
+        "backend": backend,
+        "initial_seconds": initial_seconds,
+        "batches": batches,
+        "mean_patch_seconds": mean_patch,
+        "mean_warm_seconds": mean_warm,
+        "speedup": mean_warm / mean_patch if mean_patch > 0 else float("inf"),
+        "dual_pivots": int(sum(b["dual_pivots"] for b in batches)),
+        "refactorizations": int(sum(b["refactorizations"] for b in batches)),
+        "max_objective_diff": max(
+            (b["objective_diff"] for b in batches), default=0.0
+        ),
+    }

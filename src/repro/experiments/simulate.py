@@ -312,6 +312,7 @@ def simulate(
     oracle_every: int = 0,
     defrag_lp: bool = True,
     defrag_lp_backend: str = "auto",
+    defrag_lp_incremental: bool = False,
     max_passes: int = 20,
     workers: int | None = None,
     check_parity: bool = False,
@@ -342,6 +343,13 @@ def simulate(
             revised simplex, which consumes the basis threaded across
             defrags; force ``"revised-simplex"`` to exercise the warm
             start explicitly on small platforms.
+        defrag_lp_incremental: maintain that resolver's LP as one
+            delta-patched program — every churn batch is folded in via
+            ``observe_delta`` and each defrag re-solve starts from the
+            previous optimal basis (sublinear in platform size for small
+            deltas) instead of rebuilding.  Same LP optimum; the sampled
+            arrangement may sit on a different optimal vertex than the
+            ``defrag_lp_backend`` solver's.
         max_passes: local-search pass cap for repair and defrag sweeps.
         workers: shard-parallel repair across this many worker processes
             (None/0: serial).
@@ -372,6 +380,7 @@ def simulate(
             oracle_every=oracle_every,
             defrag_lp=defrag_lp,
             defrag_lp_backend=defrag_lp_backend,
+            defrag_lp_incremental=defrag_lp_incremental,
             max_passes=max_passes,
             executor=executor,
             check_parity=check_parity,

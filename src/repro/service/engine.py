@@ -63,6 +63,14 @@ class TickEngine:
         defrag_lp: run the warm-started LP re-solve during defrag and adopt
             its arrangement on net gain.
         defrag_lp_backend: backend for that re-solve (see ``simulate``).
+        defrag_lp_incremental: maintain the defrag LP incrementally —
+            :meth:`apply_churn` feeds every delta into the resolver's
+            delta-patched program, so each defrag re-solve starts from the
+            previous optimal basis instead of rebuilding (dual simplex for
+            capacity shocks, warm primal otherwise).  Overrides
+            ``defrag_lp_backend`` for the benchmark solve.  The LP optimum
+            is identical either way; the sampled arrangement may differ
+            (the solvers can land on different optimal vertices).
         max_passes: local-search pass cap for repair and defrag sweeps.
         executor: process pool for shard-parallel repair (None: serial).
         check_parity: rebuild the index from scratch in :meth:`audit` and
@@ -84,6 +92,7 @@ class TickEngine:
         oracle_every: int = 0,
         defrag_lp: bool = True,
         defrag_lp_backend: str = "auto",
+        defrag_lp_incremental: bool = False,
         max_passes: int = 20,
         executor=None,
         check_parity: bool = False,
@@ -107,9 +116,16 @@ class TickEngine:
         self.switching_penalty = switching_penalty
         self.rng = np.random.default_rng(seed)
         # One resolver across the horizon: each defrag's final simplex basis
-        # warm-starts the next (when a revised-simplex backend runs).
+        # warm-starts the next (when a revised-simplex backend runs); in
+        # incremental mode the basis persists inside the resolver's
+        # delta-patched program instead of riding label hints.
         self.lp_resolver = (
-            LPPacking(alpha=1.0, lp_backend=defrag_lp_backend, warm_start=True)
+            LPPacking(
+                alpha=1.0,
+                lp_backend=defrag_lp_backend,
+                warm_start=True,
+                incremental=defrag_lp_incremental,
+            )
             if defrag_lp
             else None
         )
@@ -136,6 +152,11 @@ class TickEngine:
         """Apply one churn batch; the engine advances to the successor
         instance and the carried (pair-shed) arrangement."""
         result = apply_delta(self.instance, delta, self.arrangement)
+        if self.lp_resolver is not None:
+            # Keep the resolver's delta-patched LP in lockstep with the
+            # live instance (a no-op outside incremental mode / before the
+            # first defrag solve anchors the chain).
+            self.lp_resolver.observe_delta(delta, result.instance)
         self.instance = result.instance
         self.arrangement = result.arrangement
         # Cache hygiene: departed users can never be served again, so any

@@ -123,7 +123,10 @@ def solve_lp(
     solution = solver(reduced)
     if not solution.is_optimal:
         return LPSolution(
-            solution.status, iterations=solution.iterations, backend=solution.backend
+            solution.status,
+            iterations=solution.iterations,
+            backend=solution.backend,
+            diagnostics=solution.diagnostics,
         )
     return LPSolution(
         SolveStatus.OPTIMAL,
@@ -132,4 +135,5 @@ def solve_lp(
         iterations=solution.iterations,
         backend=solution.backend,
         basis_labels=solution.basis_labels,
+        diagnostics=solution.diagnostics,
     )

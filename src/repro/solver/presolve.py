@@ -255,8 +255,10 @@ def presolve(lp: LinearProgram, max_passes: int = 10) -> PresolveResult:
         # Only variable bounds changed (the implied-bound pass, typically):
         # every row survived with its coefficients and column indices intact,
         # so the original program's COO triplet cache — if primed, e.g. by
-        # build_benchmark_lp — still describes the reduced constraint matrix.
+        # build_benchmark_lp — still describes the reduced constraint matrix
+        # (and any cached sort order of it remains valid).
         reduced._coo = lp._coo
+        reduced._coo_order = lp._coo_order
     return PresolveResult(
         PresolveStatus.REDUCED,
         lp=reduced,

@@ -98,6 +98,18 @@ class LinearProgram:
     _coo: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
         default=None, repr=False, compare=False
     )
+    # Cached (col, row)-lexicographic sort order of _coo, computed by
+    # to_standard_form on first use and reused until the triplets change —
+    # repeat conversions of the same matrix (branch-and-bound nodes, warm
+    # re-solves of a cached LP) skip the O(nnz log nnz) lexsort.
+    _coo_order: np.ndarray | None = field(default=None, repr=False, compare=False)
+    # Lazy name -> index maps and the variable -> constraint-rows incidence
+    # that apply_patch maintains; None until first needed.
+    _var_index: dict[str, int] | None = field(default=None, repr=False, compare=False)
+    _con_index: dict[str, int] | None = field(default=None, repr=False, compare=False)
+    _var_rows: dict[int, set[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -124,6 +136,10 @@ class LinearProgram:
         if name in self._names:
             raise ValueError(f"duplicate variable name {name!r}")
         self._names.add(name)
+        if self._var_index is not None:
+            self._var_index[name] = index
+        if self._var_rows is not None:
+            self._var_rows[index] = set()
         self.variables.append(
             Variable(
                 name=name,
@@ -157,9 +173,16 @@ class LinearProgram:
         clean = {idx: float(c) for idx, c in coefficients.items() if c != 0.0}
         if name is None:
             name = f"c{len(self.constraints)}"
+        row = len(self.constraints)
         self.constraints.append(Constraint(name, clean, sense, float(rhs)))
         self._coo = None
-        return len(self.constraints) - 1
+        self._coo_order = None
+        if self._con_index is not None:
+            self._con_index[name] = row
+        if self._var_rows is not None:
+            for idx in clean:
+                self._var_rows.setdefault(idx, set()).add(row)
+        return row
 
     def set_constraints_coo(
         self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
@@ -184,6 +207,7 @@ class LinearProgram:
                 f"COO cache has {vals.size} entries; constraints hold {nnz}"
             )
         self._coo = (rows, cols, vals)
+        self._coo_order = None
 
     def constraints_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """The constraint matrix as COO triplets ``(rows, cols, vals)``.
@@ -219,6 +243,51 @@ class LinearProgram:
                     np.empty(0),
                 )
         return self._coo
+
+    # ------------------------------------------------------------------
+    # Incremental patching (see repro.solver.patch)
+    # ------------------------------------------------------------------
+    def variable_index(self) -> dict[str, int]:
+        """Name -> index map of the variables (lazy; apply_patch keeps it
+        consistent afterwards)."""
+        if self._var_index is None:
+            self._var_index = {v.name: v.index for v in self.variables}
+        return self._var_index
+
+    def constraint_index(self) -> dict[str, int]:
+        """Name -> row map of the constraints (lazy; maintained like
+        :meth:`variable_index`)."""
+        if self._con_index is None:
+            self._con_index = {c.name: i for i, c in enumerate(self.constraints)}
+        return self._con_index
+
+    def variable_rows(self) -> dict[int, set[int]]:
+        """Variable index -> rows holding a coefficient for it (lazy
+        incidence; what makes column removal O(column nnz) instead of a
+        full matrix scan)."""
+        if self._var_rows is None:
+            incidence: dict[int, set[int]] = {
+                v.index: set() for v in self.variables
+            }
+            for row, constraint in enumerate(self.constraints):
+                for idx in constraint.coefficients:
+                    incidence[idx].add(row)
+            self._var_rows = incidence
+        return self._var_rows
+
+    def apply_patch(self, patch) -> "object":
+        """Apply an :class:`~repro.solver.patch.LPPatch` in place.
+
+        Columns and rows for removed (user, admissible-set) pairs leave by
+        swap-with-last, additions append, RHS updates are in place, and the
+        COO triplet cache is revalidated incrementally (mask + remap +
+        append) — never rebuilt from the coefficient dicts.  Returns the
+        :class:`~repro.solver.patch.PatchApplication` journal so callers
+        mirroring per-variable side tables can replay the index moves.
+        """
+        from repro.solver.patch import apply_lp_patch
+
+        return apply_lp_patch(self, patch)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -287,8 +356,10 @@ class LinearProgram:
         clone._names = set(self._names)
         # The triplet cache describes the (immutable-by-copy) constraint
         # matrix, so the clone can share it; branch-and-bound copies only
-        # tighten variable bounds.
+        # tighten variable bounds.  The cached sort order rides along for
+        # the same reason.
         clone._coo = self._coo
+        clone._coo_order = self._coo_order
         return clone
 
     def __repr__(self) -> str:

@@ -38,6 +38,10 @@ class LPSolution:
             revised-simplex backends.  Feed them back into
             :func:`repro.solver.api.solve_lp` as ``warm_start`` to crash the
             next, structurally similar solve from this basis.
+        diagnostics: backend-reported solve telemetry (e.g. warm-start label
+            match/stale counts and whether the solve fell back to a cold
+            start, dual/primal pivot and refactorization counts on the
+            incremental path).  None when the backend reports nothing.
     """
 
     status: SolveStatus
@@ -46,6 +50,7 @@ class LPSolution:
     iterations: int = 0
     backend: str = ""
     basis_labels: tuple[str, ...] | None = None
+    diagnostics: dict | None = None
 
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=float)

@@ -36,9 +36,11 @@ other and against scipy in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, NamedTuple
 
 import numpy as np
 
+from repro.solver.factorization import SingularBasisError, make_factorization
 from repro.solver.problem import LinearProgram
 from repro.solver.result import LPSolution, SolveStatus
 from repro.solver.simplex import SimplexOptions, _TableauResult, min_ratio_row
@@ -68,7 +70,16 @@ class RevisedSimplexOptions(SimplexOptions):
 
 
 class _RevisedCore:
-    """One phase of the revised simplex over ``min c@x, A@x == b, x >= 0``."""
+    """One phase of the revised simplex over ``min c@x, A@x == b, x >= 0``.
+
+    Basis algebra goes through four hook methods — :meth:`_direction`,
+    :meth:`_ftran`, :meth:`_rho` and :meth:`_compute_duals` — implemented
+    here against the explicit dense inverse, and overridden by
+    :class:`_FactorizedCore` against a persistent LU factorization.  The
+    pivot loops (:meth:`run`, :meth:`run_dual`) and the warm-start repair
+    only ever touch the hooks, so both representations share one set of
+    pivot rules, tolerances and anti-cycling guarantees.
+    """
 
     def __init__(
         self,
@@ -83,12 +94,34 @@ class _RevisedCore:
         self.n = matrix.shape[1]
         self.basis = np.empty(0, dtype=np.int64)
         self.in_basis = np.zeros(self.n, dtype=bool)
-        self.basis_inverse = np.eye(self.m)
         self.x_basic = b.copy()
         self.duals: np.ndarray | None = None  # maintained per run()
         self.pivots_since_refactor = 0
         self.pricing_cursor = 0
+        self._allocate_inverse()
+
+    def _allocate_inverse(self) -> None:
+        self.basis_inverse = np.eye(self.m)
         self._rank1 = np.empty((self.m, self.m))  # reused eta-update buffer
+
+    # ------------------------------------------------------------------
+    # Basis-algebra hooks (overridden by _FactorizedCore)
+    # ------------------------------------------------------------------
+    def _direction(self, j: int) -> np.ndarray:
+        """``B^-1 A[:, j]`` — the pivot direction of column ``j``."""
+        return self.matrix.direction(self.basis_inverse, j)
+
+    def _ftran(self, v: np.ndarray) -> np.ndarray:
+        """``B^-1 v`` for a dense vector ``v``."""
+        return self.basis_inverse @ v
+
+    def _rho(self, row: int) -> np.ndarray:
+        """Row ``row`` of ``B^-1`` (``e_row @ B^-1``)."""
+        return self.basis_inverse[row].copy()
+
+    def _compute_duals(self, costs: np.ndarray) -> np.ndarray:
+        """``c_B @ B^-1`` from scratch."""
+        return costs[self.basis] @ self.basis_inverse
 
     def set_basis(self, basis: np.ndarray | list[int], *, identity: bool = False) -> None:
         """Install a basis; ``identity=True`` skips the O(m^3) inversion
@@ -114,6 +147,14 @@ class _RevisedCore:
         self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
         self.pivots_since_refactor = 0
 
+    def adopt(self, other: "_RevisedCore") -> None:
+        """Take over ``other``'s basis state (same basis, wider matrix)."""
+        self.basis = other.basis.copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        self.basis_inverse = other.basis_inverse
+        self.x_basic = other.x_basic
+
     def run(
         self,
         costs: np.ndarray,
@@ -127,19 +168,94 @@ class _RevisedCore:
         degenerate_run = 0
         run_limit = self.options.degenerate_run_limit(self.m)
         force_bland = False
-        self.duals = costs[self.basis] @ self.basis_inverse
+        self.duals = self._compute_duals(costs)
         while True:
             use_bland = force_bland or iterations >= self.options.bland_after
             entering = self._choose_entering(costs, self.duals, allowed, use_bland, tol)
             if entering is None:
                 return SolveStatus.OPTIMAL, iterations
-            direction = self.matrix.direction(self.basis_inverse, entering)
+            direction = self._direction(entering)
             leaving_row = self._ratio_test(direction, tol)
             if leaving_row is None:
                 return SolveStatus.UNBOUNDED, iterations
             step = self.x_basic[leaving_row] / direction[leaving_row]
             self._pivot(entering, leaving_row, direction, costs)
             if step <= tol:
+                degenerate_run += 1
+                force_bland = force_bland or degenerate_run >= run_limit
+            else:
+                degenerate_run = 0
+            iterations += 1
+            if iterations >= max_iterations:
+                return SolveStatus.ITERATION_LIMIT, iterations
+
+    def run_dual(
+        self,
+        costs: np.ndarray,
+        allowed: int,
+        start_iteration: int,
+        max_iterations: int,
+    ) -> tuple[SolveStatus, int]:
+        """Dual simplex over columns ``[0, allowed)``: restore ``x_B >= 0``.
+
+        Requires a *dual-feasible* start — every nonbasic reduced cost
+        nonnegative — which is exactly what the optimal basis of the
+        pre-patch LP provides after an RHS/bound change.  Each pivot picks
+        the most negative basic value as the leaving row, prices that row
+        of the tableau (one btran + one pricing pass), and enters the
+        column with the minimum dual ratio ``reduced_j / -alpha_j`` over
+        ``alpha_j < 0``, so dual feasibility is invariant and primal
+        feasibility improves monotonically — no phase-1 recovery.
+
+        Anti-cycling mirrors the primal loop's ratchet: a run of
+        zero-progress (degenerate) dual steps switches permanently to
+        Bland's dual rule — leaving row with the smallest basis label,
+        entering column with the smallest index among the minimum-ratio
+        ties.  Returns ``INFEASIBLE`` when a negative row prices to no
+        negative entry (a Farkas certificate for the patched rhs).
+
+        The standard form has no finite upper bounds on structural columns
+        (two-sided bounds become extra rows, see ``to_standard_form``), so
+        the textbook bounded-variable flip step has no work to do here and
+        the nonbasic partition is "at lower bound" throughout.
+        """
+        tol = self.options.tol
+        iterations = start_iteration
+        degenerate_run = 0
+        run_limit = self.options.degenerate_run_limit(self.m)
+        force_bland = False
+        self.duals = self._compute_duals(costs)
+        while True:
+            negative = np.flatnonzero(self.x_basic < -tol)
+            if negative.size == 0:
+                return SolveStatus.OPTIMAL, iterations
+            use_bland = force_bland or iterations >= self.options.bland_after
+            if use_bland:
+                # Bland's dual rule: smallest basis *label* among the
+                # infeasible rows — that is what the termination proof needs.
+                row = int(negative[np.argmin(self.basis[negative])])
+            else:
+                row = int(negative[np.argmin(self.x_basic[negative])])
+            alpha = self.matrix.price(self._rho(row), allowed)
+            alpha[self.in_basis[:allowed]] = 0.0
+            candidates = np.flatnonzero(alpha < -tol)
+            if candidates.size == 0:
+                # Row `row` reads  (nonneg coefficients) @ x == negative:
+                # unsatisfiable with x >= 0.
+                return SolveStatus.INFEASIBLE, iterations
+            reduced = costs[:allowed] - self.matrix.price(self.duals, allowed)
+            # Dual feasibility can drift a hair below zero numerically;
+            # clamp so ratios stay nonnegative and the invariant holds.
+            ratios = np.maximum(reduced[candidates], 0.0) / -alpha[candidates]
+            best = float(ratios.min())
+            if use_bland:
+                ties = candidates[ratios <= best + tol]
+                entering = int(ties[0])
+            else:
+                entering = int(candidates[np.argmin(ratios)])
+            direction = self._direction(entering)
+            self._pivot(entering, row, direction, costs)
+            if best <= tol:
                 degenerate_run += 1
                 force_bland = force_bland or degenerate_run >= run_limit
             else:
@@ -213,6 +329,25 @@ class _RevisedCore:
         self.x_basic -= step * direction
         self.x_basic[row] = step
         self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+        self._update_inverse(entering, row, direction, costs)
+        self.in_basis[self.basis[row]] = False
+        self.in_basis[entering] = True
+        self.basis[row] = entering
+        self.pivots_since_refactor += 1
+        if self.pivots_since_refactor >= self.options.refactor_every:
+            self.refactor()
+            if costs is not None:
+                self.duals = self._compute_duals(costs)
+
+    def _update_inverse(
+        self,
+        entering: int,
+        row: int,
+        direction: np.ndarray,
+        costs: np.ndarray | None,
+    ) -> None:
+        """Rank-1 eta update of the explicit inverse (and the duals)."""
+        pivot_value = direction[row]
         eta = direction / (-pivot_value)
         eta[row] = 1.0 / pivot_value
         pivot_row = self.basis_inverse[row].copy()
@@ -232,14 +367,6 @@ class _RevisedCore:
         eta[row] -= 1.0
         np.multiply(eta[:, None], pivot_row[None, :], out=self._rank1)
         self.basis_inverse += self._rank1
-        self.in_basis[self.basis[row]] = False
-        self.in_basis[entering] = True
-        self.basis[row] = entering
-        self.pivots_since_refactor += 1
-        if self.pivots_since_refactor >= self.options.refactor_every:
-            self.refactor()
-            if costs is not None:
-                self.duals = costs[self.basis] @ self.basis_inverse
 
     def solution(self) -> np.ndarray:
         x = np.zeros(self.n, dtype=float)
@@ -247,11 +374,118 @@ class _RevisedCore:
         return x
 
 
+class _FactorizedCore(_RevisedCore):
+    """Revised-simplex core over a persistent basis factorization.
+
+    Same pivot loops, rules and tolerances as :class:`_RevisedCore`, but the
+    basis algebra goes through a :class:`~repro.solver.factorization`
+    backend (sparse LU + eta file when scipy is available) instead of an
+    explicit ``m x m`` inverse: no O(m^2) memory, no O(m^3) refactorization
+    on the scipy path, and — the point of the incremental LP — the
+    factorization **object outlives the core**, so a patched re-solve
+    reuses the previous solve's LU instead of rebuilding it.
+    """
+
+    def __init__(
+        self,
+        matrix: CSCMatrix | DenseMatrix,
+        b: np.ndarray,
+        options: RevisedSimplexOptions,
+        factorization=None,
+    ):
+        self.factorization = (
+            factorization if factorization is not None else make_factorization()
+        )
+        super().__init__(matrix, b, options)
+
+    def _allocate_inverse(self) -> None:
+        pass  # no m x m inverse: self.factorization owns the basis algebra
+
+    def _direction(self, j: int) -> np.ndarray:
+        rows, vals = self.matrix.column(j)
+        column = np.zeros(self.m)
+        column[rows] = vals
+        return self.factorization.ftran(column)
+
+    def _ftran(self, v: np.ndarray) -> np.ndarray:
+        return self.factorization.ftran(v)
+
+    def _rho(self, row: int) -> np.ndarray:
+        unit = np.zeros(self.m)
+        unit[row] = 1.0
+        return self.factorization.btran(unit)
+
+    def _compute_duals(self, costs: np.ndarray) -> np.ndarray:
+        return self.factorization.btran(costs[self.basis])
+
+    def set_basis(self, basis: np.ndarray | list[int], *, identity: bool = False) -> None:
+        """Install a basis.  ``identity`` is accepted for interface parity
+        but a factorization is built regardless (an identity basis matrix
+        factorizes in O(m)); a basis the current factorization already
+        describes (same labels, e.g. across an RHS-only patch) skips the
+        rebuild entirely."""
+        basis = np.asarray(basis, dtype=np.int64)
+        if (
+            not self.factorization.needs_refactor
+            and self.basis.size == basis.size
+            and bool(np.array_equal(self.basis, basis))
+        ):
+            self.basis = basis.copy()
+            self.in_basis[:] = False
+            self.in_basis[self.basis] = True
+            self.x_basic = self.factorization.ftran(self.b)
+            self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+            self.pivots_since_refactor = 0
+            return
+        self.basis = basis.copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        self.refactor()
+
+    def refactor(self) -> None:
+        self.factorization.refactor(self.matrix, self.basis)
+        self.x_basic = self.factorization.ftran(self.b)
+        self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+        self.pivots_since_refactor = 0
+
+    def adopt(self, other: "_FactorizedCore") -> None:
+        self.basis = other.basis.copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        self.factorization = other.factorization
+        self.x_basic = other.x_basic
+
+    def _pivot(
+        self,
+        entering: int,
+        row: int,
+        direction: np.ndarray,
+        costs: np.ndarray | None,
+    ) -> None:
+        pivot_value = direction[row]
+        step = self.x_basic[row] / pivot_value
+        self.x_basic -= step * direction
+        self.x_basic[row] = step
+        self.x_basic[np.abs(self.x_basic) < self.options.tol] = 0.0
+        refactor_due = self.factorization.update(row, direction)
+        self.in_basis[self.basis[row]] = False
+        self.in_basis[entering] = True
+        self.basis[row] = entering
+        self.pivots_since_refactor += 1
+        if refactor_due or self.pivots_since_refactor >= self.options.refactor_every:
+            self.refactor()
+        # One btran per pivot instead of the dense path's incremental dual
+        # update — the same O(nnz(LU) + k*m) the next pricing pass pays
+        # anyway, and always exact after a refactorization.
+        self.duals = self._compute_duals(costs) if costs is not None else None
+
+
 def _try_warm_core(
     matrix: CSCMatrix | DenseMatrix,
     b: np.ndarray,
     warm_basis: np.ndarray,
     options: RevisedSimplexOptions,
+    core_factory: Callable[..., _RevisedCore] = _RevisedCore,
 ) -> _RevisedCore | None:
     """Install a caller-supplied crash basis, or None when it is unusable.
 
@@ -268,10 +502,10 @@ def _try_warm_core(
         return None
     if basis.min(initial=0) < 0 or basis.max(initial=-1) >= n:
         return None
-    core = _RevisedCore(matrix, b, options)
+    core = core_factory(matrix, b, options)
     try:
         core.set_basis(basis)
-    except np.linalg.LinAlgError:
+    except (np.linalg.LinAlgError, SingularBasisError):
         return None
     if not np.isfinite(core.x_basic).all():
         return None
@@ -285,6 +519,7 @@ def _warm_start_core(
     warm_basis: np.ndarray,
     options: RevisedSimplexOptions,
     max_iterations: int,
+    core_factory: Callable[..., _RevisedCore] = _RevisedCore,
 ) -> tuple[_RevisedCore, np.ndarray, int] | None:
     """Set up phase 2 from a warm basis; None means fall back to cold start.
 
@@ -302,27 +537,22 @@ def _warm_start_core(
     prices it, and a residual basic artificial sits harmlessly at zero,
     exactly like residual phase-1 artificials on the cold path).
     """
-    core = _try_warm_core(matrix, b, warm_basis, options)
+    core = _try_warm_core(matrix, b, warm_basis, options, core_factory)
     if core is None:
         return None
     if not np.any(core.x_basic < 0.0):
         return core, c, 0
 
-    m = matrix.shape[0]
     n = matrix.shape[1]
     negative = core.x_basic < 0.0
-    basis_columns = matrix.gather_dense(core.basis)
-    artificial = -basis_columns[:, negative].sum(axis=1)
+    basis_columns = matrix.gather_dense(core.basis[negative])
+    artificial = -basis_columns.sum(axis=1)
     extended = matrix.with_column(artificial)
 
-    ext_core = _RevisedCore(extended, b, options)
-    ext_core.basis = core.basis.copy()
-    ext_core.in_basis = np.zeros(n + 1, dtype=bool)
-    ext_core.in_basis[ext_core.basis] = True
-    ext_core.basis_inverse = core.basis_inverse
-    ext_core.x_basic = core.x_basic
+    ext_core = core_factory(extended, b, options)
+    ext_core.adopt(core)
     row = int(np.argmin(ext_core.x_basic))
-    direction = ext_core.basis_inverse @ artificial
+    direction = ext_core._ftran(artificial)
     if abs(direction[row]) <= options.tol:
         return None
     ext_core._pivot(n, row, direction, None)
@@ -346,11 +576,11 @@ def _warm_start_core(
     # part prices to all-zero (truly redundant, the artificial can never
     # move) — phase 2 is safe.
     for row in np.flatnonzero(ext_core.basis >= n).tolist():
-        tableau_row = matrix.price(ext_core.basis_inverse[row], n)
+        tableau_row = matrix.price(ext_core._rho(row), n)
         candidates = np.flatnonzero(np.abs(tableau_row) > options.tol)
         if candidates.size:
             entering = int(candidates[0])
-            direction = extended.direction(ext_core.basis_inverse, entering)
+            direction = ext_core._direction(entering)
             ext_core._pivot(entering, row, direction, None)
             iterations += 1
     return ext_core, np.concatenate([c, [0.0]]), iterations
@@ -418,18 +648,21 @@ def solve_standard_form_revised(
         # artificial stays basic at level zero, harmlessly, because phase-2
         # costs are only set for structural columns.
         for row in np.flatnonzero(core.basis >= n).tolist():
-            tableau_row = matrix.price(core.basis_inverse[row], n)
+            tableau_row = matrix.price(core._rho(row), n)
             candidates = np.flatnonzero(np.abs(tableau_row) > options.tol)
             if candidates.size:
                 entering = int(candidates[0])
-                direction = a_ext.direction(core.basis_inverse, entering)
+                direction = core._direction(entering)
                 core._pivot(entering, row, direction, None)
                 iterations += 1
         costs2 = np.concatenate([c, np.zeros(m)])
 
     status, iterations = core.run(costs2, n, iterations, max_iterations)
+    warm_used = warm is not None
     if status is not SolveStatus.OPTIMAL:
-        return _TableauResult(status, np.zeros(n), np.nan, iterations)
+        return _TableauResult(
+            status, np.zeros(n), np.nan, iterations, warm_used=warm_used
+        )
     x_ext = core.solution()
     y = x_ext[:n]
     objective = float(c @ y)
@@ -437,7 +670,9 @@ def solve_standard_form_revised(
     # redundant rows) are dropped from the exported basis: the labels of a
     # warm-start hint only name real columns.
     basis = core.basis[core.basis < n].copy()
-    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations, basis)
+    return _TableauResult(
+        SolveStatus.OPTIMAL, y, objective, iterations, basis, warm_used=warm_used
+    )
 
 
 def _pivot_rows(
@@ -476,41 +711,62 @@ def _pivot_rows(
     return order[:k], independent
 
 
+class WarmResolution(NamedTuple):
+    """Outcome of :func:`resolve_warm_basis`.
+
+    Attributes:
+        basis: the assembled m-column candidate basis, or None (cold start).
+        matched: warm labels found in this standard form's columns.
+        stale: warm labels naming columns that no longer exist — the count
+            surfaces in ``LPSolution.diagnostics`` so callers can see *why*
+            a warm start degraded instead of it failing silently.
+    """
+
+    basis: np.ndarray | None
+    matched: int
+    stale: int
+
+
 def resolve_warm_basis(
     sf: StandardForm, labels: list[str], warm_labels: tuple[str, ...] | None
-) -> np.ndarray | None:
+) -> WarmResolution:
     """Map basis labels from a previous solve onto this standard form.
 
     Matched labels (surviving variables / constraint slacks) seed the
     basis; a triangular completion then pads exactly the rows the matched
     columns do not pivot with those rows' own slack columns, so the
     candidate is nonsingular whenever the matched columns are independent.
-    Returns None when no full m-column candidate can be assembled — the
-    solver then cold-starts (a candidate that still turns out singular or
-    infeasible is likewise discarded by the solver, so a stale hint can
-    only cost pivots, never correctness).
+    ``basis`` is None when no full m-column candidate can be assembled —
+    the solver then cold-starts *explicitly* (a candidate that still turns
+    out singular or infeasible is likewise discarded by the solver, so a
+    stale hint can only cost pivots, never correctness); ``matched`` /
+    ``stale`` label counts always report how usable the hint was.
     """
     if not warm_labels:
-        return None
+        return WarmResolution(None, 0, 0)
     m = sf.num_rows
     position = {label: j for j, label in enumerate(labels)}
     chosen: list[int] = []
     seen: set[int] = set()
+    stale = 0
     for label in warm_labels:
         j = position.get(label)
-        if j is not None and j not in seen:
+        if j is None:
+            stale += 1
+        elif j not in seen:
             chosen.append(j)
             seen.add(j)
+    matched = len(chosen)
     if not chosen or len(chosen) > m:
-        return None
+        return WarmResolution(None, matched, stale)
     if len(chosen) < m:
         if sf.basis_hint is None:
-            return None
+            return WarmResolution(None, matched, stale)
         factored = _pivot_rows(
             sf.matrix().gather_dense(np.asarray(chosen, dtype=np.int64))
         )
         if factored is None:
-            return None
+            return WarmResolution(None, matched, stale)
         pivots, independent = factored
         if not independent.all():
             # Dependent matched columns (the new matrix lost the rows that
@@ -531,8 +787,8 @@ def resolve_warm_basis(
                 chosen.append(slack)
                 seen.add(slack)
     if len(chosen) != m:
-        return None
-    return np.asarray(chosen, dtype=np.int64)
+        return WarmResolution(None, matched, stale)
+    return WarmResolution(np.asarray(chosen, dtype=np.int64), matched, stale)
 
 
 def solve_lp_revised_simplex(
@@ -552,14 +808,29 @@ def solve_lp_revised_simplex(
     options = options or RevisedSimplexOptions()
     sf = to_standard_form(lp, sparse=options.sparse)
     labels = sf.column_labels(lp)
-    warm_basis = resolve_warm_basis(sf, labels, warm_start)
-    result = solve_standard_form_revised(sf, options, warm_basis=warm_basis)
+    resolution = resolve_warm_basis(sf, labels, warm_start)
+    result = solve_standard_form_revised(sf, options, warm_basis=resolution.basis)
+    diagnostics: dict | None = None
+    if warm_start is not None:
+        # A stale hint no longer degrades silently: the explicit cold-path
+        # mapping is recorded so callers (LPPacking diagnostics, benches)
+        # can count warm-start fallbacks.
+        diagnostics = {
+            "warm_labels": len(warm_start),
+            "warm_labels_matched": resolution.matched,
+            "warm_labels_stale": resolution.stale,
+            "warm_start_used": result.warm_used,
+            "cold_fallback": not result.warm_used,
+        }
     # Always report the representation-qualified name, so callers see which
     # path actually ran — also when "revised-simplex" let the heuristic pick.
     backend = "revised-simplex-sparse" if sf.is_sparse else "revised-simplex-dense"
     if result.status is not SolveStatus.OPTIMAL:
         return LPSolution(
-            status=result.status, iterations=result.iterations, backend=backend
+            status=result.status,
+            iterations=result.iterations,
+            backend=backend,
+            diagnostics=diagnostics,
         )
     x = sf.recover_x(result.y)
     objective = sf.recover_objective(result.objective)
@@ -575,4 +846,5 @@ def solve_lp_revised_simplex(
         iterations=result.iterations,
         backend=backend,
         basis_labels=basis_labels,
+        diagnostics=diagnostics,
     )

@@ -69,6 +69,9 @@ class _TableauResult:
     iterations: int
     #: Basic column indices at termination (revised backends only).
     basis: np.ndarray | None = None
+    #: Whether a caller-supplied warm basis actually started the solve
+    #: (revised backends; False also when the warm repair was abandoned).
+    warm_used: bool = False
 
 
 def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:

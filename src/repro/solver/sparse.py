@@ -64,8 +64,17 @@ class CSCMatrix:
         rows: np.ndarray,
         cols: np.ndarray,
         vals: np.ndarray,
+        *,
+        presorted: bool = False,
     ) -> "CSCMatrix":
-        """Build from COO triplets; duplicate ``(row, col)`` entries are summed."""
+        """Build from COO triplets; duplicate ``(row, col)`` entries are summed.
+
+        ``presorted=True`` asserts the triplets are already in ``(col, row)``
+        lexicographic order and skips the lexsort — the caller's contract
+        (e.g. :func:`~repro.solver.standard_form.to_standard_form` reusing a
+        cached sort order); duplicates must then be adjacent, which sorted
+        order guarantees.
+        """
         m, n = shape
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
@@ -73,8 +82,9 @@ class CSCMatrix:
         if rows.size == 0:
             return cls((m, n), np.zeros(n + 1, dtype=np.int64),
                        np.empty(0, dtype=np.int64), np.empty(0))
-        order = np.lexsort((rows, cols))
-        rows, cols, vals = rows[order], cols[order], vals[order]
+        if not presorted:
+            order = np.lexsort((rows, cols))
+            rows, cols, vals = rows[order], cols[order], vals[order]
         # Collapse duplicates: boundaries of (col, row) runs.
         new_run = np.empty(rows.size, dtype=bool)
         new_run[0] = True
@@ -138,6 +148,29 @@ class CSCMatrix:
             out[rows, k] = vals
         return out
 
+    def gather_csc(
+        self, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSC arrays ``(indptr, indices, data)`` of the selected columns.
+
+        The O(nnz-of-selection) sparse sibling of :meth:`gather_dense`,
+        sized for handing a 4200-column basis matrix to a sparse LU without
+        ever materializing the ``m x m`` dense form.
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        starts = self.indptr[cols]
+        counts = self.indptr[cols + 1] - starts
+        indptr = np.zeros(cols.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        # Entry t of the output comes from self position
+        # starts[k] + (t - indptr[k]) for its column k — one vectorized
+        # gather over all selected columns.
+        positions = np.repeat(starts - indptr[:-1], counts) + np.arange(
+            total, dtype=np.int64
+        )
+        return indptr, self.indices[positions], self.data[positions]
+
     def with_identity(self) -> "CSCMatrix":
         """``[A | I_m]`` — the phase-1 extension with artificial columns."""
         m, n = self.shape
@@ -197,6 +230,16 @@ class DenseMatrix:
 
     def gather_dense(self, cols: np.ndarray) -> np.ndarray:
         return self.a[:, np.asarray(cols, dtype=np.int64)]
+
+    def gather_csc(
+        self, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        dense = self.gather_dense(cols)
+        nz_col, nz_row = np.nonzero(dense.T)  # transpose: column-major walk
+        indptr = np.zeros(dense.shape[1] + 1, dtype=np.int64)
+        np.add.at(indptr, nz_col + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return indptr, nz_row.astype(np.int64), dense[nz_row, nz_col]
 
     def with_identity(self) -> "DenseMatrix":
         return DenseMatrix(np.hstack([self.a, np.eye(self.shape[0])]))

@@ -98,6 +98,10 @@ class StandardForm:
     #: structural column it bounds — so ub-slack labels can name the bounded
     #: *variable* instead of a row position that shifts between re-builds.
     ub_columns: np.ndarray | None = None
+    #: Per row, +1/-1 for whether the conversion flipped its sign to make
+    #: ``b`` nonnegative.  The incremental RHS patch path may update ``b``
+    #: in place only for unflipped rows (a flip changes matrix signs too).
+    row_signs: np.ndarray | None = None
     _shape: tuple[int, int] = field(default=(0, 0))
 
     def __post_init__(self) -> None:
@@ -278,21 +282,12 @@ def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> Standa
     b_rows = rhs - rhs_shift
 
     keep = col_of[coo_cols] >= 0
-    entry_rows = [coo_rows[keep]]
-    entry_cols = [col_of[coo_cols[keep]]]
-    entry_vals = [coo_vals[keep] * var_sign[coo_cols[keep]]]
     is_free = neg_col_of[coo_cols] >= 0
-    if is_free.any():
-        entry_rows.append(coo_rows[is_free])
-        entry_cols.append(neg_col_of[coo_cols[is_free]])
-        entry_vals.append(-coo_vals[is_free])
+    free_any = bool(is_free.any())
 
     # Extra rows for two-sided bounds:  y_col <= upper - lower.
     num_ub = len(ub_cols)
     if num_ub:
-        entry_rows.append(np.arange(num_lp_rows, num_lp_rows + num_ub, dtype=np.int64))
-        entry_cols.append(np.array(ub_cols, dtype=np.int64))
-        entry_vals.append(np.ones(num_ub))
         senses = np.concatenate([senses, np.ones(num_ub, dtype=np.int64)])
         b_rows = np.concatenate([b_rows, np.array(ub_rhs)])
 
@@ -301,6 +296,37 @@ def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> Standa
     ineq = np.flatnonzero(senses != 0)
     num_slacks = ineq.size
     n = num_structural + num_slacks
+    if sparse is None:
+        sparse = prefer_sparse(m, n)
+
+    # The CSC build wants triplets in (col, row) order.  When the program
+    # has no free splits and no bound rows, the standard-form entries
+    # inherit the LP triplets' own (col, row) order (``col_of`` is monotone
+    # over kept variables, slack entries append with ascending fresh
+    # columns), so a sort order cached on the LP — shared across
+    # branch-and-bound nodes, cached-LP re-solves and patched re-solves —
+    # replaces the per-call O(nnz log nnz) lexsort.
+    presorted = bool(sparse and not free_any and num_ub == 0 and coo_rows.size)
+    if presorted:
+        order = lp._coo_order
+        if order is None or order.size != coo_rows.size:
+            order = np.lexsort((coo_rows, coo_cols))
+            lp._coo_order = order
+        lp_positions = order[keep[order]]
+    else:
+        lp_positions = np.flatnonzero(keep)
+
+    entry_rows = [coo_rows[lp_positions]]
+    entry_cols = [col_of[coo_cols[lp_positions]]]
+    entry_vals = [coo_vals[lp_positions] * var_sign[coo_cols[lp_positions]]]
+    if free_any:
+        entry_rows.append(coo_rows[is_free])
+        entry_cols.append(neg_col_of[coo_cols[is_free]])
+        entry_vals.append(-coo_vals[is_free])
+    if num_ub:
+        entry_rows.append(np.arange(num_lp_rows, num_lp_rows + num_ub, dtype=np.int64))
+        entry_cols.append(np.array(ub_cols, dtype=np.int64))
+        entry_vals.append(np.ones(num_ub))
     if num_slacks:
         entry_rows.append(ineq)
         entry_cols.append(np.arange(num_structural, n, dtype=np.int64))
@@ -326,10 +352,10 @@ def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> Standa
     c = np.zeros(n, dtype=float)
     c[:num_structural] = columns_c
 
-    if sparse is None:
-        sparse = prefer_sparse(m, n)
     if sparse:
-        a_csc = CSCMatrix.from_coo((m, n), rows_all, cols_all, vals_all)
+        a_csc = CSCMatrix.from_coo(
+            (m, n), rows_all, cols_all, vals_all, presorted=presorted
+        )
         a_dense = None
     else:
         a_csc = None
@@ -351,4 +377,5 @@ def to_standard_form(lp: LinearProgram, *, sparse: bool | None = None) -> Standa
         basis_hint=basis_hint,
         slack_rows=ineq,
         ub_columns=np.asarray(ub_cols, dtype=np.int64),
+        row_signs=row_sign,
     )

@@ -1,4 +1,4 @@
-"""Per-rule fixtures for ``igepa lint`` (IGP001-IGP008).
+"""Per-rule fixtures for ``igepa lint`` (IGP001-IGP009).
 
 Each rule gets at least one *bad* fixture (a minimal source snippet that
 must produce a finding with the rule's code) and one *good* fixture (the
@@ -333,6 +333,51 @@ class TestPublicApiAnnotations:
     def test_private_helpers_exempt(self):
         src = "def _helper(x):\n    return x\n"
         assert codes(src, self.API) == []
+
+
+class TestLPRebuild:
+    TICK = "src/repro/service/engine.py"
+
+    def test_from_scratch_build_in_tick_loop_flagged(self):
+        src = (
+            "def resolve(instance):\n"
+            "    benchmark = build_benchmark_lp(instance)\n"
+            "    return benchmark\n"
+        )
+        assert "IGP009" in codes(src, self.TICK)
+
+    def test_attribute_call_form_flagged(self):
+        src = (
+            "def resolve(instance):\n"
+            "    return lp_formulation.build_benchmark_lp(instance)\n"
+        )
+        assert "IGP009" in codes(src, self.TICK)
+
+    def test_all_tick_loop_modules_covered(self):
+        src = "def f(i):\n    return build_benchmark_lp(i)\n"
+        for module in (
+            "src/repro/service/engine.py",
+            "src/repro/service/loop.py",
+            "src/repro/experiments/simulate.py",
+            "src/repro/experiments/replay.py",
+        ):
+            assert "IGP009" in codes(src, module)
+
+    def test_ignore_marker_sanctions_baseline(self):
+        # A measured from-scratch baseline (e.g. lp_resolve_comparison's
+        # warm side) opts out explicitly.
+        src = (
+            "def baseline(instance):\n"
+            "    return build_benchmark_lp(  # igepa: ignore[IGP009]\n"
+            "        instance\n"
+            "    )\n"
+        )
+        assert codes(src, self.TICK) == []
+
+    def test_other_modules_unscoped(self):
+        src = "def f(i):\n    return build_benchmark_lp(i)\n"
+        assert codes(src, "src/repro/core/lp_packing.py") == []
+        assert codes(src, COLD) == []
 
 
 class TestSuppressions:

@@ -1,0 +1,132 @@
+"""Dual simplex: warm re-solves after RHS moves, without phase 1.
+
+The incremental solver dispatches RHS-only patches to
+:meth:`_RevisedCore.run_dual`: the pre-patch optimal basis is dual
+feasible by construction, so restoring primal feasibility is a pure dual
+pivot sequence — no phase-1 restart, no refactorization.  These tests pin
+the dispatch (``mode == "rhs_dual"``), the optimum against a from-scratch
+solve, and the dual loop's own contracts (zero pivots when the basis
+stays feasible, a Farkas exit on unsatisfiable rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver.api import solve_lp
+from repro.solver.patch import IncrementalLPSolver, LPPatch
+from repro.solver.problem import LinearProgram, Sense
+from repro.solver.result import SolveStatus
+from repro.solver.revised_simplex import RevisedSimplexOptions, _RevisedCore
+from repro.solver.standard_form import to_standard_form
+
+
+def _packing_lp() -> LinearProgram:
+    lp = LinearProgram(name="packing", maximize=True)
+    x1 = lp.add_variable("x1", objective=3.0)
+    x2 = lp.add_variable("x2", objective=2.0)
+    x3 = lp.add_variable("x3", objective=1.0)
+    lp.add_constraint({x1: 1.0, x2: 1.0}, Sense.LE, 4.0, name="r1")
+    lp.add_constraint({x2: 1.0, x3: 1.0}, Sense.LE, 3.0, name="r2")
+    lp.add_constraint({x1: 1.0, x3: 1.0}, Sense.LE, 5.0, name="r3")
+    return lp
+
+
+def test_rhs_tightening_rides_dual_path():
+    lp = _packing_lp()
+    solver = IncrementalLPSolver(lp)
+    first = solver.solve()
+    assert first.status is SolveStatus.OPTIMAL
+
+    solver.apply_patch(LPPatch(set_rhs=(("r1", 1.0), ("r2", 1.0))))
+    patched = solver.solve()
+    assert patched.status is SolveStatus.OPTIMAL
+    diagnostics = patched.diagnostics
+    assert diagnostics["mode"] == "rhs_dual"
+    assert diagnostics["dual_pivots"] >= 1
+    assert diagnostics["primal_pivots"] == 0
+    assert not diagnostics["phase1"]
+    assert diagnostics["refactorizations"] == 0
+
+    reference = solve_lp(lp, backend="revised-simplex")
+    assert patched.objective_value == pytest.approx(
+        reference.objective_value, abs=1e-9
+    )
+
+
+def test_rhs_loosening_stays_dual_and_matches():
+    lp = _packing_lp()
+    solver = IncrementalLPSolver(lp)
+    assert solver.solve().status is SolveStatus.OPTIMAL
+
+    solver.apply_patch(LPPatch(set_rhs=(("r1", 6.0), ("r2", 6.0), ("r3", 8.0))))
+    patched = solver.solve()
+    assert patched.status is SolveStatus.OPTIMAL
+    assert patched.diagnostics["mode"] == "rhs_dual"
+    assert not patched.diagnostics["phase1"]
+    assert patched.diagnostics["refactorizations"] == 0
+    reference = solve_lp(lp, backend="revised-simplex")
+    assert patched.objective_value == pytest.approx(
+        reference.objective_value, abs=1e-9
+    )
+
+
+def test_unchanged_rhs_reuses_basis_with_zero_pivots():
+    # Re-asserting the active values is an RHS patch whose new b leaves the
+    # optimal basis primal feasible: the dual loop must exit immediately.
+    lp = _packing_lp()
+    solver = IncrementalLPSolver(lp)
+    first = solver.solve()
+    assert first.status is SolveStatus.OPTIMAL
+
+    solver.apply_patch(
+        LPPatch(set_rhs=(("r1", 4.0), ("r2", 3.0), ("r3", 5.0)))
+    )
+    patched = solver.solve()
+    assert patched.status is SolveStatus.OPTIMAL
+    assert patched.diagnostics["mode"] == "rhs_dual"
+    assert patched.diagnostics["dual_pivots"] == 0
+    assert patched.objective_value == pytest.approx(
+        first.objective_value, abs=1e-9
+    )
+
+
+def test_degenerate_rhs_collapse_terminates_optimal():
+    # Collapsing every per-variable row to zero makes all the dual ratios
+    # degenerate candidates; the loop must still terminate at the (all-zero)
+    # optimum — the anti-cycling ratchet's job.
+    lp = LinearProgram(name="deg", maximize=True)
+    variables = [lp.add_variable(f"y{i}", objective=1.0) for i in range(3)]
+    for i, v in enumerate(variables):
+        lp.add_constraint({v: 1.0}, Sense.LE, 1.0, name=f"row{i}")
+    lp.add_constraint(dict.fromkeys(variables, 1.0), Sense.LE, 3.0, name="total")
+    solver = IncrementalLPSolver(lp)
+    assert solver.solve().objective_value == pytest.approx(3.0)
+
+    solver.apply_patch(
+        LPPatch(set_rhs=tuple((f"row{i}", 0.0) for i in range(3)))
+    )
+    patched = solver.solve()
+    assert patched.status is SolveStatus.OPTIMAL
+    assert patched.diagnostics["mode"] == "rhs_dual"
+    assert not patched.diagnostics["phase1"]
+    assert patched.objective_value == pytest.approx(0.0, abs=1e-9)
+
+
+def test_run_dual_returns_farkas_infeasible():
+    # A row with only nonnegative coefficients and a negative rhs is a
+    # Farkas certificate: pricing it finds no negative entry and the dual
+    # loop must report INFEASIBLE instead of looping.
+    lp = LinearProgram(name="infeasible", maximize=False)
+    a = lp.add_variable("a", objective=1.0)
+    b = lp.add_variable("b", objective=1.0)
+    lp.add_constraint({a: 1.0, b: 1.0}, Sense.LE, 1.0, name="row")
+    sf = to_standard_form(lp)
+    core = _RevisedCore(sf.matrix(), sf.b.copy(), RevisedSimplexOptions())
+    core.set_basis(sf.basis_hint, identity=True)  # slack basis: dual feasible
+    core.b = np.array([-1.0])
+    core.x_basic = core._ftran(core.b)
+    status, pivots = core.run_dual(sf.c, sf.num_columns, 0, 100)
+    assert status is SolveStatus.INFEASIBLE
+    assert pivots == 0

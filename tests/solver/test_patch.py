@@ -1,0 +1,234 @@
+"""LP patches: swap-with-last journals, COO cache integrity, dispatch.
+
+:func:`apply_lp_patch` edits a :class:`LinearProgram` in place — removals
+swap with the last element, additions append — and keeps the primed COO
+triplet cache in sync, so ``to_standard_form`` after a patch must agree
+coefficient for coefficient with a program rebuilt from the patched row
+dicts.  :class:`IncrementalLPSolver` then dispatches on the patch shape;
+the mode strings are pinned here (the dual path has its own suite in
+``test_dual_simplex.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver.api import solve_lp
+from repro.solver.patch import (
+    IncrementalLPSolver,
+    LPPatch,
+    PatchConstraint,
+    PatchError,
+    PatchVariable,
+    apply_lp_patch,
+)
+from repro.solver.problem import LinearProgram, Sense
+from repro.solver.result import SolveStatus
+from repro.solver.standard_form import to_standard_form
+
+
+def _lp() -> LinearProgram:
+    lp = LinearProgram(name="patchable", maximize=True)
+    a = lp.add_variable("a", objective=3.0)
+    b = lp.add_variable("b", objective=2.0)
+    c = lp.add_variable("c", objective=1.0)
+    d = lp.add_variable("d", objective=4.0)
+    lp.add_constraint({a: 1.0, b: 1.0}, Sense.LE, 4.0, name="r1")
+    lp.add_constraint({b: 1.0, c: 1.0, d: 1.0}, Sense.LE, 3.0, name="r2")
+    lp.add_constraint({a: 1.0, d: 2.0}, Sense.LE, 5.0, name="r3")
+    return lp
+
+
+def _clone_from_rows(lp: LinearProgram) -> LinearProgram:
+    """Rebuild an identical program by re-walking the patched dicts —
+    the ground truth the COO cache must match."""
+    clone = LinearProgram(name="clone", maximize=lp.maximize)
+    for variable in lp.variables:
+        clone.add_variable(
+            variable.name,
+            lower=variable.lower,
+            upper=variable.upper,
+            objective=variable.objective,
+            is_integer=variable.is_integer,
+        )
+    for constraint in lp.constraints:
+        clone.add_constraint(
+            dict(constraint.coefficients),
+            constraint.sense,
+            constraint.rhs,
+            name=constraint.name,
+        )
+    return clone
+
+
+def _dense(lp: LinearProgram) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    sf = to_standard_form(lp)
+    matrix = sf.matrix().gather_dense(np.arange(sf.num_columns))
+    return matrix, sf.b.copy(), sf.c.copy()
+
+
+def test_remove_variable_swaps_with_last():
+    lp = _lp()
+    application = apply_lp_patch(lp, LPPatch(remove_variables=("b",)))
+    # 'd' (last) moved into 'b''s slot 1.
+    assert [v.name for v in lp.variables] == ["a", "d", "c"]
+    assert application.variable_moves == [(1, 3)]
+    assert application.variable_map.tolist() == [0, -1, 2, 1]
+    assert application.structural
+    # Rows reference the moved index, not the hole.
+    assert lp.constraints[2].coefficients == {0: 1.0, 1: 2.0}
+    # 'b' is gone from every row.
+    assert lp.constraints[0].coefficients == {0: 1.0}
+
+
+def test_remove_constraint_swaps_with_last():
+    lp = _lp()
+    application = apply_lp_patch(lp, LPPatch(remove_constraints=("r1",)))
+    assert [c.name for c in lp.constraints] == ["r3", "r2"]
+    assert application.constraint_moves == [(0, 2)]
+    assert application.constraint_map.tolist() == [-1, 1, 0]
+
+
+def test_add_variable_and_constraint_append():
+    lp = _lp()
+    application = apply_lp_patch(
+        lp,
+        LPPatch(
+            add_constraints=(PatchConstraint("r4", Sense.LE, 2.0),),
+            add_variables=(
+                PatchVariable(
+                    name="e",
+                    objective=6.0,
+                    coefficients=(("r1", 1.0), ("r4", 1.0)),
+                ),
+            ),
+        ),
+    )
+    assert application.added_variables == [4]
+    assert application.added_constraints == [3]
+    assert lp.variables[4].name == "e"
+    assert lp.constraints[3].coefficients == {4: 1.0}
+    assert lp.constraints[0].coefficients[4] == 1.0
+
+
+def test_rhs_and_objective_edits_are_non_structural():
+    lp = _lp()
+    application = apply_lp_patch(
+        lp, LPPatch(set_rhs=(("r2", 9.0),), set_objective=(("c", 7.0),))
+    )
+    assert not application.structural
+    assert not application.rhs_only
+    assert not application.objective_only
+    assert lp.constraints[1].rhs == 9.0
+    assert lp.variables[2].objective == 7.0
+    rhs_only = apply_lp_patch(lp, LPPatch(set_rhs=(("r1", 1.0),)))
+    assert rhs_only.rhs_only and not rhs_only.structural
+
+
+def test_unknown_names_raise_patch_error():
+    lp = _lp()
+    with pytest.raises(PatchError):
+        apply_lp_patch(lp, LPPatch(remove_variables=("zz",)))
+    with pytest.raises(PatchError):
+        apply_lp_patch(lp, LPPatch(set_rhs=(("nope", 1.0),)))
+    with pytest.raises(PatchError):
+        apply_lp_patch(
+            lp,
+            LPPatch(
+                add_variables=(
+                    PatchVariable(
+                        name="e", objective=0.0, coefficients=(("nope", 1.0),)
+                    ),
+                )
+            ),
+        )
+
+
+def test_coo_cache_matches_row_dicts_after_patches():
+    lp = _lp()
+    # Prime the COO cache the way the benchmark builder does.
+    sf0 = to_standard_form(lp)
+    assert sf0.num_columns > 0
+    apply_lp_patch(
+        lp,
+        LPPatch(
+            remove_variables=("b",),
+            remove_constraints=("r1",),
+            add_constraints=(PatchConstraint("r4", Sense.LE, 2.0),),
+            add_variables=(
+                PatchVariable(
+                    name="e",
+                    objective=6.0,
+                    coefficients=(("r2", 1.0), ("r4", 1.0)),
+                ),
+            ),
+            set_rhs=(("r3", 7.0),),
+            set_objective=(("a", 5.0),),
+        ),
+    )
+    matrix, b, c = _dense(lp)
+    clone_matrix, clone_b, clone_c = _dense(_clone_from_rows(lp))
+    np.testing.assert_array_equal(matrix, clone_matrix)
+    np.testing.assert_array_equal(b, clone_b)
+    np.testing.assert_array_equal(c, clone_c)
+
+
+def test_dispatch_modes_and_optima():
+    lp = _lp()
+    solver = IncrementalLPSolver(lp)
+    first = solver.solve()
+    assert first.status is SolveStatus.OPTIMAL
+    assert first.diagnostics["mode"] == "initial"
+
+    solver.apply_patch(LPPatch(set_objective=(("c", 10.0),)))
+    objective_only = solver.solve()
+    assert objective_only.diagnostics["mode"] == "objective_primal"
+    assert objective_only.diagnostics["refactorizations"] == 0
+    assert objective_only.objective_value == pytest.approx(
+        solve_lp(lp, backend="revised-simplex").objective_value, abs=1e-9
+    )
+
+    solver.apply_patch(
+        LPPatch(
+            add_variables=(
+                PatchVariable(
+                    name="e",
+                    objective=9.0,
+                    coefficients=(("r1", 1.0), ("r2", 1.0)),
+                ),
+            )
+        )
+    )
+    structural = solver.solve()
+    assert structural.diagnostics["mode"] == "structural_warm"
+    assert not structural.diagnostics["phase1"]
+    assert structural.objective_value == pytest.approx(
+        solve_lp(lp, backend="revised-simplex").objective_value, abs=1e-9
+    )
+
+    # Mixed rhs+objective: non-structural, but not a single-shape fast path
+    # either — re-runs primal from the kept basis without a rebuild.
+    solver.apply_patch(
+        LPPatch(set_rhs=(("r3", 2.0),), set_objective=(("a", 1.0),))
+    )
+    mixed = solver.solve()
+    assert mixed.diagnostics["mode"].startswith("structural")
+    assert mixed.objective_value == pytest.approx(
+        solve_lp(lp, backend="revised-simplex").objective_value, abs=1e-9
+    )
+
+
+def test_eager_patch_then_solve_keeps_fast_dispatch():
+    # apply_patch called eagerly (for the move journal) must not forfeit
+    # the RHS fast path at the next solve().
+    lp = _lp()
+    solver = IncrementalLPSolver(lp)
+    assert solver.solve().status is SolveStatus.OPTIMAL
+    application = solver.apply_patch(LPPatch(set_rhs=(("r1", 1.0),)))
+    assert application.rhs_only
+    patched = solver.solve()
+    assert patched.diagnostics["mode"] == "rhs_dual"
+    assert patched.objective_value == pytest.approx(
+        solve_lp(lp, backend="revised-simplex").objective_value, abs=1e-9
+    )
