@@ -37,7 +37,6 @@ as-is, no phase 1, zero refactorizations.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -54,6 +53,7 @@ from repro.datagen import (
     generate_churn_trace,
     generate_synthetic,
 )
+from repro.experiments.persistence import write_bench_artifact
 from repro.experiments.replay import lp_resolve_comparison, replay_trace
 from repro.model.delta import Delta
 
@@ -242,8 +242,9 @@ def main() -> None:
     )
     args = parser.parse_args()
     report = run_bench(seed=args.seed, quick=args.quick, min_speedup=args.min_speedup)
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_artifact(
+        "bench_churn", report, report.pop("instances"), path=args.out
+    )
     print(f"[written to {args.out}]")
 
 

@@ -38,7 +38,6 @@ Hard gates, independent of machine speed:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -52,6 +51,7 @@ from repro.datagen import (
     generate_churn_trace,
     generate_synthetic,
 )
+from repro.experiments.persistence import write_bench_artifact
 from repro.experiments.simulate import PeriodicDefrag, simulate
 
 MIN_RETENTION = 0.95
@@ -188,8 +188,7 @@ def main() -> None:
     report = run_bench(
         seed=args.seed, quick=args.quick, min_retention=args.min_retention
     )
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_artifact("bench_dynamic", report, path=args.out)
     print(f"[written to {args.out}]")
 
 

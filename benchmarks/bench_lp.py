@@ -22,7 +22,6 @@ least 5x faster than the dense tableau backend.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
@@ -34,6 +33,7 @@ import numpy as np
 
 from repro.core.lp_formulation import build_benchmark_lp
 from repro.datagen import SyntheticConfig, generate_synthetic
+from repro.experiments.persistence import write_bench_artifact
 from repro.solver import LinearProgram, Sense, scipy_available, solve_lp
 
 #: Backends timed on every instance.  ``simplex`` is the dense tableau — the
@@ -176,8 +176,9 @@ def main() -> None:
     )
     args = parser.parse_args()
     report = run_bench(seed=args.seed, quick=args.quick, min_speedup=args.min_speedup)
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_artifact(
+        "bench_lp", report, report.pop("instances"), path=args.out
+    )
     print(f"[written to {args.out}]")
 
 

@@ -42,7 +42,6 @@ Machine-speed floors (full mode, |U| = 20000 with burst clumps):
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -57,6 +56,7 @@ from repro.datagen import (
     generate_synthetic,
 )
 from repro.datagen.churn import generate_request_trace
+from repro.experiments.persistence import write_bench_artifact
 from repro.service import (
     AdmitAll,
     DeadlineQueue,
@@ -258,8 +258,7 @@ def main() -> None:
         max_queued_p99=args.max_queued_p99,
         min_throughput=args.min_throughput,
     )
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_artifact("bench_serve", report, path=args.out)
     print(f"[written to {args.out}]")
 
 

@@ -73,6 +73,7 @@ from repro.datagen import (
     generate_synthetic,
     generate_synthetic_stream,
 )
+from repro.experiments.persistence import write_bench_artifact
 from repro.experiments.replay import replay_trace
 from repro.model import (
     Delta,
@@ -619,6 +620,8 @@ def main() -> None:
     args = parser.parse_args()
     if args.columnar_child:
         row = _columnar_gate_impl(args.seed)
+        # Parent-child IPC over a temp file, not a persisted artifact —
+        # the parent inlines this row into the enveloped report below.
         args.out.write_text(json.dumps(row) + "\n")
         return
     report = run_bench(
@@ -628,8 +631,7 @@ def main() -> None:
         skip_parallel=args.skip_parallel,
         skip_columnar=args.skip_columnar,
     )
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_bench_artifact("bench_shard", report, path=args.out)
     print(f"[written to {args.out}]")
 
 

@@ -18,7 +18,6 @@ or through pytest-benchmark with the rest of the bench suite::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -26,7 +25,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.datagen import SyntheticConfig, generate_synthetic
-from repro.experiments import default_algorithms
+from repro.experiments import default_algorithms, write_bench_artifact
 
 DEFAULT_SIZES = (200, 500)
 
@@ -85,8 +84,9 @@ def main() -> None:
     args = parser.parse_args()
     report = run_smoke(sizes=tuple(args.sizes), seed=args.seed)
     if args.out is not None:
-        args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        write_bench_artifact(
+            "bench_smoke", report, report.pop("runs"), path=args.out
+        )
         print(f"[written to {args.out}]")
 
 

@@ -1,4 +1,4 @@
-"""The repo-specific rules behind ``igepa lint`` (IGP001-IGP009).
+"""The repo-specific rules behind ``igepa lint`` (IGP001-IGP010).
 
 Each rule encodes one contract the array/columnar architecture depends on.
 Every finding carries a fix hint; sanctioned exceptions are marked per line
@@ -17,6 +17,8 @@ file-level escapes.
 | IGP007 | no wall-clock reads in deterministic logic                   |
 | IGP008 | public API functions must be fully type-annotated            |
 | IGP009 | no from-scratch benchmark-LP rebuilds in tick-loop modules   |
+| IGP010 | report/bench payloads serialize only through                 |
+|        | experiments/persistence.py                                   |
 +--------+--------------------------------------------------------------+
 """
 
@@ -1141,6 +1143,88 @@ class LPRebuildRule(Rule):
         return findings
 
 
+#: The one module allowed to serialize report/bench payloads.
+PERSISTENCE_MODULES = ("repro/experiments/persistence.py",)
+
+#: First-argument terminal names that mark a dumped object as a report
+#: payload.  Deliberately narrow — wire responses, lint output and
+#: instance files dump JSON too, and those are not report envelopes.
+_REPORTISH_MARKERS = ("report", "envelope")
+
+
+class RawReportDumpRule(Rule):
+    """IGP010: report/bench payloads serialize only through persistence.
+
+    A raw ``json.dump(report...)`` (or of any ``.to_dict()`` result)
+    outside :mod:`repro.experiments.persistence` writes an artifact with
+    no version tag, no registered ``kind`` and no provenance block — the
+    history store (:mod:`repro.metrics`) cannot key it to a commit, and
+    :func:`~repro.experiments.persistence.load_report` rejects it.  Every
+    report/bench writer goes through :func:`~repro.experiments.persistence.save_report`
+    or :func:`~repro.experiments.persistence.write_bench_artifact`;
+    non-report JSON (wire responses, instance files, tool output) is out
+    of scope, and genuinely internal dumps (parent-child IPC) are
+    sanctioned per line.
+    """
+
+    code = "IGP010"
+    name = "raw-report-dump"
+    hint = (
+        "write through repro.experiments.persistence (save_report for "
+        "report objects, write_bench_artifact for BENCH_*.json) so the "
+        "payload carries the envelope + provenance; mark an internal "
+        "non-artifact dump with '# igepa: ignore[IGP010]'"
+    )
+    module_suffixes = None
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.matches_module(PERSISTENCE_MODULES):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = dotted_name(node.func)
+            if func not in {"json.dump", "json.dumps"}:
+                continue
+            what = self._report_payload(node.args[0])
+            if what:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"raw {func}() of report payload {what} bypasses "
+                        "the persistence envelope",
+                    )
+                )
+        return findings
+
+    def _report_payload(self, arg: ast.AST) -> str | None:
+        """A description of the report-like payload, or None.
+
+        Over-approximation is the wrong failure mode here (instance files
+        and JSONL store rows also call ``to_dict``), so both branches
+        require a report-ish *name*: the dumped variable's, or the
+        ``to_dict`` receiver's.
+        """
+        if isinstance(arg, ast.Call) and terminal_name(arg.func) == "to_dict":
+            if isinstance(arg.func, ast.Attribute) and self._reportish(
+                terminal_name(arg.func.value)
+            ):
+                return f"'{dotted_name(arg.func.value)}.to_dict()'"
+            return None
+        name = terminal_name(arg)
+        if self._reportish(name):
+            return f"'{dotted_name(arg) or name}'"
+        return None
+
+    @staticmethod
+    def _reportish(name: str | None) -> bool:
+        return name is not None and any(
+            marker in name.lower() for marker in _REPORTISH_MARKERS
+        )
+
+
 #: Registry, in code order.  ``igepa lint --list-rules`` prints this.
 ALL_RULES: tuple[type[Rule], ...] = (
     HotPathLoopRule,
@@ -1152,4 +1236,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     PublicApiAnnotationRule,
     LPRebuildRule,
+    RawReportDumpRule,
 )

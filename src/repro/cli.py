@@ -14,7 +14,10 @@ Subcommands:
   serving loop with micro-batching, admission control and latency SLOs;
   replays a generated request trace, or JSON-lines requests from stdin.
 * ``lint`` — the AST-based invariant checker guarding the array/columnar
-  contracts (codes IGP001-IGP008; see ``repro.analysis_tools``).
+  contracts (codes IGP001-IGP010; see ``repro.analysis_tools``).
+* ``metrics`` — the perf-trajectory pipeline: ingest report artifacts
+  into the cross-run JSONL history, render trend reports, and gate CI on
+  regression rules (see ``repro.metrics``).
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.experiments.simulate import (
     format_simulation_table,
     simulate,
 )
+from repro.metrics.cli import add_metrics_parser
 from repro.model.instance import IGEPAInstance
 
 ALGORITHMS = {
@@ -157,8 +161,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if args.check_parity:
         print(f"index parity (bit-identical): {report.all_parity}")
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
+        from repro.experiments.persistence import save_report
+
+        save_report(report, args.out)
         print(f"report written to {args.out}")
     # A failed parity check must fail the command, not just print False.
     return 0 if (not args.check_parity or report.all_parity) else 1
@@ -218,8 +223,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.check_parity:
         print(f"index parity (bit-identical): {report.all_parity}")
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
+        from repro.experiments.persistence import save_report
+
+        save_report(report, args.out)
         print(f"report written to {args.out}")
     # A failed parity check must fail the command, not just print False.
     return 0 if (not args.check_parity or report.all_parity) else 1
@@ -249,7 +255,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Lazy: the service stack (asyncio loop, wire format) is only needed
     # here.
     from repro.datagen.churn import generate_request_trace
-    from repro.experiments.persistence import save_serve_report
+    from repro.experiments.persistence import save_report
     from repro.experiments.reporting import format_serve_table
     from repro.service import ServiceConfig, TickEngine, VirtualClock, serve_requests
     from repro.service.wire import request_from_dict, response_to_dict
@@ -326,7 +332,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.check_parity:
         print(f"index parity (bit-identical): {report.all_parity}")
     if args.out:
-        save_serve_report(report, args.out)
+        save_report(report, args.out)
         print(f"report written to {args.out}")
     if not report.all_feasible:
         return 1
@@ -754,7 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help=(
             "check the source tree against the array/columnar contracts "
-            "(IGP001-IGP008)"
+            "(IGP001-IGP010)"
         ),
     )
     sub.add_argument(
@@ -777,6 +783,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list rules and exit"
     )
     sub.set_defaults(func=_cmd_lint)
+
+    add_metrics_parser(subparsers)
 
     return parser
 

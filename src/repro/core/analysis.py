@@ -7,6 +7,7 @@ Theorem 2 empirically: with ``α = 1/2``, ``E[ALG] ≥ (1/4)·LP* ≥ (1/4)·OPT
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -49,6 +50,9 @@ class RatioReport:
         ratio_vs_exact: ``mean_utility / exact_optimum`` when available.
     """
 
+    #: :class:`~repro.experiments.persistence.ReportEnvelope` discriminator.
+    envelope_kind: ClassVar[str] = "ratio"
+
     algorithm: str
     utilities: list[float]
     lp_bound: float
@@ -71,6 +75,26 @@ class RatioReport:
         if self.exact_optimum <= 0.0:
             return 1.0
         return self.mean_utility / self.exact_optimum
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot through the shared report envelope."""
+        # Deferred: repro.experiments imports repro.core back (the runner
+        # solves with core algorithms), so the envelope import stays local.
+        from repro.experiments.persistence import report_to_dict
+
+        return report_to_dict(
+            "ratio",
+            {
+                "algorithm": self.algorithm,
+                "utilities": list(self.utilities),
+                "lp_bound": self.lp_bound,
+                "exact_optimum": self.exact_optimum,
+                "mean_utility": self.mean_utility,
+                "ratio_vs_lp": self.ratio_vs_lp,
+                "ratio_vs_exact": self.ratio_vs_exact,
+            },
+            [],
+        )
 
 
 def empirical_approximation_ratio(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -121,6 +122,9 @@ class BatchRecord:
 @dataclass
 class ReplayReport:
     """All batch records of one replayed trace plus aggregate views."""
+
+    #: :class:`~repro.experiments.persistence.ReportEnvelope` discriminator.
+    envelope_kind: ClassVar[str] = "replay"
 
     algorithm: str
     initial_utility: float

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -154,6 +155,9 @@ class TickRecord:
 @dataclass
 class SimulationReport:
     """All tick records of one simulated trace plus aggregate views."""
+
+    #: :class:`~repro.experiments.persistence.ReportEnvelope` discriminator.
+    envelope_kind: ClassVar[str] = "simulation"
 
     online_algorithm: str
     oracle_algorithm: str

@@ -1,0 +1,50 @@
+"""Cross-run metrics: registry of extractors over report envelopes, the
+JSONL perf-history store, trend reports and the trajectory regression gate.
+
+Point bench gates (hard floors in ``benchmarks/``) catch cliffs on one
+commit; this package catches slopes across commits: every CI run's
+``BENCH_*.json`` and every nightly soak report distil — through the one
+:func:`repro.experiments.persistence.load_report` loader — into named
+metric samples keyed by git sha, and ``igepa metrics check`` fails the
+build when a series' trajectory slumps past its per-metric threshold.
+"""
+
+from repro.metrics.registry import (
+    METRICS,
+    Metric,
+    extract_metrics,
+    metrics_for_kind,
+    register_metric,
+)
+from repro.metrics.store import (
+    HistoryFrame,
+    HistoryStore,
+    Sample,
+    sample_from_payload,
+)
+from repro.metrics.trends import (
+    Finding,
+    detect_regressions,
+    format_trend_report,
+    relative_drop,
+    rolling_median,
+    sparkline,
+)
+
+__all__ = [
+    "METRICS",
+    "Metric",
+    "register_metric",
+    "metrics_for_kind",
+    "extract_metrics",
+    "Sample",
+    "sample_from_payload",
+    "HistoryFrame",
+    "HistoryStore",
+    "Finding",
+    "relative_drop",
+    "rolling_median",
+    "detect_regressions",
+    "sparkline",
+    "format_trend_report",
+]

@@ -1,0 +1,147 @@
+"""``igepa metrics`` — ingest artifacts, render trends, gate trajectories.
+
+Three subcommands over one JSONL history file (default
+``benchmarks/history/history.jsonl``):
+
+* ``ingest ARTIFACT...`` — load each report artifact through
+  :func:`repro.experiments.persistence.load_report`, extract every
+  registered metric, append deduped samples.
+* ``report`` — print the trend report (sparkline series table plus the
+  rule scoreboard).
+* ``check`` — run the regression detector; exit 1 when any rule trips.
+  This is the CI trajectory gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.metrics.registry import METRICS
+from repro.metrics.store import HistoryStore
+from repro.metrics.trends import detect_regressions, format_trend_report
+
+DEFAULT_HISTORY = "benchmarks/history/history.jsonl"
+
+
+def _store(args: argparse.Namespace) -> HistoryStore:
+    return HistoryStore(args.history)
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    store = _store(args)
+    appended, skipped = store.ingest(args.artifacts)
+    print(
+        f"ingested {appended} sample(s) into {store.path} "
+        f"({skipped} skipped: already recorded or no metrics)"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    frame = _store(args).load()
+    text = format_trend_report(
+        frame, window=args.window, recent=args.recent
+    )
+    print(text)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"trend report written to {args.out}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    frame = _store(args).load()
+    metrics = args.metrics.split(",") if args.metrics else None
+    if metrics:
+        unknown = sorted(set(metrics) - set(METRICS))
+        if unknown:
+            print(f"unknown metric(s): {', '.join(unknown)}")
+            return 2
+    findings = detect_regressions(
+        frame, window=args.window, recent=args.recent, metrics=metrics
+    )
+    for finding in findings:
+        print(finding.format())
+    regressed = [f for f in findings if f.regressed]
+    if regressed:
+        print(
+            f"\nFAIL: {len(regressed)} trajectory rule(s) tripped across "
+            f"{len({f.metric for f in regressed})} metric(s) "
+            f"over {len(frame)} samples"
+        )
+        return 1
+    print(
+        f"\nOK: no trajectory regressions across {len(findings)} rule "
+        f"evaluation(s) over {len(frame)} samples"
+    )
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in METRICS)
+    for name in sorted(METRICS):
+        metric = METRICS[name]
+        arrow = "↑" if metric.direction == "up" else "↓"
+        print(
+            f"{name:<{width}}  {arrow} limit={metric.max_relative_drop:.0%} "
+            f"[{metric.unit}] kinds: {', '.join(metric.kinds)}"
+        )
+        print(f"{'':<{width}}  {metric.description}")
+    return 0
+
+
+def add_metrics_parser(subparsers) -> None:
+    """Attach the ``metrics`` subcommand tree to the igepa CLI."""
+    sub = subparsers.add_parser(
+        "metrics",
+        help=(
+            "perf trajectory: ingest report artifacts into the cross-run "
+            "history, render trends, gate on regressions"
+        ),
+    )
+    nested = sub.add_subparsers(dest="metrics_command", required=True)
+
+    ingest = nested.add_parser(
+        "ingest", help="extract metrics from artifacts into the history"
+    )
+    ingest.add_argument(
+        "artifacts", nargs="+", help="report/bench JSON files to ingest"
+    )
+    ingest.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        help=f"JSONL history file (default: {DEFAULT_HISTORY})",
+    )
+    ingest.set_defaults(func=cmd_ingest)
+
+    report = nested.add_parser("report", help="print the trend report")
+    report.add_argument("--history", default=DEFAULT_HISTORY)
+    report.add_argument(
+        "--window", type=int, default=5, help="baseline window (runs)"
+    )
+    report.add_argument(
+        "--recent", type=int, default=3, help="rolling-median recent width"
+    )
+    report.add_argument("--out", help="also write the report to this file")
+    report.set_defaults(func=cmd_report)
+
+    check = nested.add_parser(
+        "check", help="regression gate: exit 1 on a trajectory slump"
+    )
+    check.add_argument("--history", default=DEFAULT_HISTORY)
+    check.add_argument(
+        "--window", type=int, default=5, help="baseline window (runs)"
+    )
+    check.add_argument(
+        "--recent", type=int, default=3, help="rolling-median recent width"
+    )
+    check.add_argument(
+        "--metrics",
+        help="comma-separated metric names to check (default: all present)",
+    )
+    check.set_defaults(func=cmd_check)
+
+    listing = nested.add_parser("list", help="list registered metrics")
+    listing.set_defaults(func=cmd_list)

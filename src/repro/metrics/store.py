@@ -1,0 +1,203 @@
+"""Cross-run metric history: append-only JSONL plus an in-memory frame.
+
+Each line of the history file is one **sample** — every metric one report
+envelope yielded on one run, keyed by the run's provenance:
+
+.. code-block:: json
+
+    {"sha": "abc123", "timestamp_utc": "2026-08-08T00:00:00+00:00",
+     "host": "runner-3", "kind": "bench_churn", "source": "BENCH_churn.json",
+     "metrics": {"churn_speedup": 12.4, "utility_retention": 0.97}}
+
+Append-only JSONL keeps the store git-mergeable (CI appends a line per
+artifact per run; conflicts never rewrite history) and ingestion
+idempotent: re-ingesting the artifacts of an already-recorded commit is a
+no-op because samples dedupe on ``(sha, kind)``.  Within one key the last
+line wins on load, so a force-pushed sha's corrected numbers supersede
+without rewriting the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from repro.experiments.persistence import load_report
+from repro.metrics.registry import extract_metrics
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One run's metric values for one envelope kind."""
+
+    sha: str
+    timestamp_utc: str
+    kind: str
+    metrics: Mapping[str, float]
+    host: str = "unknown"
+    source: str = ""
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Dedupe key: one sample per (commit, envelope kind)."""
+        return (self.sha, self.kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "sha": self.sha,
+            "timestamp_utc": self.timestamp_utc,
+            "host": self.host,
+            "kind": self.kind,
+            "source": self.source,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, row: Mapping) -> "Sample":
+        metrics = row.get("metrics")
+        if not isinstance(metrics, Mapping):
+            raise ValueError("history row has no metrics mapping")
+        return cls(
+            sha=str(row.get("sha", "unknown")),
+            timestamp_utc=str(row.get("timestamp_utc", "")),
+            host=str(row.get("host", "unknown")),
+            kind=str(row.get("kind", "unknown")),
+            source=str(row.get("source", "")),
+            metrics={str(k): float(v) for k, v in metrics.items()},
+        )
+
+
+def sample_from_payload(payload: Mapping, *, source: str = "") -> Sample | None:
+    """Distil one report envelope into a :class:`Sample`.
+
+    Provenance (sha/timestamp/host) comes from the payload's own
+    ``provenance`` block; version-1 archives without one record as
+    ``unknown``.  Returns None when no registered metric applies — such
+    artifacts carry nothing to trend.
+    """
+    metrics = extract_metrics(payload)
+    if not metrics:
+        return None
+    provenance = payload.get("provenance")
+    if not isinstance(provenance, Mapping):
+        provenance = {}
+    return Sample(
+        sha=str(provenance.get("git_sha", "unknown")),
+        timestamp_utc=str(provenance.get("timestamp_utc", "")),
+        host=str(provenance.get("host", "unknown")),
+        kind=str(payload.get("kind", "unknown")),
+        source=source,
+        metrics=metrics,
+    )
+
+
+@dataclass
+class HistoryFrame:
+    """The loaded history: deduped samples in chronological order."""
+
+    samples: list[Sample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Mapping]) -> "HistoryFrame":
+        """Dedupe on (sha, kind) — later lines win — then order by time.
+
+        ``unknown``-sha rows (local runs without git metadata) are never
+        collapsed; ties on timestamp keep file order, so they still
+        trend in append order.
+        """
+        deduped: dict[tuple, tuple[int, Sample]] = {}
+        for position, row in enumerate(rows):
+            sample = Sample.from_dict(row)
+            key = (position,) if sample.sha == "unknown" else sample.key
+            deduped[key] = (position, sample)
+        ordered = sorted(
+            deduped.values(), key=lambda item: (item[1].timestamp_utc, item[0])
+        )
+        return cls([sample for _, sample in ordered])
+
+    def series(self, metric: str, kind: str | None = None) -> list[tuple[Sample, float]]:
+        """Chronological (sample, value) points for one metric.
+
+        Args:
+            metric: metric name.
+            kind: restrict to one envelope kind; by default every kind
+                reporting the metric contributes (e.g. ``serve_p99_ms``
+                from both nightly soaks and ``bench_serve``).
+        """
+        return [
+            (sample, sample.metrics[metric])
+            for sample in self.samples
+            if metric in sample.metrics and (kind is None or sample.kind == kind)
+        ]
+
+    def metric_names(self) -> list[str]:
+        names = {name for sample in self.samples for name in sample.metrics}
+        return sorted(names)
+
+    def kinds(self) -> list[str]:
+        return sorted({sample.kind for sample in self.samples})
+
+
+class HistoryStore:
+    """The on-disk JSONL history at ``path`` (typically
+    ``benchmarks/history/history.jsonl``)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self) -> HistoryFrame:
+        if not self.path.exists():
+            return HistoryFrame()
+        rows = []
+        with self.path.open(encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: not valid JSON ({error})"
+                    ) from error
+                rows.append(row)
+        return HistoryFrame.from_rows(rows)
+
+    def append(self, sample: Sample) -> bool:
+        """Record one sample; False (and no write) when its (sha, kind)
+        is already present — ingestion stays idempotent per commit."""
+        existing = {s.key for s in self.load()}
+        if sample.key in existing and sample.sha != "unknown":
+            return False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(sample.to_dict(), sort_keys=True) + "\n")
+        return True
+
+    def ingest(self, paths: Iterable[str | Path]) -> tuple[int, int]:
+        """Ingest report artifacts; returns (appended, skipped).
+
+        Skipped counts artifacts that deduped away or yielded no metrics.
+        Unreadable files raise — a malformed artifact in CI should fail
+        loudly, not silently shrink the history.
+        """
+        appended = skipped = 0
+        for path in paths:
+            envelope = load_report(path)
+            sample = sample_from_payload(envelope.payload, source=Path(path).name)
+            if sample is None:
+                skipped += 1
+                continue
+            if self.append(sample):
+                appended += 1
+            else:
+                skipped += 1
+        return appended, skipped

@@ -1,0 +1,231 @@
+"""Trend reports and the perf-trajectory regression detector.
+
+Point-in-time bench gates (hard floors inside ``benchmarks/bench_*.py``)
+catch cliffs; this module catches **slopes** — the slow erosion where each
+commit is individually within tolerance but the trajectory is down.  Two
+rules per metric series:
+
+* ``relative_drop`` — the latest value against the median of the
+  preceding window.  Medians resist one noisy CI run polluting the
+  baseline; the latest value alone is what the commit under test did.
+* ``rolling_median`` — the median of the most recent few runs against the
+  median of the window before them.  A single bad run can't trip it, but
+  a sustained slump (every recent run a little worse) can, even when no
+  individual run clears the relative-drop bar.
+
+Both are direction-aware via the metric's ``direction`` and scaled by its
+``max_relative_drop`` threshold; near-zero baselines are skipped because
+relative change against ~0 is meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Sequence
+
+from repro.metrics.registry import METRICS, Metric
+from repro.metrics.store import HistoryFrame, Sample
+
+#: Baselines smaller than this (in absolute value) are not judged — a
+#: relative drop against ~0 is numerically meaningless.
+MIN_BASELINE = 1e-9
+
+#: Sparkline glyph ramp (low → high).
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule's verdict on one metric series."""
+
+    metric: str
+    rule: str
+    regressed: bool
+    latest: float
+    baseline: float
+    change: float  # signed relative change, positive = bad direction
+    threshold: float
+    detail: str
+
+    def format(self) -> str:
+        flag = "FAIL" if self.regressed else "ok"
+        return (
+            f"[{flag:>4}] {self.metric:<28} {self.rule:<14} "
+            f"latest={self.latest:.4g} baseline={self.baseline:.4g} "
+            f"change={self.change:+.1%} (limit {self.threshold:.0%}) "
+            f"{self.detail}"
+        )
+
+
+def _badness(metric: Metric, latest: float, baseline: float) -> float | None:
+    """Signed relative change where positive means "got worse".
+
+    None when the baseline is too close to zero to judge.
+    """
+    if abs(baseline) < MIN_BASELINE:
+        return None
+    change = (latest - baseline) / abs(baseline)
+    return -change if metric.direction == "up" else change
+
+
+def relative_drop(
+    metric: Metric, values: Sequence[float], *, window: int = 5
+) -> Finding | None:
+    """Latest value vs the median of the preceding ``window`` runs.
+
+    Needs at least two points (one baseline run plus the latest); with
+    fewer there is no trajectory to judge yet.
+    """
+    if len(values) < 2:
+        return None
+    baseline_values = list(values[:-1])[-window:]
+    baseline = median(baseline_values)
+    latest = values[-1]
+    badness = _badness(metric, latest, baseline)
+    if badness is None:
+        return None
+    return Finding(
+        metric=metric.name,
+        rule="relative_drop",
+        regressed=badness > metric.max_relative_drop,
+        latest=latest,
+        baseline=baseline,
+        change=badness,
+        threshold=metric.max_relative_drop,
+        detail=f"vs median of last {len(baseline_values)}",
+    )
+
+
+def rolling_median(
+    metric: Metric,
+    values: Sequence[float],
+    *,
+    recent: int = 3,
+    window: int = 5,
+) -> Finding | None:
+    """Median of the last ``recent`` runs vs the median of the ``window``
+    runs before them — the sustained-slump detector.
+
+    Needs ``recent + 2`` points so the prior window holds at least two
+    runs; below that the relative-drop rule is the only judge.
+    """
+    if len(values) < recent + 2:
+        return None
+    recent_values = list(values[-recent:])
+    prior_values = list(values[:-recent])[-window:]
+    latest = median(recent_values)
+    baseline = median(prior_values)
+    badness = _badness(metric, latest, baseline)
+    if badness is None:
+        return None
+    return Finding(
+        metric=metric.name,
+        rule="rolling_median",
+        regressed=badness > metric.max_relative_drop,
+        latest=latest,
+        baseline=baseline,
+        change=badness,
+        threshold=metric.max_relative_drop,
+        detail=f"median of last {recent} vs prior {len(prior_values)}",
+    )
+
+
+def detect_regressions(
+    frame: HistoryFrame,
+    *,
+    window: int = 5,
+    recent: int = 3,
+    metrics: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run both rules over every metric series in the history.
+
+    Args:
+        frame: loaded history.
+        window: baseline window size for both rules.
+        recent: recent-median width for the rolling rule.
+        metrics: restrict to these metric names (default: all registered).
+
+    Returns every finding (passing and failing) so reports can show the
+    full scoreboard; callers gate on ``any(f.regressed ...)``.
+    """
+    findings: list[Finding] = []
+    names = list(metrics) if metrics is not None else frame.metric_names()
+    for name in names:
+        metric = METRICS.get(name)
+        if metric is None:
+            continue
+        values = [value for _, value in frame.series(name)]
+        for rule in (
+            relative_drop(metric, values, window=window),
+            rolling_median(metric, values, recent=recent, window=window),
+        ):
+            if rule is not None:
+                findings.append(rule)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Trend report rendering
+# ----------------------------------------------------------------------
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of the series (flat series render mid-ramp)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < MIN_BASELINE:
+        return _SPARK[3] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def _series_row(
+    metric: Metric, points: list[tuple[Sample, float]], max_points: int
+) -> str:
+    values = [value for _, value in points][-max_points:]
+    latest = values[-1]
+    lo, hi = min(values), max(values)
+    arrow = "↑" if metric.direction == "up" else "↓"
+    return (
+        f"{metric.name:<28} {arrow} "
+        f"{sparkline(values):<{max_points}} "
+        f"n={len(points):<3} latest={latest:<10.4g} "
+        f"min={lo:<10.4g} max={hi:<10.4g} [{metric.unit}]"
+    )
+
+
+def format_trend_report(
+    frame: HistoryFrame,
+    *,
+    window: int = 5,
+    recent: int = 3,
+    max_points: int = 24,
+) -> str:
+    """The full text trend report: series table plus rule scoreboard."""
+    lines = [
+        f"perf trajectory over {len(frame)} samples "
+        f"({len(frame.metric_names())} metrics, kinds: "
+        f"{', '.join(frame.kinds()) or 'none'})",
+        "",
+    ]
+    for name in frame.metric_names():
+        metric = METRICS.get(name)
+        if metric is None:
+            continue
+        points = frame.series(name)
+        if points:
+            lines.append(_series_row(metric, points, max_points))
+    findings = detect_regressions(frame, window=window, recent=recent)
+    if findings:
+        lines.append("")
+        lines.extend(finding.format() for finding in findings)
+    regressed = [f for f in findings if f.regressed]
+    lines.append("")
+    if regressed:
+        lines.append(
+            f"REGRESSIONS: {len(regressed)} rule(s) tripped across "
+            f"{len({f.metric for f in regressed})} metric(s)"
+        )
+    else:
+        lines.append("no trajectory regressions detected")
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ the decision-derived fields, so the reproducibility gate in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -102,6 +103,9 @@ class ServeTickRecord:
 @dataclass
 class ServeReport:
     """All tick and arrival records of one serving session."""
+
+    #: :class:`~repro.experiments.persistence.ReportEnvelope` discriminator.
+    envelope_kind: ClassVar[str] = "serve"
 
     online_algorithm: str
     admission_policy: str

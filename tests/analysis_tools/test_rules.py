@@ -1,4 +1,4 @@
-"""Per-rule fixtures for ``igepa lint`` (IGP001-IGP009).
+"""Per-rule fixtures for ``igepa lint`` (IGP001-IGP010).
 
 Each rule gets at least one *bad* fixture (a minimal source snippet that
 must produce a finding with the rule's code) and one *good* fixture (the
@@ -378,6 +378,55 @@ class TestLPRebuild:
         src = "def f(i):\n    return build_benchmark_lp(i)\n"
         assert codes(src, "src/repro/core/lp_packing.py") == []
         assert codes(src, COLD) == []
+
+
+class TestRawReportDump:
+    BENCH = "benchmarks/bench_churn.py"
+
+    def test_json_dump_of_report_flagged(self):
+        src = (
+            "import json\n"
+            "def main(report, path):\n"
+            "    path.write_text(json.dumps(report, indent=2))\n"
+        )
+        assert "IGP010" in codes(src, self.BENCH)
+
+    def test_json_dump_of_to_dict_result_flagged(self):
+        # The old cli.py pattern: dumping a report object's snapshot raw.
+        src = (
+            "import json\n"
+            "def write(report, handle):\n"
+            "    json.dump(report.to_dict(), handle, indent=2)\n"
+        )
+        assert "IGP010" in codes(src, "src/repro/cli.py")
+
+    def test_persistence_module_exempt(self):
+        src = (
+            "import json\n"
+            "def _write_payload(report, path):\n"
+            "    path.write_text(json.dumps(report, indent=1))\n"
+        )
+        assert codes(src, "src/repro/experiments/persistence.py") == []
+
+    def test_non_report_json_allowed(self):
+        # Instance files, wire responses and JSONL store rows are not
+        # report envelopes.
+        src = (
+            "import json\n"
+            "def save(instance, sample, response, handle):\n"
+            "    json.dump(instance.to_dict(), handle)\n"
+            "    json.dump(sample.to_dict(), handle)\n"
+            "    print(json.dumps(response_to_dict(response)))\n"
+        )
+        assert codes(src, "src/repro/model/instance.py") == []
+
+    def test_ignore_marker_sanctions_internal_dump(self):
+        src = (
+            "import json\n"
+            "def child(report, path):\n"
+            "    path.write_text(json.dumps(report))  # igepa: ignore[IGP010]\n"
+        )
+        assert codes(src, self.BENCH) == []
 
 
 class TestSuppressions:

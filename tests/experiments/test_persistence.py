@@ -79,8 +79,17 @@ class TestSweepRoundTrip:
         path = tmp_path / "sweep.json"
         save_sweep(sweep, path)
         payload = json.loads(path.read_text())
-        assert payload["format_version"] == 1
+        assert payload["format_version"] == FORMAT_VERSION
         assert payload["kind"] == "sweep"
+        # Written payloads carry the provenance block the history store
+        # keys on (version-1 archives load without one).
+        assert set(payload["provenance"]) >= {
+            "git_sha",
+            "timestamp_utc",
+            "host",
+            "python",
+            "numpy",
+        }
 
 
 class TestVersionGuards:
@@ -96,6 +105,162 @@ class TestVersionGuards:
         save_sweep(sweep, path)
         with pytest.raises(ValueError, match="not a stats payload"):
             load_stats(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        from repro.experiments.persistence import load_report
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format_version": 2, "kind": "mystery"})
+        )
+        with pytest.raises(ValueError, match="unknown report kind"):
+            load_report(path)
+
+    def test_version_1_payload_still_loads(self, tmp_path):
+        # Archives from before the provenance block must keep loading.
+        from repro.experiments.persistence import load_report
+
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps(
+                {"format_version": 1, "kind": "replay", "batches": []}
+            )
+        )
+        envelope = load_report(path)
+        assert envelope.version == 1
+        assert envelope.provenance is None
+        assert envelope.records == []
+
+
+class TestUnifiedLoader:
+    """load_report is the single entry point over every registered kind."""
+
+    def test_dump_load_dump_is_bit_stable(self, tmp_path):
+        # Round trip for each report class: the written payload minus the
+        # write-time provenance block must equal to_dict() exactly.
+        from repro.experiments.persistence import load_report, save_report
+        from repro.experiments.replay import ReplayReport
+
+        report = ReplayReport(
+            algorithm="gg", initial_utility=2.0, initial_solve_seconds=0.1
+        )
+        path = tmp_path / "replay.json"
+        save_report(report, path)
+        loaded = load_report(path, expect_kind="replay")
+        stripped = {
+            k: v for k, v in loaded.payload.items() if k != "provenance"
+        }
+        assert stripped == report.to_dict()
+        # Deterministic snapshots: a second dump is bit-identical.
+        assert json.dumps(report.to_dict(), sort_keys=True) == json.dumps(
+            report.to_dict(), sort_keys=True
+        )
+
+    def test_every_registered_kind_round_trips(self, tmp_path):
+        from repro.experiments.persistence import (
+            KIND_REGISTRY,
+            load_report,
+            report_to_dict,
+            save_report,
+        )
+
+        for kind, spec in KIND_REGISTRY.items():
+            records_key = spec.records_key or "batches"
+            payload = report_to_dict(
+                kind,
+                {"label": f"fixture-{kind}"},
+                [{"row": 1}] if spec.records_key else [],
+                records_key=records_key,
+            )
+            path = tmp_path / f"{kind}.json"
+            written = save_report(payload, path)
+            loaded = load_report(path, expect_kind=kind)
+            assert loaded.payload == written
+            assert loaded.summary["label"] == f"fixture-{kind}"
+            if spec.records_key:
+                assert loaded.records == [{"row": 1}]
+            else:
+                assert loaded.records == []
+
+    def test_report_classes_satisfy_envelope_protocol(self):
+        # ReportEnvelope has a data member, so issubclass() is off the
+        # table — assert the structural contract save_report relies on.
+        from repro.core.analysis import RatioReport
+        from repro.experiments.persistence import KIND_REGISTRY
+        from repro.experiments.replay import ReplayReport
+        from repro.experiments.simulate import SimulationReport
+        from repro.service.report import ServeReport
+
+        for cls in (ReplayReport, SimulationReport, ServeReport, RatioReport):
+            assert cls.envelope_kind in KIND_REGISTRY, cls.__name__
+            assert callable(cls.to_dict), cls.__name__
+
+    def test_ratio_report_routes_through_envelope(self):
+        from repro.core.analysis import RatioReport
+
+        payload = RatioReport(
+            algorithm="gg", utilities=[1.0, 3.0], lp_bound=5.0, exact_optimum=None
+        ).to_dict()
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["kind"] == "ratio"
+        assert payload["ratio_vs_lp"] == pytest.approx(0.4)
+
+    def test_unregistered_kind_rejected_at_build_time(self):
+        from repro.experiments.persistence import report_to_dict
+
+        with pytest.raises(ValueError, match="unknown report kind"):
+            report_to_dict("mystery", {}, [])
+
+    def test_summary_may_not_shadow_envelope_keys(self):
+        from repro.experiments.persistence import report_to_dict
+
+        with pytest.raises(ValueError, match="shadow"):
+            report_to_dict("replay", {"provenance": {}}, [])
+
+    def test_records_key_must_match_registry(self):
+        from repro.experiments.persistence import report_to_dict
+
+        with pytest.raises(ValueError, match="stores records under"):
+            report_to_dict("simulation", {}, [], records_key="batches")
+
+
+class TestBenchArtifacts:
+    def test_write_bench_artifact_carries_envelope_and_provenance(
+        self, tmp_path
+    ):
+        from repro.experiments.persistence import (
+            load_report,
+            write_bench_artifact,
+        )
+
+        path = tmp_path / "BENCH_lp.json"
+        write_bench_artifact(
+            "bench_lp",
+            {"seed": 0, "largest_speedup_vs_tableau": 7.5},
+            [{"instance": "benchmark-lp", "num_variables": 10}],
+            path=path,
+        )
+        envelope = load_report(path, expect_kind="bench_lp")
+        assert envelope.version == FORMAT_VERSION
+        assert envelope.summary["largest_speedup_vs_tableau"] == 7.5
+        assert envelope.records == [
+            {"instance": "benchmark-lp", "num_variables": 10}
+        ]
+        assert set(envelope.provenance) >= {
+            "git_sha",
+            "timestamp_utc",
+            "host",
+            "python",
+            "numpy",
+        }
+
+    def test_unknown_bench_kind_rejected(self, tmp_path):
+        from repro.experiments.persistence import write_bench_artifact
+
+        with pytest.raises(ValueError, match="unknown bench kind"):
+            write_bench_artifact(
+                "bench_mystery", {}, path=tmp_path / "x.json"
+            )
 
 
 class TestReportEnvelope:

@@ -1,0 +1,136 @@
+"""The regression detector: slumps flag, flat/improving histories pass."""
+
+import pytest
+
+from repro.metrics import (
+    METRICS,
+    HistoryFrame,
+    Sample,
+    detect_regressions,
+    format_trend_report,
+    relative_drop,
+    rolling_median,
+    sparkline,
+)
+
+
+def frame_for(metric, values, kind="simulation"):
+    return HistoryFrame(
+        [
+            Sample(
+                sha=f"sha{i}",
+                timestamp_utc=f"2026-07-{i + 1:02d}T00:00:00+00:00",
+                kind=kind,
+                metrics={metric: v},
+            )
+            for i, v in enumerate(values)
+        ]
+    )
+
+
+def failing(findings):
+    return [f for f in findings if f.regressed]
+
+
+RET = METRICS["retention_auc"]  # up, tight 5%
+P99 = METRICS["serve_p99_ms"]  # down, loose 75%
+
+
+class TestRelativeDrop:
+    def test_injected_slump_flags(self):
+        # The acceptance scenario: a >=20% retention drop must trip.
+        finding = relative_drop(RET, [0.95, 0.94, 0.96, 0.95, 0.75])
+        assert finding.regressed
+        assert finding.change > 0.20
+
+    def test_flat_history_passes(self):
+        finding = relative_drop(RET, [0.95, 0.94, 0.96, 0.95, 0.95])
+        assert not finding.regressed
+
+    def test_improvement_passes_for_up_metric(self):
+        finding = relative_drop(RET, [0.90, 0.91, 0.90, 0.99])
+        assert not finding.regressed
+        assert finding.change < 0
+
+    def test_direction_aware_for_down_metric(self):
+        # Latency rising 10x is a regression; falling is an improvement.
+        assert relative_drop(P99, [100.0, 110.0, 105.0, 1000.0]).regressed
+        assert not relative_drop(P99, [100.0, 110.0, 105.0, 20.0]).regressed
+
+    def test_single_point_has_no_trajectory(self):
+        assert relative_drop(RET, [0.9]) is None
+
+    def test_median_baseline_resists_one_noisy_run(self):
+        # One absurd outlier in the window must not poison the baseline.
+        finding = relative_drop(P99, [100.0, 5000.0, 105.0, 102.0, 103.0])
+        assert not finding.regressed
+
+    def test_near_zero_baseline_skipped(self):
+        assert relative_drop(RET, [0.0, 0.0, 0.0]) is None
+
+
+class TestRollingMedian:
+    def test_sustained_slump_flags(self):
+        # Each recent run individually survivable, but the recent median
+        # sits well below the prior window.
+        values = [1.00, 1.00, 1.00, 1.00, 0.90, 0.89, 0.91]
+        assert rolling_median(RET, values).regressed
+
+    def test_flat_history_passes(self):
+        assert not rolling_median(RET, [0.95] * 8).regressed
+
+    def test_improving_history_passes(self):
+        values = [0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96]
+        assert not rolling_median(RET, values).regressed
+
+    def test_too_short_history_skipped(self):
+        assert rolling_median(RET, [0.9, 0.9, 0.9, 0.9]) is None
+
+
+class TestDetectRegressions:
+    def test_slumped_frame_fails_and_flat_frame_passes(self):
+        slump = frame_for("retention_auc", [0.95, 0.94, 0.96, 0.95, 0.70])
+        assert failing(detect_regressions(slump))
+        flat = frame_for("retention_auc", [0.95, 0.94, 0.96, 0.95, 0.95])
+        assert not failing(detect_regressions(flat))
+
+    def test_metric_filter(self):
+        slump = frame_for("retention_auc", [0.95, 0.95, 0.95, 0.95, 0.70])
+        assert not failing(detect_regressions(slump, metrics=["serve_p99_ms"]))
+        assert failing(detect_regressions(slump, metrics=["retention_auc"]))
+
+    def test_unregistered_metric_names_ignored(self):
+        frame = frame_for("not_a_metric", [1.0, 0.1])
+        assert detect_regressions(frame) == []
+
+    def test_loose_wall_clock_threshold_tolerates_noise(self):
+        # 30% p99 swing is runner noise, not a regression (limit 75%).
+        noisy = frame_for("serve_p99_ms", [100.0, 95.0, 104.0, 99.0, 130.0])
+        assert not failing(detect_regressions(noisy))
+
+
+class TestRendering:
+    def test_sparkline_shape(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(sparkline([1.0, 1.0])) == 2  # flat series still renders
+
+    def test_trend_report_mentions_series_and_verdict(self):
+        slump = frame_for("retention_auc", [0.95, 0.94, 0.96, 0.95, 0.70])
+        text = format_trend_report(slump)
+        assert "retention_auc" in text
+        assert "REGRESSIONS" in text
+        flat = frame_for("retention_auc", [0.95, 0.94, 0.96, 0.95, 0.95])
+        assert "no trajectory regressions" in format_trend_report(flat)
+
+    def test_finding_format_has_numbers(self):
+        finding = relative_drop(RET, [0.95, 0.94, 0.96, 0.95, 0.70])
+        text = finding.format()
+        assert "FAIL" in text
+        assert "retention_auc" in text
+        assert "%" in text
+        assert finding.change == pytest.approx(
+            (0.95 - 0.70) / 0.95, rel=1e-6
+        )

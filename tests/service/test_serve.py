@@ -235,7 +235,9 @@ class TestReportEnvelope:
             oracle_every=3,
         )
         payload = json.loads(json.dumps(report.to_dict()))
-        assert payload["format_version"] == 1
+        from repro.experiments.persistence import ENVELOPE_VERSION
+
+        assert payload["format_version"] == ENVELOPE_VERSION
         assert payload["kind"] == "serve"
         assert payload["outcome_counts"]["accepted"] >= 0
         assert len(payload["ticks"]) == len(report.records)
